@@ -1,0 +1,9 @@
+"""Benchmark E1 — Figure 1 (k-IGT update rule, k=6).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E1.txt) and asserts its shape checks.
+"""
+
+
+def test_e1_figure1_igt_rule(experiment_runner):
+    experiment_runner("E1")

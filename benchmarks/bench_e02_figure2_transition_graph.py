@@ -1,0 +1,9 @@
+"""Benchmark E2 — Figure 2 ((3,a,b,m)-Ehrenfest transition graph).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E2.txt) and asserts its shape checks.
+"""
+
+
+def test_e2_figure2_transition_graph(experiment_runner):
+    experiment_runner("E2")

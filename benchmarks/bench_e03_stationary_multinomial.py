@@ -1,0 +1,9 @@
+"""Benchmark E3 — Theorem 2.4 (multinomial stationary distributions).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E3.txt) and asserts its shape checks.
+"""
+
+
+def test_e3_stationary_multinomial(experiment_runner):
+    experiment_runner("E3")

@@ -1,0 +1,9 @@
+"""Benchmark E4 — Theorem 2.5 (mixing-time scaling).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E4.txt) and asserts its shape checks.
+"""
+
+
+def test_e4_mixing_time_scaling(experiment_runner):
+    experiment_runner("E4")

@@ -1,0 +1,9 @@
+"""Benchmark E6 — Proposition 2.8 (average stationary generosity).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E6.txt) and asserts its shape checks.
+"""
+
+
+def test_e6_average_generosity(experiment_runner):
+    experiment_runner("E6")

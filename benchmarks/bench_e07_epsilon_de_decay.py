@@ -1,0 +1,9 @@
+"""Benchmark E7 — Theorem 2.9 (epsilon-DE, epsilon = O(1/k)).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E7.txt) and asserts its shape checks.
+"""
+
+
+def test_e7_epsilon_de_decay(experiment_runner):
+    experiment_runner("E7")

@@ -1,0 +1,9 @@
+"""Benchmark E8 — Proposition 2.2 (local optimality).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E8.txt) and asserts its shape checks.
+"""
+
+
+def test_e8_local_optimality(experiment_runner):
+    experiment_runner("E8")

@@ -1,0 +1,9 @@
+"""Benchmark E9 — Sections 2.4-2.5 (time/space/approximation trade-off).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E9.txt) and asserts its shape checks.
+"""
+
+
+def test_e9_tradeoff_table(experiment_runner):
+    experiment_runner("E9")

@@ -1,0 +1,9 @@
+"""Benchmark E10 — Eqs. 44-46 (expected payoff formulas).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E10.txt) and asserts its shape checks.
+"""
+
+
+def test_e10_payoff_formulas(experiment_runner):
+    experiment_runner("E10")

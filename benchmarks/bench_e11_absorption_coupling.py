@@ -1,0 +1,9 @@
+"""Benchmark E11 — Prop. A.7 / Lemma A.8 (absorption and coupling).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E11.txt) and asserts its shape checks.
+"""
+
+
+def test_e11_absorption_coupling(experiment_runner):
+    experiment_runner("E11")

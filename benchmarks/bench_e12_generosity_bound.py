@@ -1,0 +1,9 @@
+"""Benchmark E12 — Corollary C.1 (generosity lower bound).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E12.txt) and asserts its shape checks.
+"""
+
+
+def test_e12_generosity_bound(experiment_runner):
+    experiment_runner("E12")

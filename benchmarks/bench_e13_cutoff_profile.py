@@ -1,0 +1,9 @@
+"""Benchmark E13 — Remark 2.6 (cutoff profiles).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E13.txt) and asserts its shape checks.
+"""
+
+
+def test_e13_cutoff_profile(experiment_runner):
+    experiment_runner("E13")

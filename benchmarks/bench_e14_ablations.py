@@ -1,0 +1,9 @@
+"""Benchmark E14 — Ablations (action rule, strict rule, noise, other games).
+
+Regenerates the paper artifact as a theory-vs-measured table (written to
+benchmarks/results/E14.txt) and asserts its shape checks.
+"""
+
+
+def test_e14_ablations(experiment_runner):
+    experiment_runner("E14")

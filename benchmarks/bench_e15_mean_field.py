@@ -1,0 +1,9 @@
+"""Benchmark E15 — extension: mean-field flow of the k-IGT dynamics.
+
+Regenerates the agent-level vs mean-field comparison table (written to
+benchmarks/results/E15.txt) and asserts its shape checks.
+"""
+
+
+def test_e15_mean_field(experiment_runner):
+    experiment_runner("E15")

@@ -1,0 +1,9 @@
+"""Benchmark E16 — extension: ZD strategies and the tournament landscape.
+
+Regenerates the tournament/ZD table (written to benchmarks/results/E16.txt)
+and asserts its shape checks.
+"""
+
+
+def test_e16_zd_tournament(experiment_runner):
+    experiment_runner("E16")

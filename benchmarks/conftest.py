@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each experiment benchmark runs its registered experiment once (timed by
+pytest-benchmark), prints the regenerated table (visible with ``-s``), and
+writes it to ``benchmarks/results/<id>.txt`` so the tables survive stdout
+capture.  Every benchmark also asserts the experiment's shape checks, so
+``pytest benchmarks/ --benchmark-only`` doubles as a full reproduction run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    """Run an experiment under the benchmark timer and persist its report."""
+
+    def run(experiment_id: str, fast: bool = True, seed: int = 12345):
+        from repro.experiments import run_experiment
+
+        report = benchmark.pedantic(
+            run_experiment, args=(experiment_id,),
+            kwargs={"fast": fast, "seed": seed}, rounds=1, iterations=1)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = report.render()
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        assert report.all_checks_pass, (
+            f"{experiment_id} checks failed:\n{text}")
+        return report
+
+    return run

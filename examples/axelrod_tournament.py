@@ -1,0 +1,75 @@
+"""An Axelrod-style donation-game tournament, with zero-determinant guests.
+
+Plays the classic round robin — AC, AD, TFT, GTFT, GRIM, WSLS — extended
+with a Press-Dyson extortioner and a Stewart-Plotkin generous ZD strategy,
+using exact expected payoffs (no sampling noise).  Then verifies the ZD
+strategies' signature property: a *linear relation between the two players'
+average payoffs enforced against any opponent*.
+
+Run with:  python examples/axelrod_tournament.py
+"""
+
+from repro import DonationGame
+from repro.analysis.tables import format_table
+from repro.games import (
+    Tournament,
+    always_cooperate,
+    always_defect,
+    average_payoff_pair,
+    extortionate_zd,
+    generous_tit_for_tat,
+    generous_zd,
+)
+from repro.games.strategies import grim_trigger, tit_for_tat, win_stay_lose_shift
+from repro.utils import InvalidParameterError
+
+
+def main():
+    game = DonationGame(b=4.0, c=1.0)
+    delta = 0.95
+    extort = extortionate_zd(game, chi=3.0)
+    generous = generous_zd(game, chi=2.0)
+    entrants = [always_cooperate(), always_defect(), tit_for_tat(),
+                generous_tit_for_tat(0.3, 1.0), grim_trigger(),
+                win_stay_lose_shift(), extort, generous]
+
+    tournament = Tournament(entrants, game, delta=delta)
+    result = tournament.run()
+
+    print(f"Round-robin donation-game tournament "
+          f"(b={game.b}, c={game.c}, delta={delta}, exact payoffs)")
+    print()
+    rows = [[rank + 1, name, f"{score:.3f}"]
+            for rank, (name, score) in enumerate(result.ranking())]
+    print(format_table(["rank", "strategy", "mean score"], rows))
+    print()
+    print(f"winner: {result.winner()} — reciprocity pays, as in Axelrod's "
+          "original tournaments; unconditional defection and extortion "
+          "sink once reciprocators dominate the field.")
+    print()
+
+    print("Zero-determinant relations (limit-of-means payoffs):")
+    rows = []
+    for entrant in entrants:
+        if entrant.name in (extort.name, generous.name):
+            continue
+        try:
+            u1, u2 = average_payoff_pair(extort, entrant, game)
+            rows.append([f"Extort(3) vs {entrant.name}", f"{u1:.3f}",
+                         f"{u2:.3f}",
+                         f"u1 = 3.0 * u2 ({u1:.3f} = {3 * u2:.3f})"])
+        except InvalidParameterError:
+            rows.append([f"Extort(3) vs {entrant.name}", "-", "-",
+                         "non-ergodic pair"])
+    print(format_table(["pairing", "u1 (ZD)", "u2 (opponent)",
+                        "enforced relation"], rows))
+    print()
+    print("The extortioner fixes u1 = 3*u2 against every opponent — but "
+          "that caps its own payoff at 0 against AD, while generous "
+          "strategies harvest full cooperation among themselves. This is "
+          "the strategic landscape in which the paper's GTFT populations "
+          "live.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""The evolution-of-cooperation story the paper's introduction motivates.
+
+Three acts:
+
+1. **Why generosity?**  Under execution noise, two Tit-for-Tat players
+   spiral into retaliation while Generous TFT recovers — computed exactly
+   with noisy-strategy resolvents (the Section 1.1.2 discussion).
+2. **Generosity finds its level.**  The k-IGT dynamics tunes the GTFT
+   sub-population's generosity: against many defectors it drops, against
+   few it climbs toward g_max (Proposition 2.8's lambda dependence).
+3. **Who earns what?**  Per-type expected payoffs at stationarity.
+
+Run with:  python examples/evolution_of_cooperation.py
+"""
+
+import numpy as np
+
+from repro import (
+    DonationGame,
+    GenerosityGrid,
+    IGTSimulation,
+    expected_payoff,
+    generous_tit_for_tat,
+    tit_for_tat,
+)
+from repro.analysis.tables import format_table, sparkline
+from repro.core.equilibrium import RDSetting
+from repro.core.population_igt import PopulationShares
+from repro.core.theory import igt_mixing_upper_bound
+from repro.games.strategies import with_execution_noise
+
+
+def act_one_noise():
+    print("=" * 70)
+    print("Act 1 - why generosity? (exact noisy payoffs, delta = 0.9)")
+    print("=" * 70)
+    game = DonationGame(b=4.0, c=1.0)
+    delta = 0.9
+    cooperative = (game.b - game.c) / (1 - delta)
+    rows = []
+    for noise in (0.0, 0.01, 0.05, 0.10):
+        tft = with_execution_noise(tit_for_tat(), noise)
+        gtft = with_execution_noise(generous_tit_for_tat(0.3, 1.0), noise)
+        f_tft = expected_payoff(tft, tft, game.reward_vector, delta)
+        f_gtft = expected_payoff(gtft, gtft, game.reward_vector, delta)
+        rows.append([f"{noise:.2f}", f"{f_tft:.2f}",
+                     f"{f_tft / cooperative:.1%}", f"{f_gtft:.2f}",
+                     f"{f_gtft / cooperative:.1%}"])
+    print(format_table(
+        ["noise", "TFT vs TFT", "% of full coop", "GTFT(0.3) vs GTFT(0.3)",
+         "% of full coop"], rows))
+    print(f"(full mutual cooperation = {cooperative:.1f})")
+    print()
+
+
+def act_two_tuning():
+    print("=" * 70)
+    print("Act 2 - the k-IGT dynamics tunes generosity to the environment")
+    print("=" * 70)
+    k, n = 6, 400
+    grid = GenerosityGrid(k=k, g_max=0.6)
+    rows = []
+    for beta in (0.05, 0.2, 0.5, 0.8):
+        alpha = (1 - beta) / 2
+        shares = PopulationShares(alpha=alpha, beta=beta,
+                                  gamma=1 - alpha - beta)
+        sim = IGTSimulation(n=n, shares=shares, grid=grid, seed=1,
+                            initial_indices=k // 2)
+        budget = int(2 * igt_mixing_upper_bound(k, shares, n))
+        trajectory = sim.run(budget, record_every=max(budget // 30, 1))
+        generosity = (trajectory @ grid.values) / sim.n_gtft
+        rows.append([f"{beta:.2f}", f"{shares.lam:.2f}",
+                     sparkline(generosity), f"{generosity[-1]:.3f}"])
+    print(format_table(
+        ["beta (AD fraction)", "lambda", "avg generosity over time",
+         "final"], rows))
+    print("(small beta -> generosity climbs to g_max; large beta -> "
+          "collapses toward 0, at rate O(1/k) per Prop 2.8)")
+    print()
+
+
+def act_three_payoffs():
+    print("=" * 70)
+    print("Act 3 - who earns what at stationarity?")
+    print("=" * 70)
+    setting = RDSetting(b=4.0, c=1.0, delta=0.7, s1=0.5)
+    shares = PopulationShares(alpha=0.3, beta=0.2, gamma=0.5)
+    k, n = 4, 300
+    grid = GenerosityGrid(k=k, g_max=0.6)
+    sim = IGTSimulation(n=n, shares=shares, grid=grid, seed=2,
+                        setting=setting, track_payoffs=True)
+    sim.run(int(2 * igt_mixing_upper_bound(k, shares, n)))
+    means = sim.mean_payoff_per_interaction()
+    from repro.core.igt import AgentType
+
+    rows = []
+    for agent_type, label in ((AgentType.AC, "Always-Cooperate"),
+                              (AgentType.AD, "Always-Defect"),
+                              (AgentType.GTFT, "GTFT (tuned)")):
+        mask = sim.types == agent_type
+        rows.append([label, int(mask.sum()),
+                     f"{means[mask].mean():.3f}"])
+    print(format_table(
+        ["type", "agents", "mean payoff / interaction"], rows))
+    print("(AD free-rides per interaction, but the GTFT block sustains "
+          "cooperation among itself - the population-level story of the "
+          "repeated donation game)")
+
+
+def act_four_evolution():
+    print("=" * 70)
+    print("Act 4 - can cooperation *evolve*? (Moran process on repeated-game"
+          " payoffs)")
+    print("=" * 70)
+    from repro.games.base import MatrixGame
+    from repro.games.expected_payoff import expected_payoff_pair
+    from repro.games.moran import MoranProcess
+    from repro.games.strategies import always_defect
+
+    game = DonationGame(b=4.0, c=1.0)
+    gtft = generous_tit_for_tat(0.1, 1.0)
+    ad = always_defect()
+    n = 40
+    rows = []
+    for delta in (0.0, 0.3, 0.6, 0.9):
+        u_gg, _ = expected_payoff_pair(gtft, gtft, game, delta)
+        u_ga, u_ag = expected_payoff_pair(gtft, ad, game, delta)
+        u_aa, _ = expected_payoff_pair(ad, ad, game, delta)
+        # Strategy 0 = AD invading GTFT residents.
+        matrix = MatrixGame([[u_aa, u_ag], [u_ga, u_gg]])
+        process = MoranProcess(matrix, n=n, selection_intensity=0.05)
+        rho = process.fixation_probability(1)
+        rows.append([f"{delta:.1f}", f"{rho:.5f}", f"{1 / n:.5f}",
+                     "AD invades" if rho > 1 / n else "GTFT resists"])
+    print(format_table(
+        ["delta", "fixation prob of one AD mutant", "neutral 1/n",
+         "verdict"], rows))
+    print("(longer games flip the selection gradient: once delta exceeds "
+          "c/b, reciprocity is evolutionarily protected - the reason the "
+          "paper's update rule points toward generosity at all)")
+
+
+def main():
+    act_one_noise()
+    act_two_tuning()
+    act_three_payoffs()
+    act_four_evolution()
+
+
+if __name__ == "__main__":
+    main()

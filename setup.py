@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517 --no-build-isolation`` in offline
+environments where the ``wheel`` package is unavailable; all real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,114 @@
+"""repro — Game Dynamics and Equilibrium Computation in Population Protocols.
+
+A faithful, laptop-scale reproduction of Alistarh, Chatterjee, Karrabi and
+Lazarsfeld, *Game Dynamics and Equilibrium Computation in the Population
+Protocol Model* (PODC 2024, arXiv:2307.07297), built as a reusable library:
+
+* :mod:`repro.core` — the k-IGT dynamics, distributional equilibria, the
+  stationary/mixing/approximation theorems, and the headline trade-off.
+* :mod:`repro.markov` — ``(k, a, b, m)``-Ehrenfest processes and the full
+  Markov-chain toolkit (exact stationary analysis, mixing, couplings,
+  random walks, spectral gaps, cutoff profiles).
+* :mod:`repro.games` — repeated donation games, memory-one strategies, exact
+  expected payoffs, and classical equilibrium utilities.
+* :mod:`repro.population` — the population-protocol model with the classic
+  protocols (majority, leader election, rumor, averaging) as substrate.
+* :mod:`repro.analysis` — sweeps, statistics, and table rendering used by
+  the experiment/benchmark harness.
+* :mod:`repro.experiments` — one module per paper artifact (E1–E14)
+  regenerating every theorem/figure as a theory-vs-measured table.
+
+Quickstart::
+
+    from repro import (GenerosityGrid, IGTSimulation, PopulationShares,
+                       default_theorem_2_9_setting)
+
+    setting, shares, g_max = default_theorem_2_9_setting()
+    grid = GenerosityGrid(k=8, g_max=g_max)
+    sim = IGTSimulation(n=600, shares=shares, grid=grid, seed=0)
+    sim.run(200_000)
+    print(sim.average_generosity(), sim.empirical_mu())
+"""
+
+from repro.core import (
+    AgentType,
+    GenerosityGrid,
+    IGTRule,
+    IGTSimulation,
+    PopulationShares,
+    RDSetting,
+    average_stationary_generosity,
+    de_gap,
+    default_theorem_2_9_setting,
+    generosity_closed_form,
+    generosity_lower_bound,
+    igt_lambda,
+    igt_mixing_lower_bound,
+    igt_mixing_upper_bound,
+    igt_stationary_weights,
+    is_epsilon_de,
+    mean_stationary_mu,
+    theorem_2_9_conditions,
+    tradeoff_table,
+)
+from repro.games import (
+    DonationGame,
+    MemoryOneStrategy,
+    always_cooperate,
+    always_defect,
+    expected_payoff,
+    generous_tit_for_tat,
+    monte_carlo_payoff,
+    tit_for_tat,
+)
+from repro.markov import (
+    CompositionSpace,
+    CoordinateCoupling,
+    EhrenfestProcess,
+    FiniteMarkovChain,
+    total_variation,
+)
+from repro.population import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "AgentType",
+    "GenerosityGrid",
+    "IGTRule",
+    "IGTSimulation",
+    "PopulationShares",
+    "RDSetting",
+    "default_theorem_2_9_setting",
+    "theorem_2_9_conditions",
+    "igt_lambda",
+    "igt_stationary_weights",
+    "mean_stationary_mu",
+    "average_stationary_generosity",
+    "generosity_closed_form",
+    "generosity_lower_bound",
+    "de_gap",
+    "is_epsilon_de",
+    "igt_mixing_upper_bound",
+    "igt_mixing_lower_bound",
+    "tradeoff_table",
+    # games
+    "DonationGame",
+    "MemoryOneStrategy",
+    "always_cooperate",
+    "always_defect",
+    "tit_for_tat",
+    "generous_tit_for_tat",
+    "expected_payoff",
+    "monte_carlo_payoff",
+    # markov
+    "EhrenfestProcess",
+    "FiniteMarkovChain",
+    "CompositionSpace",
+    "CoordinateCoupling",
+    "total_variation",
+    # population
+    "Simulator",
+]

@@ -1,0 +1,78 @@
+"""Autocorrelation diagnostics for ergodic simulation averages.
+
+Stationary averages of the k-IGT dynamics (average generosity, empirical
+µ) are computed from *correlated* snapshots of a single trajectory; these
+helpers quantify that correlation so thinning intervals and error bars can
+be sized honestly: the integrated autocorrelation time ``τ_int`` inflates
+the variance of a length-``n`` time average by ``τ_int`` relative to i.i.d.
+sampling (effective sample size ``n/τ_int``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+
+def autocorrelation(series, max_lag: int | None = None) -> np.ndarray:
+    """Normalized autocorrelation function ``ρ(0..max_lag)``.
+
+    ``ρ(0) = 1`` by construction; a constant series has undefined
+    autocorrelation and raises.
+    """
+    arr = np.asarray(series, dtype=float)
+    if arr.ndim != 1 or arr.size < 2:
+        raise InvalidParameterError("series must be 1-D with >= 2 points")
+    if max_lag is None:
+        max_lag = min(arr.size - 1, arr.size // 4 if arr.size >= 8 else arr.size - 1)
+    max_lag = check_positive_int("max_lag", max_lag)
+    if max_lag >= arr.size:
+        raise InvalidParameterError(
+            f"max_lag={max_lag} must be below the series length {arr.size}")
+    centered = arr - arr.mean()
+    variance = float(np.dot(centered, centered)) / arr.size
+    if variance <= 0:
+        raise InvalidParameterError(
+            "series is constant; autocorrelation undefined")
+    rho = np.empty(max_lag + 1)
+    rho[0] = 1.0
+    for lag in range(1, max_lag + 1):
+        rho[lag] = float(np.dot(centered[:-lag], centered[lag:])) \
+            / (arr.size * variance)
+    return rho
+
+
+def integrated_autocorrelation_time(series, window_factor: float = 5.0) -> float:
+    """Integrated autocorrelation time ``τ_int = 1 + 2 Σ ρ(t)``.
+
+    Uses the standard self-consistent window (Sokal): sum lags up to the
+    smallest ``W`` with ``W >= window_factor · τ_int(W)``.  Returns at
+    least 1 (i.i.d. series).
+    """
+    rho = autocorrelation(series)
+    tau = 1.0
+    for window in range(1, rho.size):
+        tau = 1.0 + 2.0 * float(rho[1:window + 1].sum())
+        if window >= window_factor * tau:
+            break
+    return max(tau, 1.0)
+
+
+def effective_sample_size(series) -> float:
+    """``n / τ_int`` — the i.i.d.-equivalent number of samples."""
+    arr = np.asarray(series, dtype=float)
+    return arr.size / integrated_autocorrelation_time(arr)
+
+
+def thinned_indices(length: int, tau: float) -> np.ndarray:
+    """Indices that thin a length-``length`` series to ~independent points.
+
+    Uses a stride of ``ceil(2·τ)`` (twice the autocorrelation time).
+    """
+    length = check_positive_int("length", length)
+    if tau < 0:
+        raise InvalidParameterError(f"tau must be non-negative, got {tau!r}")
+    stride = max(int(np.ceil(2.0 * tau)), 1)
+    return np.arange(0, length, stride)

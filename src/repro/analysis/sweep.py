@@ -1,0 +1,67 @@
+"""A small parameter-sweep harness.
+
+Benchmarks sweep over grids of ``(k, m, a−b, β, ...)``; this harness runs a
+callable over the cartesian product of named parameter lists and collects
+one record per point, keeping the experiment modules declarative.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.utils.errors import InvalidParameterError
+
+
+@dataclass
+class SweepResult:
+    """Records from a parameter sweep.
+
+    Each record is a dict holding the swept parameters plus whatever the
+    experiment callable returned (merged).
+    """
+
+    parameter_names: tuple[str, ...]
+    records: list[dict] = field(default_factory=list)
+
+    def column(self, name: str) -> list:
+        """Extract one column across all records."""
+        missing = [r for r in self.records if name not in r]
+        if missing:
+            raise InvalidParameterError(
+                f"column {name!r} missing from {len(missing)} records")
+        return [r[name] for r in self.records]
+
+    def where(self, **conditions) -> list[dict]:
+        """Records matching all equality conditions."""
+        out = []
+        for record in self.records:
+            if all(record.get(key) == value for key, value in conditions.items()):
+                out.append(record)
+        return out
+
+
+def parameter_sweep(fn, **param_lists) -> SweepResult:
+    """Run ``fn(**point)`` over the cartesian product of the parameter lists.
+
+    ``fn`` must return a dict of measured values; each record in the result
+    merges the parameter point with that dict (measured values win on key
+    collisions, which are rejected to avoid silent shadowing).
+    """
+    if not param_lists:
+        raise InvalidParameterError("at least one parameter list is required")
+    names = tuple(param_lists.keys())
+    result = SweepResult(parameter_names=names)
+    for values in itertools.product(*param_lists.values()):
+        point = dict(zip(names, values))
+        measured = fn(**point)
+        if not isinstance(measured, dict):
+            raise InvalidParameterError(
+                f"sweep callable must return a dict, got {type(measured)!r}")
+        collisions = set(point) & set(measured)
+        if collisions:
+            raise InvalidParameterError(
+                f"measured keys shadow parameters: {sorted(collisions)}")
+        record = {**point, **measured}
+        result.records.append(record)
+    return result

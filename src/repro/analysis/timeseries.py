@@ -1,0 +1,57 @@
+"""Convergence diagnostics for simulation time series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+
+def running_mean(values, window: int) -> np.ndarray:
+    """Trailing moving average with the given window (full windows only)."""
+    window = check_positive_int("window", window)
+    arr = np.asarray(values, dtype=float)
+    if arr.size < window:
+        raise InvalidParameterError(
+            f"series of length {arr.size} shorter than window {window}")
+    kernel = np.ones(window) / window
+    return np.convolve(arr, kernel, mode="valid")
+
+
+def first_time_below(values, threshold: float, axis=None) -> int | None:
+    """Index of the first entry at or below ``threshold`` (``None`` if never).
+
+    With ``axis`` given (an array of the same length), returns the axis
+    value at that index instead of the raw index.
+    """
+    arr = np.asarray(values, dtype=float)
+    axis_arr = None
+    if axis is not None:
+        axis_arr = np.asarray(axis)
+        if axis_arr.size != arr.size:
+            raise InvalidParameterError(
+                "axis must have the same length as values")
+    below = np.nonzero(arr <= threshold)[0]
+    if below.size == 0:
+        return None
+    index = int(below[0])
+    if axis_arr is not None:
+        return axis_arr[index]
+    return index
+
+
+def relative_change(values, window: int) -> float:
+    """Relative change of the trailing-window mean vs the preceding window.
+
+    A simple plateau detector: near zero once a series has settled.
+    """
+    window = check_positive_int("window", window)
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2 * window:
+        raise InvalidParameterError(
+            f"need at least 2*window={2 * window} points, got {arr.size}")
+    recent = arr[-window:].mean()
+    previous = arr[-2 * window:-window].mean()
+    scale = max(abs(previous), 1e-12)
+    return abs(recent - previous) / scale

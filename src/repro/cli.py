@@ -1,0 +1,119 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run E7
+    python -m repro run all
+    python -m repro run E5 --full --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import all_experiments, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction harness for 'Game Dynamics and "
+                     "Equilibrium Computation in the Population Protocol "
+                     "Model' (PODC 2024)."))
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id (E1..E16) or 'all'")
+    run_parser.add_argument(
+        "--full", action="store_true",
+        help="full-size parameters (slower, tighter tolerances)")
+    run_parser.add_argument(
+        "--seed", type=int, default=12345,
+        help="random seed (default 12345)")
+
+    sim_parser = subparsers.add_parser(
+        "simulate", help="run one k-IGT simulation and report vs theory")
+    sim_parser.add_argument("--n", type=int, default=400,
+                            help="population size (default 400)")
+    sim_parser.add_argument("--k", type=int, default=6,
+                            help="generosity grid size (default 6)")
+    sim_parser.add_argument("--alpha", type=float, default=0.3,
+                            help="AC fraction (default 0.3)")
+    sim_parser.add_argument("--beta", type=float, default=0.2,
+                            help="AD fraction (default 0.2)")
+    sim_parser.add_argument("--g-max", type=float, default=0.6,
+                            help="maximum generosity (default 0.6)")
+    sim_parser.add_argument("--steps", type=int, default=None,
+                            help="interactions (default: 2x Thm 2.7 bound)")
+    sim_parser.add_argument("--noise", type=float, default=0.0,
+                            help="observation noise (default 0)")
+    sim_parser.add_argument("--seed", type=int, default=0,
+                            help="random seed (default 0)")
+    return parser
+
+
+def _run_simulate(args) -> int:
+    from repro.analysis.tables import format_table
+    from repro.core.igt import GenerosityGrid
+    from repro.core.population_igt import IGTSimulation, PopulationShares
+    from repro.core.theory import igt_mixing_upper_bound
+
+    gamma = 1.0 - args.alpha - args.beta
+    shares = PopulationShares(alpha=args.alpha, beta=args.beta, gamma=gamma)
+    grid = GenerosityGrid(k=args.k, g_max=args.g_max)
+    steps = args.steps
+    if steps is None:
+        steps = int(2 * igt_mixing_upper_bound(args.k, shares, args.n))
+    sim = IGTSimulation(n=args.n, shares=shares, grid=grid, seed=args.seed,
+                        observation_noise=args.noise)
+    print(f"k-IGT: n={args.n}, (alpha,beta,gamma)=({args.alpha}, "
+          f"{args.beta}, {gamma:.3g}), k={args.k}, g_max={args.g_max}, "
+          f"noise={args.noise}, steps={steps}")
+    sim.run(steps)
+    process = sim.equivalent_ehrenfest(exact=True)
+    weights = process.stationary_weights()
+    mu = sim.empirical_mu()
+    rows = [[f"g_{j + 1} = {grid.value(j):.3f}", f"{weights[j]:.4f}",
+             f"{mu[j]:.4f}"] for j in range(args.k)]
+    print(format_table(["strategy", "stationary p_j", "simulated"], rows))
+    theory_generosity = float(grid.values @ weights)
+    print(f"average generosity: simulated {sim.average_generosity():.4f}, "
+          f"stationary theory {theory_generosity:.4f} "
+          f"(lambda = {process.lam:.3f})")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id, title in all_experiments():
+            print(f"{experiment_id:>4}  {title}")
+        return 0
+    if args.command == "simulate":
+        return _run_simulate(args)
+
+    ids = [eid for eid, _ in all_experiments()] \
+        if args.experiment.lower() == "all" else [args.experiment]
+    any_failed = False
+    for experiment_id in ids:
+        start = time.perf_counter()
+        report = run_experiment(experiment_id, fast=not args.full,
+                                seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(report.render())
+        print(f"({elapsed:.1f}s)")
+        print()
+        any_failed = any_failed or not report.all_checks_pass
+    return 1 if any_failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

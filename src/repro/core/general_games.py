@@ -1,0 +1,209 @@
+"""Population game dynamics for general symmetric matrix games.
+
+The paper's discussion (Section 3) poses the open direction of studying
+*other* classes of games in the population setting under Definition 1.1's
+distributional-equilibrium concept.  This module provides that playground:
+``n`` agents each hold a pure strategy of a symmetric matrix game, interact
+pairwise under the uniform scheduler, and update their strategies with
+simple local rules:
+
+* ``imitation`` — pairwise comparison: the initiator and a model agent each
+  earn a payoff against *independently sampled* opponents, and the initiator
+  adopts the model's strategy with probability proportional to the positive
+  part of the payoff difference — the finite-population analogue of
+  replicator dynamics.  (Comparing payoffs from the *same* matchup instead
+  is a known trap: in hawk–dove the hawk always out-earns its own dove
+  partner, so that rule absorbs at all-hawk.)
+* ``best_response`` — with probability ``p_update``, the initiator switches
+  to a best response against its partner's current strategy.
+* ``logit`` — the initiator resamples its strategy from the softmax of the
+  payoffs against its partner's strategy (temperature ``eta``) — a smoothed
+  best response that keeps the chain irreducible.
+
+:func:`de_gap_trajectory` tracks the Definition 1.1 gap of the empirical
+strategy distribution over time — the quantity Experiment E14(iv) reports
+for the hawk–dove game.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.games.base import MatrixGame
+from repro.games.nash import symmetric_de_gap
+from repro.utils import as_generator, check_positive_int, check_probability
+from repro.utils.errors import InvalidParameterError
+
+_RULES = ("imitation", "best_response", "logit")
+
+
+class PopulationGameSimulation:
+    """Pairwise-interaction dynamics over a symmetric matrix game.
+
+    Parameters
+    ----------
+    game:
+        A symmetric :class:`~repro.games.MatrixGame` (the row matrix is used
+        for both players).
+    n:
+        Population size.
+    rule:
+        Update rule: ``"imitation"``, ``"best_response"``, or ``"logit"``.
+    seed:
+        Seed or generator.
+    initial_strategies:
+        Length-``n`` array of initial pure-strategy indices; uniform random
+        when omitted.
+    p_update:
+        Update probability for the best-response rule.
+    eta:
+        Inverse temperature for the logit rule.
+    """
+
+    def __init__(self, game: MatrixGame, n: int, rule: str = "imitation",
+                 seed=None, initial_strategies=None, p_update: float = 0.5,
+                 eta: float = 1.0):
+        if not game.is_symmetric():
+            raise InvalidParameterError(
+                "population game dynamics require a symmetric game")
+        if rule not in _RULES:
+            raise InvalidParameterError(
+                f"rule must be one of {_RULES}, got {rule!r}")
+        self.game = game
+        self.payoffs = np.asarray(game.row_payoffs, dtype=float)
+        self.n = check_positive_int("n", n, minimum=2)
+        self.rule = rule
+        self.p_update = check_probability("p_update", p_update)
+        if eta <= 0:
+            raise InvalidParameterError(f"eta must be positive, got {eta!r}")
+        self.eta = float(eta)
+        self._rng = as_generator(seed)
+        n_strategies = self.payoffs.shape[0]
+        if initial_strategies is None:
+            strategies = self._rng.integers(0, n_strategies, size=self.n)
+        else:
+            strategies = np.asarray(initial_strategies, dtype=np.int64).copy()
+            if strategies.size != self.n:
+                raise InvalidParameterError(
+                    f"initial_strategies must have length n={self.n}")
+            if strategies.min() < 0 or strategies.max() >= n_strategies:
+                raise InvalidParameterError(
+                    f"strategies must lie in 0..{n_strategies - 1}")
+        self.strategies = strategies
+        self._counts = np.bincount(strategies, minlength=n_strategies).astype(np.int64)
+        payoff_span = float(self.payoffs.max() - self.payoffs.min())
+        self._imitation_scale = payoff_span if payoff_span > 0 else 1.0
+        self._best_responses = np.argmax(self.payoffs, axis=0)
+        self.steps_run = 0
+
+    @property
+    def n_strategies(self) -> int:
+        """Number of pure strategies in the game."""
+        return self.payoffs.shape[0]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Current strategy counts."""
+        return self._counts.copy()
+
+    def empirical_mu(self) -> np.ndarray:
+        """Empirical strategy distribution ``µ_t``."""
+        return self._counts / self.n
+
+    def de_gap(self) -> float:
+        """Definition 1.1 gap of the current empirical distribution."""
+        return symmetric_de_gap(self.payoffs, self.empirical_mu())
+
+    def _switch(self, agent: int, new_strategy: int) -> None:
+        old = int(self.strategies[agent])
+        if new_strategy != old:
+            self.strategies[agent] = new_strategy
+            self._counts[old] -= 1
+            self._counts[new_strategy] += 1
+
+    def step(self) -> None:
+        """One scheduled interaction with the configured update rule."""
+        rng = self._rng
+        i = int(rng.integers(0, self.n))
+        j = int(rng.integers(0, self.n - 1))
+        if j >= i:
+            j += 1
+        si = int(self.strategies[i])
+        sj = int(self.strategies[j])
+        if self.rule == "imitation":
+            # Evaluate both agents against independently sampled opponents.
+            oi = int(rng.integers(0, self.n - 1))
+            if oi >= i:
+                oi += 1
+            oj = int(rng.integers(0, self.n - 1))
+            if oj >= j:
+                oj += 1
+            payoff_i = self.payoffs[si, int(self.strategies[oi])]
+            payoff_j = self.payoffs[sj, int(self.strategies[oj])]
+            advantage = payoff_j - payoff_i
+            if advantage > 0 and rng.random() < advantage / self._imitation_scale:
+                self._switch(i, sj)
+        elif self.rule == "best_response":
+            if rng.random() < self.p_update:
+                self._switch(i, int(self._best_responses[sj]))
+        else:  # logit
+            logits = self.eta * self.payoffs[:, sj]
+            logits -= logits.max()
+            weights = np.exp(logits)
+            weights /= weights.sum()
+            self._switch(i, int(rng.choice(self.n_strategies, p=weights)))
+        self.steps_run += 1
+
+    def run(self, steps: int) -> None:
+        """Execute ``steps`` interactions."""
+        steps = check_positive_int("steps", steps, minimum=0)
+        for _ in range(steps):
+            self.step()
+
+
+def de_gap_trajectory(simulation: PopulationGameSimulation, steps: int,
+                      record_every: int) -> tuple[np.ndarray, np.ndarray]:
+    """Run a simulation recording the DE gap every ``record_every`` steps.
+
+    Returns ``(steps_axis, gaps)`` including the initial state.
+    """
+    steps = check_positive_int("steps", steps, minimum=0)
+    record_every = check_positive_int("record_every", record_every)
+    points = steps // record_every
+    axis = np.empty(points + 1, dtype=np.int64)
+    gaps = np.empty(points + 1)
+    axis[0] = simulation.steps_run
+    gaps[0] = simulation.de_gap()
+    for p in range(points):
+        simulation.run(record_every)
+        axis[p + 1] = simulation.steps_run
+        gaps[p + 1] = simulation.de_gap()
+    return axis, gaps
+
+
+def hawk_dove_game(value: float = 2.0, cost: float = 4.0) -> MatrixGame:
+    """The hawk–dove (chicken) game, a canonical non-PD symmetric game.
+
+    Payoffs: ``H vs H: (v−c)/2``, ``H vs D: v``, ``D vs H: 0``,
+    ``D vs D: v/2``.  For ``c > v`` the unique symmetric equilibrium is
+    mixed with hawk probability ``v/c`` — a natural target distribution for
+    population dynamics to hover around.
+    """
+    if not cost > value > 0:
+        raise InvalidParameterError(
+            f"hawk-dove requires cost > value > 0, got cost={cost!r}, "
+            f"value={value!r}")
+    matrix = np.array([[(value - cost) / 2.0, value],
+                       [0.0, value / 2.0]])
+    return MatrixGame(matrix, row_labels=["H", "D"], col_labels=["H", "D"])
+
+
+def hawk_dove_equilibrium_mixture(value: float = 2.0,
+                                  cost: float = 4.0) -> np.ndarray:
+    """The symmetric mixed equilibrium ``(v/c, 1 − v/c)`` of hawk–dove."""
+    if not cost > value > 0:
+        raise InvalidParameterError(
+            f"hawk-dove requires cost > value > 0, got cost={cost!r}, "
+            f"value={value!r}")
+    hawk = value / cost
+    return np.array([hawk, 1.0 - hawk])

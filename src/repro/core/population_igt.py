@@ -1,0 +1,443 @@
+"""Agent-level k-IGT dynamics on ``(α, β, γ)`` populations.
+
+This is the paper's actual protocol: ``n`` agents with fixed strategy types
+(AC / AD / GTFT in fractions ``α / β / γ``); at each step an ordered pair of
+distinct agents is scheduled uniformly at random, the pair plays a repeated
+donation game, and a GTFT *initiator* then updates its generosity index by
+the k-IGT rule.  Three observation modes are supported:
+
+* ``"strategy"`` (Definition 2.1) — the initiator reads its partner's true
+  strategy type.
+* ``"action"`` (Remark, Section 2.2) — the pair actually plays a Monte
+  Carlo repeated game and the initiator classifies its partner as AD iff it
+  defected in every round.  For large δ this coincides with the strategy
+  rule with high probability.
+* ``"strict"`` (Remark after Proposition 2.2) — like ``"strategy"`` but AC
+  partners do not trigger an increment.
+
+The count vector over generosity indices is exactly a
+``(k, a, b, m)``-Ehrenfest process (Section 2.2.1); the embedding — with
+both the paper's idealized parameters and the exact finite-``n`` sampling
+corrections — is exposed via :meth:`IGTSimulation.equivalent_ehrenfest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.igt import AgentType, GenerosityGrid, IGTRule
+from repro.games.repeated import RepeatedGameEngine
+from repro.games.strategies import (
+    MemoryOneStrategy,
+    always_cooperate,
+    always_defect,
+    generous_tit_for_tat,
+)
+from repro.markov.ehrenfest import EhrenfestProcess
+from repro.utils import as_generator, check_fraction, check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+_MODES = ("strategy", "action", "strict")
+
+
+@dataclass(frozen=True)
+class PopulationShares:
+    """The ``(α, β, γ)`` population composition (fractions sum to 1).
+
+    Attributes
+    ----------
+    alpha:
+        Fraction of Always-Cooperate agents.
+    beta:
+        Fraction of Always-Defect agents.
+    gamma:
+        Fraction of GTFT agents (must be positive for the dynamics to act).
+    """
+
+    alpha: float
+    beta: float
+    gamma: float
+
+    def __post_init__(self):
+        check_fraction("alpha", self.alpha)
+        check_fraction("beta", self.beta)
+        check_fraction("gamma", self.gamma)
+        total = self.alpha + self.beta + self.gamma
+        if abs(total - 1.0) > 1e-9:
+            raise InvalidParameterError(
+                f"alpha + beta + gamma must equal 1, got {total!r}")
+        if self.gamma <= 0:
+            raise InvalidParameterError(
+                "gamma must be positive: with no GTFT agents the dynamics "
+                "has nothing to update")
+
+    @property
+    def lam(self) -> float:
+        """``λ = (1 − β)/β`` (Theorem 2.7); ``inf`` when ``β = 0``."""
+        return float("inf") if self.beta == 0 else (1.0 - self.beta) / self.beta
+
+    def agent_counts(self, n: int) -> tuple[int, int, int]:
+        """Concrete integer counts ``(n_ac, n_ad, n_gtft)`` for ``n`` agents.
+
+        Rounds ``α·n`` and ``β·n`` to the nearest integers and assigns the
+        remainder to GTFT; raises if that leaves no GTFT agent.
+        """
+        n = check_positive_int("n", n, minimum=2)
+        n_ac = round(self.alpha * n)
+        n_ad = round(self.beta * n)
+        n_gtft = n - n_ac - n_ad
+        if n_gtft < 1:
+            raise InvalidParameterError(
+                f"population of n={n} leaves no GTFT agents for shares "
+                f"({self.alpha}, {self.beta}, {self.gamma})")
+        return n_ac, n_ad, n_gtft
+
+
+class IGTSimulation:
+    """Simulates the k-IGT dynamics at the level of individual agents.
+
+    Parameters
+    ----------
+    n:
+        Population size.
+    shares:
+        The ``(α, β, γ)`` composition.
+    grid:
+        Generosity grid ``G`` (provides ``k`` and ``ĝ``).
+    seed:
+        Seed or generator.
+    mode:
+        ``"strategy"`` (default), ``"action"``, or ``"strict"`` — see module
+        docstring.
+    setting:
+        An :class:`~repro.core.equilibrium.RDSetting` (required for
+        ``mode="action"`` and for payoff accounting; optional otherwise).
+    track_payoffs:
+        When true, accumulate each agent's *expected* game payoff per
+        interaction (via the closed forms) into :attr:`total_payoffs`.
+    initial_indices:
+        Per-GTFT-agent initial grid indices; ``"uniform"`` (default) draws
+        them uniformly from the grid, an integer places all agents there, or
+        an explicit array of length ``n_gtft``.
+    observation_noise:
+        Probability that a GTFT initiator *misclassifies* its partner
+        (AD read as non-AD and vice versa) in ``"strategy"``/``"strict"``
+        modes.  The count chain remains an Ehrenfest process with blended
+        rates (see :meth:`equivalent_ehrenfest`); at noise ``1/2`` the
+        stationary law becomes uniform.  A robustness extension beyond the
+        paper's noiseless rule.
+    """
+
+    def __init__(self, n: int, shares: PopulationShares, grid: GenerosityGrid,
+                 seed=None, mode: str = "strategy", setting=None,
+                 track_payoffs: bool = False, initial_indices="uniform",
+                 observation_noise: float = 0.0):
+        if mode not in _MODES:
+            raise InvalidParameterError(
+                f"mode must be one of {_MODES}, got {mode!r}")
+        self.n = check_positive_int("n", n, minimum=2)
+        self.shares = shares
+        self.grid = grid
+        self.mode = mode
+        self.rule = IGTRule(grid, strict=(mode == "strict"))
+        self.setting = setting
+        self.observation_noise = check_fraction("observation_noise",
+                                                observation_noise)
+        if self.observation_noise > 0 and mode != "strategy":
+            raise InvalidParameterError(
+                "observation_noise applies to mode='strategy' only "
+                "(mode='action' derives its own noise from game play, and "
+                "the strict rule's three-way classification makes a flipped "
+                "binary reading ambiguous)")
+        self._rng = as_generator(seed)
+
+        n_ac, n_ad, n_gtft = shares.agent_counts(n)
+        self.n_ac, self.n_ad, self.n_gtft = n_ac, n_ad, n_gtft
+        types = np.empty(n, dtype=np.int64)
+        types[:n_ac] = AgentType.AC
+        types[n_ac:n_ac + n_ad] = AgentType.AD
+        types[n_ac + n_ad:] = AgentType.GTFT
+        self.types = types
+        self._gtft_slice = slice(n_ac + n_ad, n)
+
+        indices = np.zeros(n, dtype=np.int64)
+        if isinstance(initial_indices, str):
+            if initial_indices != "uniform":
+                raise InvalidParameterError(
+                    f"unknown initial_indices spec {initial_indices!r}")
+            indices[self._gtft_slice] = self._rng.integers(
+                0, grid.k, size=n_gtft)
+        elif np.isscalar(initial_indices):
+            start = int(initial_indices)
+            if not 0 <= start < grid.k:
+                raise InvalidParameterError(
+                    f"initial index must lie in 0..{grid.k - 1}, got {start}")
+            indices[self._gtft_slice] = start
+        else:
+            explicit = np.asarray(initial_indices, dtype=np.int64)
+            if explicit.size != n_gtft:
+                raise InvalidParameterError(
+                    f"initial_indices must have length n_gtft={n_gtft}, "
+                    f"got {explicit.size}")
+            if explicit.min() < 0 or explicit.max() >= grid.k:
+                raise InvalidParameterError(
+                    f"initial indices must lie in 0..{grid.k - 1}")
+            indices[self._gtft_slice] = explicit
+        self.indices = indices
+        self._counts = np.bincount(indices[self._gtft_slice],
+                                   minlength=grid.k).astype(np.int64)
+
+        self.track_payoffs = bool(track_payoffs)
+        self.total_payoffs = np.zeros(n)
+        self.interactions_played = np.zeros(n, dtype=np.int64)
+        self._payoff_matrix = None
+        self._engine = None
+        if self.track_payoffs or mode == "action":
+            if setting is None:
+                raise InvalidParameterError(
+                    "an RDSetting is required for payoff tracking and for "
+                    "mode='action'")
+            if self.track_payoffs:
+                from repro.core.equilibrium import payoff_table
+                self._payoff_matrix = payoff_table(grid, setting)
+            if mode == "action":
+                self._engine = RepeatedGameEngine(setting.game, setting.delta)
+        self.steps_run = 0
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> np.ndarray:
+        """Current count vector ``z`` over the ``k`` generosity indices."""
+        return self._counts.copy()
+
+    def empirical_mu(self) -> np.ndarray:
+        """Empirical distribution ``µ_t = z_t / m`` over the grid."""
+        return self._counts / self.n_gtft
+
+    def average_generosity(self) -> float:
+        """Average generosity ``(1/m)·Σ_j g_j z_j`` of the GTFT population."""
+        return float(self.grid.values @ self._counts) / self.n_gtft
+
+    def gtft_indices(self) -> np.ndarray:
+        """Grid indices of the GTFT agents (copy)."""
+        return self.indices[self._gtft_slice].copy()
+
+    def _strategy_id(self, agent: int) -> int:
+        """Internal strategy id: grid index for GTFT, k for AC, k+1 for AD."""
+        t = self.types[agent]
+        if t == AgentType.GTFT:
+            return int(self.indices[agent])
+        return self.grid.k if t == AgentType.AC else self.grid.k + 1
+
+    def strategy_of(self, agent: int) -> MemoryOneStrategy:
+        """The concrete memory-one strategy an agent currently plays."""
+        t = self.types[agent]
+        if t == AgentType.AC:
+            return always_cooperate()
+        if t == AgentType.AD:
+            return always_defect()
+        s1 = self.setting.s1 if self.setting is not None else 1.0
+        return generous_tit_for_tat(self.grid.value(int(self.indices[agent])), s1)
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def _classify_by_actions(self, initiator: int, responder: int) -> AgentType:
+        """Play a real game and classify the responder from its actions."""
+        record = self._engine.play(self.strategy_of(initiator),
+                                   self.strategy_of(responder),
+                                   seed=self._rng)
+        if self.track_payoffs:
+            self.total_payoffs[initiator] += record.first_payoff
+            self.total_payoffs[responder] += record.second_payoff
+        return (AgentType.AD if record.opponent_always_defected()
+                else AgentType.GTFT)
+
+    def step(self) -> None:
+        """Execute a single scheduled interaction."""
+        i = int(self._rng.integers(0, self.n))
+        j = int(self._rng.integers(0, self.n - 1))
+        if j >= i:
+            j += 1
+        self._interact(i, j)
+        self.steps_run += 1
+
+    def _interact(self, i: int, j: int) -> None:
+        if self.track_payoffs and self._payoff_matrix is not None \
+                and self.mode != "action":
+            si, sj = self._strategy_id(i), self._strategy_id(j)
+            self.total_payoffs[i] += self._payoff_matrix[si, sj]
+            self.total_payoffs[j] += self._payoff_matrix[sj, si]
+            self.interactions_played[i] += 1
+            self.interactions_played[j] += 1
+        if self.types[i] != AgentType.GTFT:
+            return
+        if self.mode == "action":
+            observed = self._classify_by_actions(i, j)
+            self.interactions_played[i] += 1
+            self.interactions_played[j] += 1
+        else:
+            observed = AgentType(int(self.types[j]))
+            if self.observation_noise > 0 \
+                    and self._rng.random() < self.observation_noise:
+                observed = (AgentType.GTFT if observed == AgentType.AD
+                            else AgentType.AD)
+        old = int(self.indices[i])
+        new = self.rule.next_index(old, observed)
+        if new != old:
+            self.indices[i] = new
+            self._counts[old] -= 1
+            self._counts[new] += 1
+
+    def run(self, steps: int, record_every: int | None = None) -> np.ndarray | None:
+        """Run ``steps`` interactions.
+
+        With ``record_every`` set, returns the count-vector trajectory
+        (including the initial state) sampled at that cadence; otherwise
+        returns ``None``.
+
+        Note on randomness: the fast path draws scheduler randomness in
+        vectorized blocks, so a ``run(n)`` call and ``n`` individual
+        ``step()`` calls consume the generator differently — both sample the
+        same process law, but their trajectories under a shared seed are not
+        bitwise identical.
+        """
+        steps = check_positive_int("steps", steps, minimum=0)
+        recorded = None
+        row = 1
+        if record_every is not None:
+            record_every = check_positive_int("record_every", record_every)
+            recorded = np.empty((steps // record_every + 1, self.grid.k),
+                                dtype=np.int64)
+            recorded[0] = self._counts
+        if self.mode == "action" or self.track_payoffs \
+                or self.observation_noise > 0:
+            # Slow path: per-step bookkeeping dominates anyway.
+            for s in range(steps):
+                self.step()
+                if record_every is not None and (s + 1) % record_every == 0:
+                    recorded[row] = self._counts
+                    row += 1
+            return recorded[:row] if recorded is not None else None
+
+        # Fast path (strategy/strict modes, no payoff tracking).
+        rng = self._rng
+        n = self.n
+        types = self.types
+        indices = self.indices
+        counts = self._counts
+        k = self.grid.k
+        strict = self.rule.strict
+        block = 65536
+        done = 0
+        while done < steps:
+            batch = min(block, steps - done)
+            first = rng.integers(0, n, size=batch)
+            second = rng.integers(0, n - 1, size=batch)
+            second = second + (second >= first)
+            for offset in range(batch):
+                i = first[offset]
+                if types[i] == AgentType.GTFT:
+                    j = second[offset]
+                    partner = types[j]
+                    old = indices[i]
+                    if partner == AgentType.AD:
+                        new = old - 1 if old > 0 else old
+                    elif strict and partner == AgentType.AC:
+                        new = old
+                    else:
+                        new = old + 1 if old < k - 1 else old
+                    if new != old:
+                        indices[i] = new
+                        counts[old] -= 1
+                        counts[new] += 1
+                if record_every is not None \
+                        and (done + offset + 1) % record_every == 0:
+                    recorded[row] = counts
+                    row += 1
+            done += batch
+            self.steps_run += batch
+        return recorded[:row] if recorded is not None else None
+
+    def mean_payoff_per_interaction(self) -> np.ndarray:
+        """Average accumulated payoff per played interaction for each agent."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(self.interactions_played > 0,
+                             self.total_payoffs / np.maximum(self.interactions_played, 1),
+                             0.0)
+        return means
+
+    # ------------------------------------------------------------------
+    # Ehrenfest embedding (Section 2.2.1)
+    # ------------------------------------------------------------------
+    def equivalent_ehrenfest(self, exact: bool = True) -> EhrenfestProcess:
+        """The Ehrenfest process the count chain ``{z_t}`` follows.
+
+        With ``exact=False`` returns the paper's idealized parameters
+        ``a = γ(1−β), b = γβ, m = γn`` (eq. 5).  With ``exact=True``
+        (default) the finite-population sampling correction is applied: the
+        responder is drawn from the *other* ``n − 1`` agents, so conditioned
+        on a GTFT initiator with index ``j`` (probability ``z_j/n``), the
+        decrement probability is ``n_ad/(n−1)``, giving
+
+        ``a = (m/n)·(n−1−n_ad)/(n−1)``,  ``b = (m/n)·n_ad/(n−1)``
+
+        and the exact stationary bias ``λ = (n−1−n_ad)/n_ad`` — an
+        ``O(1/n)`` correction to ``(1−β)/β`` that matters for the small
+        populations used in exact validation.
+        """
+        if self.mode == "strict":
+            raise InvalidParameterError(
+                "the strict variant has its own embedding; use "
+                "strict_equivalent_ehrenfest()")
+        m = self.n_gtft
+        if exact:
+            if self.n_ad == 0 and self.observation_noise == 0:
+                raise InvalidParameterError(
+                    "the Ehrenfest embedding needs b > 0, i.e. at least one "
+                    "AD agent (or positive observation noise)")
+            beta_hat = self.n_ad / (self.n - 1)
+            up = 1.0 - beta_hat
+            down = beta_hat
+        else:
+            if self.shares.beta == 0 and self.observation_noise == 0:
+                raise InvalidParameterError(
+                    "the Ehrenfest embedding needs beta > 0 (or positive "
+                    "observation noise)")
+            up = 1.0 - self.shares.beta
+            down = self.shares.beta
+        # Observation noise flips the AD/non-AD reading with probability
+        # eps, blending the increment/decrement rates; the count chain stays
+        # an Ehrenfest process.
+        eps = self.observation_noise
+        up_eff = (1.0 - eps) * up + eps * down
+        down_eff = (1.0 - eps) * down + eps * up
+        scale = m / self.n if exact else self.shares.gamma
+        a = scale * up_eff
+        b = scale * down_eff
+        if a <= 0 or b <= 0:
+            raise InvalidParameterError(
+                "degenerate embedding: both increment and decrement rates "
+                "must be positive")
+        return EhrenfestProcess(k=self.grid.k, a=a, b=b, m=m)
+
+    def strict_equivalent_ehrenfest(self) -> EhrenfestProcess:
+        """Ehrenfest embedding of the *strict* variant.
+
+        Increments fire only on GTFT partners: conditioned on a GTFT
+        initiator the increment probability is ``(m−1)/(n−1)`` (the other
+        GTFT agents) and the decrement probability ``n_ad/(n−1)``, so
+        ``λ_strict = (m−1)/n_ad`` — strictly below the standard rule's bias
+        whenever AC agents exist.
+        """
+        m = self.n_gtft
+        if self.n_ad == 0 or m < 2:
+            raise InvalidParameterError(
+                "strict embedding needs at least one AD and two GTFT agents")
+        a = (m / self.n) * (m - 1) / (self.n - 1)
+        b = (m / self.n) * self.n_ad / (self.n - 1)
+        return EhrenfestProcess(k=self.grid.k, a=a, b=b, m=m)

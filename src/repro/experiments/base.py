@@ -1,0 +1,120 @@
+"""Experiment registry and report structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+from repro.utils.errors import InvalidParameterError
+
+
+@dataclass
+class ExperimentReport:
+    """Structured result of one experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md id, e.g. ``"E7"``.
+    title:
+        Human-readable name.
+    claim:
+        The paper artifact/claim being regenerated.
+    headers, rows:
+        The regenerated table.
+    checks:
+        Named boolean verdicts (``name -> passed``) — the "does the shape
+        hold" assertions that the tests also rely on.
+    notes:
+        Free-form caveats (sample sizes, known discrepancies, ...).
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every registered check passed."""
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        """Render the report as printable text."""
+        lines = [f"== {self.experiment_id}: {self.title} ==",
+                 f"claim: {self.claim}", ""]
+        lines.append(format_table(self.headers, self.rows))
+        if self.checks:
+            lines.append("")
+            for name, passed in self.checks.items():
+                lines.append(f"[{'PASS' if passed else 'FAIL'}] {name}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render the report as a GitHub-flavored markdown section."""
+        def cell(value) -> str:
+            if isinstance(value, bool):
+                return "yes" if value else "no"
+            if value is None:
+                return "-"
+            return str(value).replace("|", "\\|")
+
+        lines = [f"## {self.experiment_id} — {self.title}", "",
+                 f"**Claim.** {self.claim}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(cell(v) for v in row) + " |")
+        if self.checks:
+            lines.append("")
+            for name, passed in self.checks.items():
+                mark = "x" if passed else " "
+                lines.append(f"- [{mark}] {name}")
+        for note in self.notes:
+            lines.append(f"- *note:* {note}")
+        return "\n".join(lines)
+
+
+_REGISTRY: dict[str, dict] = {}
+
+
+def register(experiment_id: str, title: str):
+    """Decorator registering an experiment runner.
+
+    The runner must accept ``(fast: bool, seed)`` keyword arguments and
+    return an :class:`ExperimentReport`.
+    """
+    def decorator(fn):
+        if experiment_id in _REGISTRY:
+            raise InvalidParameterError(
+                f"experiment {experiment_id!r} registered twice")
+        _REGISTRY[experiment_id] = {"runner": fn, "title": title}
+        return fn
+    return decorator
+
+
+def all_experiments() -> list[tuple[str, str]]:
+    """All registered ``(id, title)`` pairs, sorted by id."""
+    return sorted((eid, meta["title"]) for eid, meta in _REGISTRY.items())
+
+
+def get_experiment(experiment_id: str):
+    """The runner registered under ``experiment_id``."""
+    key = experiment_id.upper()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[key]["runner"]
+
+
+def run_experiment(experiment_id: str, fast: bool = True,
+                   seed=12345) -> ExperimentReport:
+    """Run one experiment and return its report."""
+    runner = get_experiment(experiment_id)
+    return runner(fast=fast, seed=seed)

@@ -1,0 +1,57 @@
+"""E1 — Figure 1: the k-IGT update rule for k = 6.
+
+Regenerates the figure's content as a table: for every grid value, the
+destination after meeting AC/GTFT (probability ``1 − β``) and after meeting
+AD (probability ``β``), with truncation at both ends — exactly the three
+panel cases the figure illustrates (interior bump, truncated decrement at
+``g_1``, truncated increment at ``g_6``).
+"""
+
+from __future__ import annotations
+
+from repro.core.igt import AgentType, GenerosityGrid, IGTRule
+from repro.experiments.base import ExperimentReport, register
+
+
+@register("E1", "Figure 1 — k-IGT update rule (k = 6)")
+def run(fast: bool = True, seed=None) -> ExperimentReport:
+    """Tabulate the k = 6 update rule and check the figure's three cases."""
+    grid = GenerosityGrid(k=6, g_max=1.0)
+    rule = IGTRule(grid)
+    rows = []
+    for entry in rule.transition_diagram():
+        j = entry["index"]
+        rows.append([
+            f"g_{j + 1}",
+            round(entry["value"], 4),
+            f"g_{entry['on_ac'] + 1} (w.p. 1-beta)",
+            f"g_{entry['on_gtft'] + 1} (w.p. 1-beta)",
+            f"g_{entry['on_ad'] + 1} (w.p. beta)",
+        ])
+
+    checks = {
+        "interior increments move one step up": all(
+            rule.next_index(j, AgentType.AC) == j + 1
+            and rule.next_index(j, AgentType.GTFT) == j + 1
+            for j in range(grid.k - 1)),
+        "interior decrements move one step down": all(
+            rule.next_index(j, AgentType.AD) == j - 1
+            for j in range(1, grid.k)),
+        "decrement truncates at g_1": rule.next_index(0, AgentType.AD) == 0,
+        "increment truncates at g_6": (
+            rule.next_index(grid.k - 1, AgentType.AC) == grid.k - 1
+            and rule.next_index(grid.k - 1, AgentType.GTFT) == grid.k - 1),
+        "grid is the equidistant discretization of [0, g_max]": all(
+            abs(grid.value(j) - grid.g_max * j / (grid.k - 1)) < 1e-15
+            for j in range(grid.k)),
+    }
+    return ExperimentReport(
+        experiment_id="E1",
+        title="Figure 1 — k-IGT update rule (k = 6)",
+        claim=("A GTFT initiator increments its generosity (w.p. 1-beta in "
+               "the partner draw) and decrements after AD partners (w.p. "
+               "beta), truncated to [g_1, g_6]."),
+        headers=["state", "g value", "after AC", "after GTFT", "after AD"],
+        rows=rows,
+        checks=checks,
+    )

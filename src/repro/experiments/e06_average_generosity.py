@@ -1,0 +1,91 @@
+"""E6 — Proposition 2.8: the average stationary generosity.
+
+Compares three values of ``ẽg`` across a ``(k, β)`` sweep including the
+``β = 1/2`` special case: the literal closed form, the direct expectation
+``Σ_j g_j p_j``, and the ergodic average of the agent-level simulation's
+average generosity after burn-in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.generosity import (
+    average_stationary_generosity,
+    generosity_closed_form,
+)
+from repro.core.igt import GenerosityGrid
+from repro.core.population_igt import IGTSimulation, PopulationShares
+from repro.core.theory import igt_mixing_upper_bound
+from repro.experiments.base import ExperimentReport, register
+from repro.utils import as_generator
+
+
+def _simulated_generosity(n, beta, k, g_max, seed, budget_multiplier=2.0,
+                          samples=200) -> float:
+    """Time-averaged average generosity after a mixing-bound burn-in."""
+    alpha = (1.0 - beta) / 2.0
+    shares = PopulationShares(alpha=alpha, beta=beta,
+                              gamma=1.0 - alpha - beta)
+    grid = GenerosityGrid(k=k, g_max=g_max)
+    sim = IGTSimulation(n=n, shares=shares, grid=grid, seed=seed)
+    burn_in = int(budget_multiplier * igt_mixing_upper_bound(k, shares, n))
+    sim.run(burn_in)
+    thin = max(n // 2, 1)
+    values = np.empty(samples)
+    for i in range(samples):
+        sim.run(thin)
+        values[i] = sim.average_generosity()
+    return float(values.mean())
+
+
+@register("E6", "Proposition 2.8 — average stationary generosity")
+def run(fast: bool = True, seed=12345) -> ExperimentReport:
+    """Closed form vs direct expectation vs agent-level simulation."""
+    rng = as_generator(seed)
+    g_max = 0.5
+    if fast:
+        cases = [(200, 0.2, 3), (200, 0.5, 4), (200, 0.7, 3)]
+        samples = 150
+    else:
+        cases = [(400, 0.1, 4), (400, 0.2, 6), (400, 0.35, 8),
+                 (400, 0.5, 4), (400, 0.65, 6), (400, 0.8, 4)]
+        samples = 400
+
+    rows = []
+    worst_formula_gap = 0.0
+    worst_sim_gap = 0.0
+    for n, beta, k in cases:
+        closed = generosity_closed_form(k, beta, g_max)
+        direct = average_stationary_generosity(k, beta, g_max)
+        simulated = _simulated_generosity(n, beta, k, g_max, seed=rng,
+                                          samples=samples)
+        # The finite-n scheduler shifts lambda slightly; compare against the
+        # exact-embedding direct value too.
+        worst_formula_gap = max(worst_formula_gap, abs(closed - direct))
+        worst_sim_gap = max(worst_sim_gap, abs(simulated - direct))
+        rows.append([n, beta, k, f"{closed:.5f}", f"{direct:.5f}",
+                     f"{simulated:.5f}", f"{abs(simulated - direct):.5f}"])
+
+    tol = 0.03 if fast else 0.02
+    checks = {
+        "closed form equals direct expectation (<1e-10)":
+            worst_formula_gap < 1e-10,
+        f"simulated generosity within {tol} of theory": worst_sim_gap < tol,
+        "beta = 1/2 gives g_max/2":
+            abs(generosity_closed_form(4, 0.5, g_max) - g_max / 2) < 1e-12,
+    }
+    return ExperimentReport(
+        experiment_id="E6",
+        title="Proposition 2.8 — average stationary generosity",
+        claim=("The stationary average generosity equals the closed form "
+               "g_max*(lambda^k/(lambda^k-1) - (1/(k-1))(lambda/(lambda-1))"
+               "((lambda^{k-1}-1)/(lambda^k-1))), with g_max/2 at beta=1/2."),
+        headers=["n", "beta", "k", "closed form", "direct sum", "simulated",
+                 "|sim - theory|"],
+        rows=rows,
+        checks=checks,
+        notes=["simulated value is an ergodic (time) average after a "
+               "2x-mixing-bound burn-in; finite-n lambda bias is within the "
+               "stated tolerance for these n"],
+    )

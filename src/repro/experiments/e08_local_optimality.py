@@ -1,0 +1,120 @@
+"""E8 — Proposition 2.2: local optimality of the IGT update rule.
+
+On a grid over ``g < g' ∈ [0, ĝ]²`` within the proposition's regime
+(``s1 < 1``, ``δ > c/b``, ``ĝ < 1 − c/(δb)``), verifies the three
+monotonicity statements
+
+* (i) ``f(g, g'') < f(g', g'')`` for every GTFT opponent ``g''``,
+* (ii) ``f(g, AC) <= f(g', AC)`` (equality — no ``g`` dependence),
+* (iii) ``f(g, AD) > f(g', AD)``,
+
+checks the analytic derivative (eq. 47) against numerical differentiation of
+the resolvent payoff, and exhibits a violation of (i) outside the regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentReport, register
+from repro.games.closed_forms import (
+    payoff_derivative_in_g,
+    payoff_gtft_vs_ac,
+    payoff_gtft_vs_ad,
+    payoff_gtft_vs_gtft,
+    proposition_2_2_conditions,
+)
+
+
+def _count_violations(b, c, delta, s1, g_max, points):
+    """Count violations of (i)/(ii)/(iii) over an ordered grid of pairs."""
+    grid = np.linspace(0.0, g_max, points)
+    v1 = v2 = v3 = 0
+    pairs = 0
+    for i in range(points):
+        for j in range(i + 1, points):
+            g, gp = float(grid[i]), float(grid[j])
+            pairs += 1
+            for gpp in grid[:: max(points // 5, 1)]:
+                if not (payoff_gtft_vs_gtft(g, float(gpp), b, c, delta, s1)
+                        < payoff_gtft_vs_gtft(gp, float(gpp), b, c, delta, s1)):
+                    v1 += 1
+            if not (payoff_gtft_vs_ac(g, b, c, delta, s1)
+                    <= payoff_gtft_vs_ac(gp, b, c, delta, s1) + 1e-12):
+                v2 += 1
+            if not (payoff_gtft_vs_ad(g, b, c, delta, s1)
+                    > payoff_gtft_vs_ad(gp, b, c, delta, s1)):
+                v3 += 1
+    return v1, v2, v3, pairs
+
+
+def _derivative_check(b, c, delta, s1, g_max, points) -> float:
+    """Max |analytic − numeric| derivative over a grid (central differences)."""
+    grid = np.linspace(0.01, g_max - 0.01, points)
+    h = 1e-6
+    worst = 0.0
+    for g in grid:
+        for gpp in grid:
+            analytic = payoff_derivative_in_g(float(g), float(gpp), b, c,
+                                              delta, s1)
+            numeric = (payoff_gtft_vs_gtft(float(g) + h, float(gpp), b, c,
+                                           delta, s1)
+                       - payoff_gtft_vs_gtft(float(g) - h, float(gpp), b, c,
+                                             delta, s1)) / (2 * h)
+            worst = max(worst, abs(analytic - numeric))
+    return worst
+
+
+@register("E8", "Proposition 2.2 — local optimality of the IGT rule")
+def run(fast: bool = True, seed=None) -> ExperimentReport:
+    """Verify payoff monotonicity in the regime and its failure outside."""
+    points = 8 if fast else 16
+    regimes = [
+        # (b, c, delta, s1, g_max, expected-in-regime)
+        (4.0, 1.0, 0.7, 0.5, 0.6, True),
+        (20.0, 1.0, 0.8, 0.5, 0.4, True),
+        (3.0, 1.0, 0.5, 0.0, 0.3, True),
+        # Outside: delta < c/b violates condition (b).
+        (2.0, 1.0, 0.3, 0.5, 0.3, False),
+    ]
+    rows = []
+    in_regime_clean = True
+    outside_violates = False
+    for b, c, delta, s1, g_max, expected in regimes:
+        conditions = proposition_2_2_conditions(b, c, delta, s1, g_max)
+        v1, v2, v3, pairs = _count_violations(b, c, delta, s1, g_max, points)
+        if expected:
+            in_regime_clean = in_regime_clean and (v1 + v2 + v3 == 0) \
+                and conditions.all_hold
+        else:
+            outside_violates = outside_violates or (v1 > 0) \
+                or not conditions.all_hold
+        rows.append([b, c, delta, s1, g_max, conditions.all_hold, pairs,
+                     v1, v2, v3])
+
+    deriv_err = _derivative_check(4.0, 1.0, 0.7, 0.5, 0.6, 5 if fast else 10)
+    # Derivative positivity inside the regime (what makes Inc locally optimal).
+    grid = np.linspace(0.0, 0.6, points)
+    derivative_positive = all(
+        payoff_derivative_in_g(float(g), float(gpp), 4.0, 1.0, 0.7, 0.5) > 0
+        for g in grid for gpp in grid)
+
+    checks = {
+        "no monotonicity violations inside the regime": in_regime_clean,
+        "eq. 47 derivative matches numerics (<1e-5)": deriv_err < 1e-5,
+        "d f(g, g'')/dg > 0 throughout the regime grid": derivative_positive,
+        "violations appear outside the regime (delta < c/b)":
+            outside_violates,
+    }
+    return ExperimentReport(
+        experiment_id="E8",
+        title="Proposition 2.2 — local optimality of the IGT rule",
+        claim=("Within the regime s1<1, delta>c/b, g_max<1-c/(delta*b): "
+               "f(.,g'') strictly increasing, f(.,AC) constant, f(.,AD) "
+               "strictly decreasing — every IGT move is locally optimal."),
+        headers=["b", "c", "delta", "s1", "g_max", "in regime", "pairs",
+                 "viol (i)", "viol (ii)", "viol (iii)"],
+        rows=rows,
+        checks=checks,
+        notes=[f"max derivative error vs central differences: {deriv_err:.2e}"],
+    )

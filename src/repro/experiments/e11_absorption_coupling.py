@@ -1,0 +1,97 @@
+"""E11 — Proposition A.7 and Lemma A.8: absorption and coupling times.
+
+Part one validates the martingale closed forms for the lazy biased walk on
+``{-k..k}``: absorption probability ``p₊`` and expected absorption time,
+against direct simulation.  Part two runs the paper's coordinate coupling
+and checks the Lemma A.8 tail bound: at least 3/4 of coupling times fall
+below ``2Φ·log(4m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentReport, register
+from repro.markov.coupling import coupling_time_samples
+from repro.markov.ehrenfest import EhrenfestProcess
+from repro.markov.random_walks import (
+    expected_absorption_time,
+    paper_absorption_bound,
+    simulate_absorption_time,
+    symmetric_interval_win_probability,
+)
+from repro.utils import as_generator
+
+
+@register("E11", "Prop. A.7 / Lemma A.8 — absorption and coupling times")
+def run(fast: bool = True, seed=12345) -> ExperimentReport:
+    """Validate the random-walk closed forms and the coupling tail bound."""
+    rng = as_generator(seed)
+    n_walks = 300 if fast else 2000
+    walk_cases = [(4, 0.4, 0.2), (4, 0.3, 0.3), (6, 0.45, 0.15),
+                  (8, 0.25, 0.2)]
+
+    rows = []
+    worst_time_err = 0.0
+    worst_prob_err = 0.0
+    for k, a, b in walk_cases:
+        theory_time = expected_absorption_time(k, a, b)
+        theory_prob = symmetric_interval_win_probability(k, a, b)
+        times = np.empty(n_walks)
+        wins = 0
+        for i in range(n_walks):
+            tau, endpoint = simulate_absorption_time(k, a, b, seed=rng)
+            times[i] = tau
+            wins += endpoint == k
+        sim_time = float(times.mean())
+        sim_prob = wins / n_walks
+        rel_err = abs(sim_time - theory_time) / theory_time
+        prob_err = abs(sim_prob - theory_prob)
+        worst_time_err = max(worst_time_err, rel_err)
+        worst_prob_err = max(worst_prob_err, prob_err)
+        rows.append([f"walk k={k}", a, b, f"{theory_time:.1f}",
+                     f"{sim_time:.1f}", f"{theory_prob:.4f}",
+                     f"{sim_prob:.4f}",
+                     f"{paper_absorption_bound(k, a, b):.1f}"])
+
+    # Coupling tail bound (Lemma A.8).
+    coupling_cases = [(3, 0.35, 0.15, 20), (4, 0.3, 0.3, 12)] if fast else \
+        [(3, 0.35, 0.15, 40), (4, 0.3, 0.3, 30), (5, 0.45, 0.1, 30)]
+    n_couplings = 20 if fast else 60
+    tail_ok = True
+    for k, a, b, m in coupling_cases:
+        process = EhrenfestProcess(k=k, a=a, b=b, m=m)
+        bound = process.mixing_time_upper_bound()
+        times = coupling_time_samples(process, n_couplings, seed=rng,
+                                      max_steps=int(12 * bound) + 2000)
+        finite = times[times >= 0]
+        fraction_within = float(np.mean(finite <= bound)) if finite.size else 0.0
+        tail_ok = tail_ok and fraction_within >= 0.75 \
+            and finite.size == times.size
+        rows.append([f"coupling k={k} m={m}", a, b, f"{bound:.0f}",
+                     f"{np.median(finite):.0f}" if finite.size else "-",
+                     "-", f"{fraction_within:.2f}", "-"])
+
+    time_tol = 0.2 if fast else 0.08
+    checks = {
+        f"simulated E[tau] within {time_tol:.0%} of the martingale formula":
+            worst_time_err < time_tol,
+        "simulated absorption probability matches p+ (within 0.08)":
+            worst_prob_err < 0.08,
+        "Lemma A.8 tail: >= 75% of couplings within 2*Phi*log(4m)": tail_ok,
+    }
+    return ExperimentReport(
+        experiment_id="E11",
+        title="Prop. A.7 / Lemma A.8 — absorption and coupling times",
+        claim=("E[tau] = k(2p+-1)/(a-b) (k^2/(a+b) unbiased) for the lazy "
+               "walk on {-k..k}; couplings coalesce within 2*Phi*log(4m) "
+               "w.p. >= 3/4."),
+        headers=["case", "a", "b", "theory E[tau] / bound", "simulated",
+                 "theory p+", "simulated p+ / frac within", "paper bound"],
+        rows=rows,
+        checks=checks,
+        notes=[f"{n_walks} absorption walks and {n_couplings} couplings per "
+               "case",
+               "the a=b expected time includes the laziness factor 1/(a+b) "
+               "the paper's non-lazy statement omits (see random_walks docs)"],
+    )

@@ -1,0 +1,61 @@
+"""E12 — Corollary C.1: the average-generosity lower bound.
+
+Across a ``(λ, k)`` grid with ``λ > 1``: the exact stationary average
+generosity ``ẽg`` always dominates ``ĝ·(1 − 1/((λ−1)(k−1)))``, the deficit
+``ĝ − ẽg`` decays as ``O(1/k)``, and the bound is asymptotically tight in
+``k`` for large ``λ``.
+"""
+
+from __future__ import annotations
+
+from repro.core.generosity import (
+    average_stationary_generosity,
+    generosity_lower_bound,
+)
+from repro.experiments.base import ExperimentReport, register
+
+
+@register("E12", "Corollary C.1 — generosity lower bound")
+def run(fast: bool = True, seed=None) -> ExperimentReport:
+    """Check the Corollary C.1 bound across a (beta, k) grid."""
+    g_max = 0.8
+    betas = [0.05, 0.1, 0.2, 0.3]  # lambda = 19, 9, 4, 7/3 — all > 1
+    ks = [2, 4, 8, 16] if fast else [2, 4, 8, 16, 32, 64]
+
+    rows = []
+    bound_holds = True
+    deficits_by_beta: dict[float, list[float]] = {}
+    for beta in betas:
+        deficits_by_beta[beta] = []
+        for k in ks:
+            exact = average_stationary_generosity(k, beta, g_max)
+            bound = generosity_lower_bound(k, beta, g_max)
+            deficit = g_max - exact
+            deficits_by_beta[beta].append(deficit)
+            bound_holds = bound_holds and exact >= bound - 1e-12
+            rows.append([beta, round((1 - beta) / beta, 3), k,
+                         f"{exact:.6f}", f"{bound:.6f}",
+                         f"{deficit:.6f}", f"{deficit * k:.5f}"])
+
+    deficit_decays = all(
+        all(d[i] > d[i + 1] for i in range(len(ks) - 1))
+        for d in deficits_by_beta.values())
+    deficit_k_bounded = all(
+        max(d[i] * ks[i] for i in range(len(ks))) < 2 * g_max
+        for d in deficits_by_beta.values())
+
+    checks = {
+        "exact generosity >= Corollary C.1 bound everywhere": bound_holds,
+        "deficit g_max - eg strictly decreasing in k": deficit_decays,
+        "deficit*k bounded (O(1/k) rate)": deficit_k_bounded,
+    }
+    return ExperimentReport(
+        experiment_id="E12",
+        title="Corollary C.1 — generosity lower bound",
+        claim=("For beta < 1/2: eg >= g_max*(1 - 1/((lambda-1)(k-1))), so "
+               "the stationary generosity approaches g_max at rate O(1/k)."),
+        headers=["beta", "lambda", "k", "exact eg", "C.1 bound",
+                 "deficit", "deficit*k"],
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,124 @@
+"""E16 (extension) — the donation-game strategy landscape around GTFT.
+
+The paper's strategy choices sit inside a rich donation-game literature it
+cites (Axelrod tournaments; Press–Dyson zero-determinant strategies via
+Hilbe–Nowak–Sigmund and Stewart–Plotkin).  This experiment charts that
+landscape with the exact payoff machinery:
+
+* a round-robin tournament over AC, AD, TFT, GTFT, GRIM, WSLS, an
+  extortionate ZD and a generous ZD strategy — reciprocators top the table,
+  AD and the extortioner sink;
+* exact verification that the ZD strategies enforce their linear payoff
+  relations against every other entrant (limit of means);
+* ESS structure of the entrant set.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentReport, register
+from repro.games.donation import DonationGame
+from repro.games.strategies import (
+    always_cooperate,
+    always_defect,
+    generous_tit_for_tat,
+    grim_trigger,
+    tit_for_tat,
+    win_stay_lose_shift,
+)
+from repro.games.tournament import Tournament
+from repro.games.zd import (
+    average_payoff_pair,
+    extortionate_zd,
+    generous_zd,
+    zd_relation_residual,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+@register("E16", "Extension — ZD strategies and the tournament landscape")
+def run(fast: bool = True, seed=None) -> ExperimentReport:
+    """Round-robin tournament + exact ZD relation verification."""
+    game = DonationGame(b=4.0, c=1.0)
+    delta = 0.95
+    chi_extort, chi_generous = 3.0, 2.0
+    extort = extortionate_zd(game, chi_extort)
+    generous = generous_zd(game, chi_generous)
+    entrants = [always_cooperate(), always_defect(), tit_for_tat(),
+                generous_tit_for_tat(0.3, 1.0), grim_trigger(),
+                win_stay_lose_shift(), extort, generous]
+    tournament = Tournament(entrants, game, delta=delta)
+    result = tournament.run()
+
+    rows = [["tournament", name, f"{score:.3f}", "-", "-"]
+            for name, score in result.ranking()]
+
+    # ZD relation residuals against every entrant (limit of means).
+    punishment = float(game.row_payoffs[1, 1])
+    reward = float(game.row_payoffs[0, 0])
+    worst_extort = 0.0
+    worst_generous = 0.0
+    extort_dominates = True
+    generous_dominated = True
+    for entrant in entrants:
+        try:
+            r_e = zd_relation_residual(extort, entrant, game,
+                                       baseline=punishment, slope=chi_extort)
+            u1, u2 = average_payoff_pair(extort, entrant, game)
+            worst_extort = max(worst_extort, r_e)
+            extort_dominates = extort_dominates and u1 >= u2 - 1e-9
+            rows.append(["ZD extort vs", entrant.name, f"{u1:.3f}",
+                         f"{u2:.3f}", f"{r_e:.1e}"])
+        except InvalidParameterError:
+            rows.append(["ZD extort vs", entrant.name, "-", "-",
+                         "non-ergodic pair"])
+        try:
+            r_g = zd_relation_residual(generous, entrant, game,
+                                       baseline=reward, slope=chi_generous)
+            u1, u2 = average_payoff_pair(generous, entrant, game)
+            worst_generous = max(worst_generous, r_g)
+            generous_dominated = generous_dominated and u1 <= u2 + 1e-9
+            rows.append(["ZD generous vs", entrant.name, f"{u1:.3f}",
+                         f"{u2:.3f}", f"{r_g:.1e}"])
+        except InvalidParameterError:
+            rows.append(["ZD generous vs", entrant.name, "-", "-",
+                         "non-ergodic pair"])
+
+    names = result.names
+    ad_index = names.index("AD")
+    checks = {
+        "reciprocators top the table (winner is TFT/GRIM/GTFT/WSLS/Generous)":
+            result.winner() in ("TFT", "GRIM", "GTFT(g=0.3)", "WSLS",
+                                f"Generous({chi_generous:g})"),
+        "AD finishes in the bottom two": ad_index in
+            [names.index(name) for name, _ in result.ranking()[-2:]],
+        "extortioner enforces u1 = chi*u2 exactly (<1e-8)":
+            worst_extort < 1e-8,
+        "generous ZD enforces its relation exactly (<1e-8)":
+            worst_generous < 1e-8,
+        "extortioner never out-earned (u1 >= u2 vs every entrant)":
+            extort_dominates,
+        "generous ZD never out-earns (u1 <= u2 vs every entrant)":
+            generous_dominated,
+        "AD is ESS within {AC, AD}":
+            Tournament([always_cooperate(), always_defect()], game,
+                       delta).is_evolutionarily_stable(1),
+        "GTFT resists AD invasion at delta=0.95":
+            Tournament([generous_tit_for_tat(0.1, 1.0), always_defect()],
+                       game, delta).is_symmetric_nash(0),
+    }
+    return ExperimentReport(
+        experiment_id="E16",
+        title="Extension — ZD strategies and the tournament landscape",
+        claim=("Reciprocity wins the donation-game round robin; "
+               "zero-determinant strategies enforce exact linear payoff "
+               "relations against every opponent (Press-Dyson), with "
+               "extortion claiming surplus and generosity absorbing "
+               "shortfall."),
+        headers=["section", "strategy", "score / u1", "u2", "ZD residual"],
+        rows=rows,
+        checks=checks,
+        notes=[f"donation game b=4, c=1; tournament delta={delta}; "
+               "ZD relations evaluated under limit-of-means payoffs",
+               "non-ergodic pairs (multiple recurrent classes) are reported "
+               "and skipped in the residual checks"],
+    )

@@ -1,0 +1,75 @@
+"""Cooperation-rate analysis for memory-one strategy pairs.
+
+How often does each player actually cooperate?  Two views:
+
+* *discounted* — expected fraction of cooperative rounds in a δ-restart
+  game, from the occupancy measure ``q₁(I − δM)^{-1}``;
+* *limit of means* — long-run cooperation frequency from the stationary
+  distribution of the joint action chain (when unique).
+
+These are the observables behind the paper's "evolution of cooperation"
+framing: the expected payoffs (eq. 33) are linear functionals of exactly
+these state occupancies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.games.expected_payoff import (
+    discounted_state_occupancy,
+    expected_game_length,
+)
+from repro.games.strategies import MemoryOneStrategy
+from repro.utils.errors import InvalidParameterError
+
+#: Indicator vectors over (CC, CD, DC, DD) for each player cooperating.
+_FIRST_COOPERATES = np.array([1.0, 1.0, 0.0, 0.0])
+_SECOND_COOPERATES = np.array([1.0, 0.0, 1.0, 0.0])
+
+
+def discounted_cooperation_rates(first: MemoryOneStrategy,
+                                 second: MemoryOneStrategy,
+                                 delta: float) -> tuple[float, float]:
+    """Expected per-round cooperation frequencies in a δ-restart game.
+
+    Returns ``(rate_first, rate_second)`` — occupancy-weighted cooperation
+    probabilities normalized by the expected game length ``1/(1−δ)``.
+    """
+    occupancy = discounted_state_occupancy(first, second, delta)
+    length = expected_game_length(delta)
+    return (float(occupancy @ _FIRST_COOPERATES) / length,
+            float(occupancy @ _SECOND_COOPERATES) / length)
+
+
+def limit_cooperation_rates(first: MemoryOneStrategy,
+                            second: MemoryOneStrategy) -> tuple[float, float]:
+    """Long-run (limit-of-means) cooperation frequencies.
+
+    Uses the unique stationary distribution of the joint action chain;
+    raises (like :func:`repro.games.zd.average_payoff_pair`) when the pair
+    has multiple recurrent classes.
+    """
+    from repro.games.expected_payoff import joint_action_chain
+
+    M = joint_action_chain(first, second)
+    eigenvalues, eigenvectors = np.linalg.eig(M.T)
+    close = np.abs(eigenvalues - 1.0) < 1e-9
+    if int(np.count_nonzero(close)) != 1:
+        raise InvalidParameterError(
+            "joint chain has multiple recurrent classes; long-run "
+            "cooperation rates are not unique")
+    pi = np.abs(np.real(eigenvectors[:, int(np.argmax(close))]))
+    pi = pi / pi.sum()
+    return (float(pi @ _FIRST_COOPERATES), float(pi @ _SECOND_COOPERATES))
+
+
+def mutual_cooperation_index(first: MemoryOneStrategy,
+                             second: MemoryOneStrategy,
+                             delta: float) -> float:
+    """Fraction of rounds spent in the CC state (discounted view).
+
+    1.0 means permanent mutual cooperation; 0.0 means CC is never visited.
+    """
+    occupancy = discounted_state_occupancy(first, second, delta)
+    return float(occupancy[0]) / expected_game_length(delta)

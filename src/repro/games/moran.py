@@ -1,0 +1,195 @@
+"""The frequency-dependent Moran process for two-strategy games.
+
+The finite-population evolutionary dynamics at the heart of the literature
+the paper builds on (Nowak's *Evolutionary Dynamics*; Lieberman–Hauert–
+Nowak): ``n`` agents play a symmetric 2×2 game, a reproducer is chosen with
+probability proportional to fitness and its offspring replaces a uniformly
+random agent.  The count of A-players is a birth–death chain on ``{0..n}``
+with absorbing ends, giving the classical closed-form fixation
+probabilities — the quantities evolutionary game theory uses where the
+paper's setting uses stationary distributions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.games.base import MatrixGame
+from repro.markov.chain import FiniteMarkovChain
+from repro.utils import as_generator, check_positive_int, check_probability
+from repro.utils.errors import InvalidParameterError
+
+
+class MoranProcess:
+    """Frequency-dependent Moran process over a symmetric 2×2 game.
+
+    Parameters
+    ----------
+    game:
+        Symmetric 2×2 :class:`~repro.games.MatrixGame`; strategy 0 is "A",
+        strategy 1 is "B".
+    n:
+        Population size (``>= 2``).
+    selection_intensity:
+        ``w ∈ [0, 1]``; fitness is ``1 − w + w·payoff`` (``w = 0`` is
+        neutral drift).
+    """
+
+    def __init__(self, game: MatrixGame, n: int,
+                 selection_intensity: float = 0.1):
+        if game.row_payoffs.shape != (2, 2) or not game.is_symmetric():
+            raise InvalidParameterError(
+                "the Moran process here requires a symmetric 2x2 game")
+        self.game = game
+        self.n = check_positive_int("n", n, minimum=2)
+        self.w = check_probability("selection_intensity", selection_intensity)
+        a, b = game.row_payoffs[0]
+        c, d = game.row_payoffs[1]
+        self.a, self.b, self.c, self.d = float(a), float(b), float(c), float(d)
+        # Fitness must stay positive: 1 - w + w*payoff > 0.
+        min_payoff = min(self.a, self.b, self.c, self.d)
+        if 1.0 - self.w + self.w * min_payoff <= 0:
+            raise InvalidParameterError(
+                "selection too strong: fitness 1 - w + w*payoff is not "
+                f"positive at payoff {min_payoff}")
+
+    # ------------------------------------------------------------------
+    # Payoffs and fitness
+    # ------------------------------------------------------------------
+    def average_payoffs(self, i: int) -> tuple[float, float]:
+        """Expected payoffs ``(f_i, g_i)`` of an A- and a B-player.
+
+        Self-interaction excluded: with ``i`` A-players, an A-player meets
+        ``i − 1`` other A's and ``n − i`` B's.
+        """
+        n = self.n
+        if not 1 <= i <= n - 1:
+            raise InvalidParameterError(
+                f"mixed-population payoffs need 1 <= i <= {n - 1}, got {i}")
+        f = (self.a * (i - 1) + self.b * (n - i)) / (n - 1)
+        g = (self.c * i + self.d * (n - i - 1)) / (n - 1)
+        return f, g
+
+    def fitness_ratio(self, i: int) -> float:
+        """``γ_i = fitness_B / fitness_A`` at state ``i`` (neutral: 1)."""
+        f, g = self.average_payoffs(i)
+        return (1.0 - self.w + self.w * g) / (1.0 - self.w + self.w * f)
+
+    def transition_probabilities(self, i: int) -> tuple[float, float]:
+        """``(T⁺_i, T⁻_i)``: probability the A-count moves up/down."""
+        if i in (0, self.n):
+            return 0.0, 0.0
+        f, g = self.average_payoffs(i)
+        fit_a = 1.0 - self.w + self.w * f
+        fit_b = 1.0 - self.w + self.w * g
+        total = i * fit_a + (self.n - i) * fit_b
+        t_plus = (i * fit_a / total) * (self.n - i) / self.n
+        t_minus = ((self.n - i) * fit_b / total) * i / self.n
+        return t_plus, t_minus
+
+    # ------------------------------------------------------------------
+    # Fixation analysis
+    # ------------------------------------------------------------------
+    def fixation_probability(self, start: int = 1) -> float:
+        """Probability that A fixates from ``start`` A-players.
+
+        Classical birth–death formula:
+        ``ρ = (1 + Σ_{k=1}^{start-1} Π_{i<=k} γ_i)
+            / (1 + Σ_{k=1}^{n-1} Π_{i<=k} γ_i)``.
+        """
+        start = check_positive_int("start", start, minimum=0)
+        if start > self.n:
+            raise InvalidParameterError(
+                f"start must be at most n={self.n}, got {start}")
+        if start == 0:
+            return 0.0
+        if start == self.n:
+            return 1.0
+        log_products = np.empty(self.n - 1)
+        acc = 0.0
+        for k in range(1, self.n):
+            acc += math.log(self.fitness_ratio(k))
+            log_products[k - 1] = acc
+        # Stabilize the sums of exponentials.
+        shift = max(0.0, float(log_products.max()))
+        denominator = math.exp(-shift) \
+            + float(np.exp(log_products - shift).sum())
+        numerator = math.exp(-shift) \
+            + float(np.exp(log_products[:start - 1] - shift).sum())
+        return numerator / denominator
+
+    def neutral_fixation_probability(self, start: int = 1) -> float:
+        """Neutral drift baseline ``start/n``."""
+        return start / self.n
+
+    def is_favored_by_selection(self, start: int = 1) -> bool:
+        """Whether ``ρ_A`` beats the neutral baseline ``start/n``."""
+        return self.fixation_probability(start) > start / self.n
+
+    def chain(self) -> FiniteMarkovChain:
+        """The full birth–death chain on ``{0..n}`` (absorbing ends)."""
+        size = self.n + 1
+        P = np.zeros((size, size))
+        P[0, 0] = P[self.n, self.n] = 1.0
+        for i in range(1, self.n):
+            t_plus, t_minus = self.transition_probabilities(i)
+            P[i, i + 1] = t_plus
+            P[i, i - 1] = t_minus
+            P[i, i] = 1.0 - t_plus - t_minus
+        return FiniteMarkovChain(P)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate_fixation(self, start: int = 1, seed=None,
+                          max_steps: int | None = None) -> tuple[bool, int]:
+        """Simulate to absorption; returns ``(a_fixated, steps)``."""
+        start = check_positive_int("start", start, minimum=0)
+        if start > self.n:
+            raise InvalidParameterError(
+                f"start must be at most n={self.n}, got {start}")
+        rng = as_generator(seed)
+        if max_steps is None:
+            max_steps = 2000 * self.n * self.n
+        i = start
+        steps = 0
+        while 0 < i < self.n:
+            if steps >= max_steps:
+                raise InvalidParameterError(
+                    f"no absorption within {max_steps} steps; raise "
+                    "max_steps")
+            t_plus, t_minus = self.transition_probabilities(i)
+            u = rng.random()
+            if u < t_plus:
+                i += 1
+            elif u < t_plus + t_minus:
+                i -= 1
+            steps += 1
+        return i == self.n, steps
+
+
+def interior_equilibrium(game: MatrixGame) -> float:
+    """The interior rest point ``x* = (d−b)/(a−b−c+d)`` of a 2×2 game.
+
+    Raises when no interior equilibrium exists (dominance).
+    """
+    if game.row_payoffs.shape != (2, 2) or not game.is_symmetric():
+        raise InvalidParameterError("requires a symmetric 2x2 game")
+    a, b = game.row_payoffs[0]
+    c, d = game.row_payoffs[1]
+    denominator = a - b - c + d
+    if denominator == 0:
+        raise InvalidParameterError("degenerate game: no interior point")
+    x_star = (d - b) / denominator
+    if not 0.0 < x_star < 1.0:
+        raise InvalidParameterError(
+            f"no interior equilibrium: x* = {x_star!r} outside (0, 1)")
+    return float(x_star)
+
+
+def one_third_rule_prediction(game: MatrixGame) -> bool:
+    """The 1/3 rule: under weak selection in large populations, strategy A
+    (of a coordination game) is favored as an invader iff ``x* < 1/3``."""
+    return interior_equilibrium(game) < 1.0 / 3.0

@@ -1,0 +1,136 @@
+"""Monte Carlo engine for repeated games with the δ-restart rule.
+
+Section 1.1.2: two players play a round of the stage game; after each round
+an additional round is played with independent probability ``δ``.  This
+module actually *plays* those games round by round — realized actions,
+realized payoffs, geometric game length — so the closed-form payoffs of
+Appendix B can be validated against genuine play, and so the action-observed
+k-IGT variant (Remark in Section 2.2) has real action transcripts to look at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.games.base import Action
+from repro.games.strategies import MemoryOneStrategy
+from repro.utils import as_generator, check_positive_int, check_probability
+from repro.utils.errors import InvalidParameterError
+
+
+@dataclass
+class GameRecord:
+    """Transcript of one repeated game.
+
+    Attributes
+    ----------
+    first_payoff, second_payoff:
+        Realized total payoffs over all rounds.
+    first_actions, second_actions:
+        Realized action sequences (lists of :class:`Action`).
+    """
+
+    first_payoff: float
+    second_payoff: float
+    first_actions: list[Action] = field(default_factory=list)
+    second_actions: list[Action] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds actually played."""
+        return len(self.first_actions)
+
+    def opponent_always_defected(self) -> bool:
+        """Whether the *second* player defected in every round.
+
+        This is the classification signal used by the action-observed IGT
+        variant: an AD opponent always defects, while AC and (whp, for long
+        games) GTFT opponents cooperate at least once.
+        """
+        return all(action is Action.DEFECT for action in self.second_actions)
+
+
+class RepeatedGameEngine:
+    """Plays repeated games between memory-one strategies.
+
+    Parameters
+    ----------
+    game:
+        Stage game exposing ``round_payoff(my_action, opp_action)`` or a
+        ``row_payoffs`` matrix (e.g. :class:`~repro.games.DonationGame`).
+    delta:
+        Continuation probability ``0 <= δ < 1``.
+    max_rounds:
+        Hard cap on rounds per game (guards against δ ≈ 1 pathologies).
+    """
+
+    def __init__(self, game, delta: float, max_rounds: int = 1_000_000):
+        self.game = game
+        self.delta = float(delta)
+        if not 0.0 <= self.delta < 1.0:
+            raise InvalidParameterError(
+                f"delta must lie in [0, 1), got {delta!r}")
+        self.max_rounds = check_positive_int("max_rounds", max_rounds)
+
+    def _round_payoffs(self, a1: Action, a2: Action) -> tuple[float, float]:
+        matrix = self.game.row_payoffs
+        return float(matrix[int(a1), int(a2)]), float(matrix[int(a2), int(a1)])
+
+    def play(self, first: MemoryOneStrategy, second: MemoryOneStrategy,
+             seed=None, record_actions: bool = True) -> GameRecord:
+        """Play one full repeated game and return its transcript."""
+        rng = as_generator(seed)
+        record = GameRecord(first_payoff=0.0, second_payoff=0.0)
+        a1 = first.initial_action(rng)
+        a2 = second.initial_action(rng)
+        rounds = 0
+        while True:
+            p1, p2 = self._round_payoffs(a1, a2)
+            record.first_payoff += p1
+            record.second_payoff += p2
+            if record_actions:
+                record.first_actions.append(a1)
+                record.second_actions.append(a2)
+            rounds += 1
+            if rounds >= self.max_rounds or rng.random() >= self.delta:
+                break
+            a1, a2 = (first.next_action(a1, a2, rng),
+                      second.next_action(a2, a1, rng))
+        if not record_actions:
+            # Keep the rounds count observable without storing actions.
+            record.first_actions = [Action.COOPERATE] * 0
+            record.second_actions = [Action.COOPERATE] * 0
+        return record
+
+    def play_many(self, first: MemoryOneStrategy, second: MemoryOneStrategy,
+                  n_games: int, seed=None) -> np.ndarray:
+        """Play ``n_games`` independent games; return an ``(n, 2)`` payoff array."""
+        n_games = check_positive_int("n_games", n_games)
+        rng = as_generator(seed)
+        payoffs = np.empty((n_games, 2))
+        for i in range(n_games):
+            record = self.play(first, second, seed=rng, record_actions=False)
+            payoffs[i, 0] = record.first_payoff
+            payoffs[i, 1] = record.second_payoff
+        return payoffs
+
+
+def monte_carlo_payoff(first: MemoryOneStrategy, second: MemoryOneStrategy,
+                       game, delta: float, n_games: int, seed=None,
+                       noise: float = 0.0) -> tuple[float, float]:
+    """Estimate ``(f(S1,S2), f(S2,S1))`` by playing ``n_games`` games.
+
+    ``noise`` overlays trembling-hand execution errors on *both* players via
+    :func:`repro.games.strategies.with_execution_noise`.
+    """
+    from repro.games.strategies import with_execution_noise
+
+    check_probability("noise", noise)
+    if noise > 0.0:
+        first = with_execution_noise(first, noise)
+        second = with_execution_noise(second, noise)
+    engine = RepeatedGameEngine(game, delta)
+    payoffs = engine.play_many(first, second, n_games, seed=seed)
+    return float(payoffs[:, 0].mean()), float(payoffs[:, 1].mean())

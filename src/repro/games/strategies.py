@@ -1,0 +1,166 @@
+"""Memory-one and reactive strategies for repeated games.
+
+The paper's three strategy types are all *reactive* strategies — the next
+action depends only on the opponent's previous action:
+
+* ``AC`` (Always-Cooperate): play C every round.
+* ``AD`` (Always-Defect): play D every round.
+* ``GTFT(g)`` (Generous Tit-for-Tat): cooperate initially w.p. ``s1``; in
+  round ``r + 1`` repeat the opponent's round-``r`` action w.p. ``1 − g`` and
+  cooperate w.p. ``g``.  Equivalently the reactive strategy that cooperates
+  w.p. 1 after an opponent C and w.p. ``g`` after an opponent D.
+
+We implement the containing *memory-one* family (conditioning on both
+players' previous actions) so that classical strategies like Win-Stay
+Lose-Shift and Grim Trigger are available as substrate, and execution noise
+(trembling hand) is an exact transformation inside the family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.games.base import Action
+from repro.utils import check_probability
+
+
+@dataclass(frozen=True)
+class MemoryOneStrategy:
+    """A (stochastic) memory-one strategy.
+
+    Attributes
+    ----------
+    initial_coop_prob:
+        Probability of cooperating in round 1 (the paper's ``s1``).
+    coop_probs:
+        Length-4 vector of cooperation probabilities conditioned on the
+        previous joint state ``(my_action, opp_action)`` in the order
+        ``CC, CD, DC, DD`` (my action first).
+    name:
+        Display name.
+    """
+
+    initial_coop_prob: float
+    coop_probs: tuple[float, float, float, float]
+    name: str = "memory-one"
+
+    def __post_init__(self):
+        check_probability("initial_coop_prob", self.initial_coop_prob)
+        for i, p in enumerate(self.coop_probs):
+            check_probability(f"coop_probs[{i}]", p)
+
+    def cooperation_probability(self, my_prev: Action, opp_prev: Action) -> float:
+        """Probability of cooperating given last round's joint actions."""
+        return self.coop_probs[2 * int(my_prev) + int(opp_prev)]
+
+    def initial_action(self, rng) -> Action:
+        """Sample the round-1 action."""
+        return (Action.COOPERATE if rng.random() < self.initial_coop_prob
+                else Action.DEFECT)
+
+    def next_action(self, my_prev: Action, opp_prev: Action, rng) -> Action:
+        """Sample the next-round action given last round's joint actions."""
+        p = self.cooperation_probability(my_prev, opp_prev)
+        return Action.COOPERATE if rng.random() < p else Action.DEFECT
+
+    @property
+    def is_reactive(self) -> bool:
+        """Whether the strategy ignores its own previous action."""
+        cc, cd, dc, dd = self.coop_probs
+        return cc == dc and cd == dd
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether every response probability is 0 or 1."""
+        probs = (self.initial_coop_prob,) + tuple(self.coop_probs)
+        return all(p in (0.0, 1.0) for p in probs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MemoryOneStrategy({self.name}, s1={self.initial_coop_prob}, "
+                f"p={self.coop_probs})")
+
+
+def reactive(p_after_c: float, p_after_d: float, initial_coop_prob: float,
+             name: str | None = None) -> MemoryOneStrategy:
+    """Reactive strategy: cooperate w.p. ``p_after_c`` / ``p_after_d``.
+
+    The response depends only on the opponent's previous action.
+    """
+    p_c = check_probability("p_after_c", p_after_c)
+    p_d = check_probability("p_after_d", p_after_d)
+    return MemoryOneStrategy(
+        initial_coop_prob=initial_coop_prob,
+        coop_probs=(p_c, p_d, p_c, p_d),
+        name=name or f"reactive({p_c:g},{p_d:g})")
+
+
+def always_cooperate() -> MemoryOneStrategy:
+    """The paper's ``AC`` strategy: play C every round."""
+    return reactive(1.0, 1.0, 1.0, name="AC")
+
+
+def always_defect() -> MemoryOneStrategy:
+    """The paper's ``AD`` strategy: play D every round."""
+    return reactive(0.0, 0.0, 0.0, name="AD")
+
+
+def tit_for_tat(initial_coop_prob: float = 1.0) -> MemoryOneStrategy:
+    """Tit-for-Tat: repeat the opponent's previous action."""
+    return reactive(1.0, 0.0, initial_coop_prob, name="TFT")
+
+
+def generous_tit_for_tat(g: float, initial_coop_prob: float) -> MemoryOneStrategy:
+    """The paper's ``GTFT`` strategy with generosity parameter ``g``.
+
+    In round ``r + 1`` play the opponent's round-``r`` action w.p. ``1 − g``
+    and cooperate w.p. ``g``; after an opponent C this cooperates with
+    probability ``g + (1 − g) = 1``, after an opponent D with probability
+    ``g`` — the reactive strategy ``(1, g)``.
+    """
+    g = check_probability("g", g)
+    return reactive(1.0, g, initial_coop_prob, name=f"GTFT(g={g:g})")
+
+
+def grim_trigger() -> MemoryOneStrategy:
+    """Grim Trigger: cooperate until anyone defects, then defect forever."""
+    return MemoryOneStrategy(initial_coop_prob=1.0,
+                             coop_probs=(1.0, 0.0, 0.0, 0.0),
+                             name="GRIM")
+
+
+def win_stay_lose_shift() -> MemoryOneStrategy:
+    """Win-Stay Lose-Shift (Pavlov): repeat after CC/DD outcomes, switch else."""
+    return MemoryOneStrategy(initial_coop_prob=1.0,
+                             coop_probs=(1.0, 0.0, 0.0, 1.0),
+                             name="WSLS")
+
+
+def with_execution_noise(strategy: MemoryOneStrategy,
+                         noise: float) -> MemoryOneStrategy:
+    """Overlay trembling-hand noise: each intended action flips w.p. ``noise``.
+
+    Because memory-one strategies condition on *executed* previous actions,
+    noise is exactly the affine map ``p ↦ (1 − ε)p + ε(1 − p)`` applied to
+    the initial and conditional cooperation probabilities.  This is the
+    error model motivating generosity in the paper's discussion of TFT's
+    fragility (Section 1.1.2).
+    """
+    eps = check_probability("noise", noise)
+
+    def flip(p: float) -> float:
+        return (1.0 - eps) * p + eps * (1.0 - p)
+
+    return MemoryOneStrategy(
+        initial_coop_prob=flip(strategy.initial_coop_prob),
+        coop_probs=tuple(flip(p) for p in strategy.coop_probs),
+        name=f"{strategy.name}+noise({eps:g})")
+
+
+def joint_initial_distribution(first: MemoryOneStrategy,
+                               second: MemoryOneStrategy) -> np.ndarray:
+    """Round-1 distribution ``q1`` over ``(CC, CD, DC, DD)`` (eq. 34/37/40)."""
+    s1 = first.initial_coop_prob
+    s2 = second.initial_coop_prob
+    return np.array([s1 * s2, s1 * (1 - s2), (1 - s1) * s2, (1 - s1) * (1 - s2)])

@@ -1,0 +1,172 @@
+"""Axelrod-style round-robin tournaments of memory-one strategies.
+
+The paper grounds its strategy choices in the repeated-prisoner's-dilemma
+tournament tradition (Axelrod–Hamilton, Section 1.1.2); this module plays
+that tradition out on the exact payoff machinery: every pair of entrants
+meets in a repeated donation game, scores are exact expected payoffs (no
+sampling noise unless Monte Carlo mode is requested), and the results
+support Nash/ESS analysis over the entrant set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.games.expected_payoff import expected_payoff_pair
+from repro.games.repeated import monte_carlo_payoff
+from repro.games.strategies import MemoryOneStrategy
+from repro.utils import as_generator, check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+
+@dataclass
+class TournamentResult:
+    """Outcome of a round-robin tournament.
+
+    Attributes
+    ----------
+    names:
+        Entrant display names, aligned with matrix indices.
+    payoff_matrix:
+        ``M[i, j]`` = expected payoff of entrant ``i`` against entrant ``j``
+        in one repeated game.
+    scores:
+        Mean payoff of each entrant across all opponents (including
+        self-play when the tournament was configured that way).
+    """
+
+    names: list[str]
+    payoff_matrix: np.ndarray
+    scores: np.ndarray
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Entrants sorted by score, best first."""
+        order = np.argsort(-self.scores)
+        return [(self.names[i], float(self.scores[i])) for i in order]
+
+    def winner(self) -> str:
+        """Name of the top-scoring entrant."""
+        return self.names[int(np.argmax(self.scores))]
+
+
+class Tournament:
+    """A round-robin tournament over a fixed set of memory-one strategies.
+
+    Parameters
+    ----------
+    strategies:
+        The entrants.
+    game:
+        Stage game (e.g. :class:`~repro.games.DonationGame`).
+    delta:
+        Continuation probability of the repeated game.
+    names:
+        Optional display names (defaults to each strategy's ``name``).
+    include_self_play:
+        Whether an entrant's score includes its game against itself
+        (Axelrod's convention; default true).
+    """
+
+    def __init__(self, strategies, game, delta: float, names=None,
+                 include_self_play: bool = True):
+        self.strategies: list[MemoryOneStrategy] = list(strategies)
+        if len(self.strategies) < 2:
+            raise InvalidParameterError(
+                "a tournament needs at least two entrants")
+        self.game = game
+        self.delta = float(delta)
+        if not 0.0 <= self.delta < 1.0:
+            raise InvalidParameterError(
+                f"delta must lie in [0, 1), got {delta!r}")
+        if names is None:
+            names = [s.name for s in self.strategies]
+        if len(names) != len(self.strategies):
+            raise InvalidParameterError(
+                f"{len(names)} names for {len(self.strategies)} entrants")
+        self.names = [str(n) for n in names]
+        self.include_self_play = bool(include_self_play)
+
+    def payoff_matrix(self, method: str = "exact", n_games: int = 1000,
+                      seed=None) -> np.ndarray:
+        """Pairwise expected payoffs.
+
+        ``method="exact"`` uses the resolvent formula; ``"monte_carlo"``
+        plays ``n_games`` games per ordered pair.
+        """
+        n = len(self.strategies)
+        matrix = np.empty((n, n))
+        if method == "exact":
+            for i in range(n):
+                for j in range(i, n):
+                    f_ij, f_ji = expected_payoff_pair(
+                        self.strategies[i], self.strategies[j], self.game,
+                        self.delta)
+                    matrix[i, j] = f_ij
+                    matrix[j, i] = f_ji
+            return matrix
+        if method == "monte_carlo":
+            n_games = check_positive_int("n_games", n_games)
+            rng = as_generator(seed)
+            for i in range(n):
+                for j in range(i, n):
+                    f_ij, f_ji = monte_carlo_payoff(
+                        self.strategies[i], self.strategies[j], self.game,
+                        self.delta, n_games, seed=rng)
+                    matrix[i, j] = f_ij
+                    matrix[j, i] = f_ji
+            return matrix
+        raise InvalidParameterError(
+            f"method must be 'exact' or 'monte_carlo', got {method!r}")
+
+    def run(self, method: str = "exact", n_games: int = 1000,
+            seed=None) -> TournamentResult:
+        """Play the round robin and return scores and rankings."""
+        matrix = self.payoff_matrix(method=method, n_games=n_games, seed=seed)
+        if self.include_self_play:
+            scores = matrix.mean(axis=1)
+        else:
+            mask = ~np.eye(len(self.strategies), dtype=bool)
+            scores = np.array([matrix[i, mask[i]].mean()
+                               for i in range(len(self.strategies))])
+        return TournamentResult(names=list(self.names),
+                                payoff_matrix=matrix, scores=scores)
+
+    def best_responses_to(self, index: int,
+                          matrix: np.ndarray | None = None) -> list[int]:
+        """Entrant indices maximizing the payoff against entrant ``index``."""
+        if matrix is None:
+            matrix = self.payoff_matrix()
+        column = matrix[:, int(index)]
+        best = column.max()
+        return [i for i in range(column.size) if column[i] >= best - 1e-12]
+
+    def is_symmetric_nash(self, index: int,
+                          matrix: np.ndarray | None = None) -> bool:
+        """Whether ``(index, index)`` is a Nash profile within the entrant set."""
+        if matrix is None:
+            matrix = self.payoff_matrix()
+        return int(index) in self.best_responses_to(index, matrix)
+
+    def is_evolutionarily_stable(self, index: int,
+                                 matrix: np.ndarray | None = None) -> bool:
+        """Maynard Smith ESS test of entrant ``index`` within the entrant set.
+
+        For every mutant ``j ≠ index``: either ``u(i,i) > u(j,i)``, or
+        ``u(i,i) = u(j,i)`` and ``u(i,j) > u(j,j)``.
+        """
+        if matrix is None:
+            matrix = self.payoff_matrix()
+        i = int(index)
+        for j in range(matrix.shape[0]):
+            if j == i:
+                continue
+            resident = matrix[i, i]
+            invader = matrix[j, i]
+            if invader > resident + 1e-12:
+                return False
+            if abs(invader - resident) <= 1e-12 \
+                    and matrix[j, j] >= matrix[i, j] - 1e-12:
+                return False
+        return True

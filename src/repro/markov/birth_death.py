@@ -1,0 +1,145 @@
+"""General birth–death chains with closed-form stationary and hitting times.
+
+The paper's one-dimensional projections are all birth–death chains: the
+``k = 2`` Ehrenfest projection of Appendix A.1 (eq. 11), the reflected
+coordinate walk of the coupling argument, and the gambler's-ruin reduction
+of Proposition A.7.  This module provides the classical closed forms for
+the whole family — stationary laws via detailed-balance products and
+expected hitting times via the standard nested sums — cross-checked in the
+tests against the generic linear-algebra machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.chain import FiniteMarkovChain
+from repro.utils import check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+
+class BirthDeathChain:
+    """A birth–death chain on ``{0, 1, ..., n}``.
+
+    Parameters
+    ----------
+    birth_rates:
+        ``p_i = P(i -> i+1)`` for ``i = 0..n-1`` (all positive).
+    death_rates:
+        ``q_i = P(i -> i-1)`` for ``i = 1..n`` (all positive).
+
+    Laziness ``1 - p_i - q_i`` stays in place; every ``p_i + q_i`` must be
+    at most 1.
+    """
+
+    def __init__(self, birth_rates, death_rates):
+        p = np.asarray(birth_rates, dtype=float)
+        q = np.asarray(death_rates, dtype=float)
+        if p.ndim != 1 or q.ndim != 1 or p.size != q.size or p.size == 0:
+            raise InvalidParameterError(
+                "birth_rates and death_rates must be 1-D with equal length "
+                f"(got {p.shape} and {q.shape})")
+        if np.any(p <= 0) or np.any(q <= 0):
+            raise InvalidParameterError("all rates must be positive")
+        self.n = p.size  # states 0..n
+        # Index convention: p[i] = P(i -> i+1), q[i] = P(i+1 -> i).
+        self.p = p
+        self.q = q
+        holds = np.empty(self.n + 1)
+        holds[0] = p[0]
+        holds[self.n] = q[self.n - 1]
+        for i in range(1, self.n):
+            holds[i] = p[i] + q[i - 1]
+        if np.any(holds > 1.0 + 1e-12):
+            raise InvalidParameterError(
+                "p_i + q_i must be at most 1 at every interior state")
+
+    @property
+    def n_states(self) -> int:
+        """Number of states, ``n + 1``."""
+        return self.n + 1
+
+    def transition_matrix(self) -> np.ndarray:
+        """Dense tridiagonal kernel."""
+        size = self.n_states
+        P = np.zeros((size, size))
+        for i in range(self.n):
+            P[i, i + 1] = self.p[i]
+            P[i + 1, i] = self.q[i]
+        for i in range(size):
+            P[i, i] = 1.0 - P[i].sum()
+        return P
+
+    def chain(self) -> FiniteMarkovChain:
+        """Wrap the kernel in a :class:`FiniteMarkovChain`."""
+        return FiniteMarkovChain(self.transition_matrix())
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Detailed-balance product form ``π_i ∝ Π_{j<i} p_j/q_j``.
+
+        Computed in log space for numerical robustness with strong biases.
+        """
+        logs = np.zeros(self.n_states)
+        logs[1:] = np.cumsum(np.log(self.p) - np.log(self.q))
+        logs -= logs.max()
+        weights = np.exp(logs)
+        return weights / weights.sum()
+
+    def expected_hitting_time_up(self, start: int, target: int) -> float:
+        """``E_start[time to reach target]`` for ``start < target``.
+
+        Standard nested-sum formula: the expected time to step from ``i``
+        to ``i+1`` is ``(1/p_i)·Σ_{j<=i} Π ratios``, computed stably via the
+        recursion ``h_i = (1 + q_{i-1}·h_{i-1}) / p_i`` with ``h_0 = 1/p_0``
+        (``h_i`` = expected time from ``i`` to ``i+1``).
+        """
+        start = check_positive_int("start", start, minimum=0)
+        target = check_positive_int("target", target, minimum=0)
+        if not start < target <= self.n:
+            raise InvalidParameterError(
+                f"need start < target <= {self.n}, got {start}, {target}")
+        h = np.empty(self.n)
+        h[0] = 1.0 / self.p[0]
+        for i in range(1, self.n):
+            h[i] = (1.0 + self.q[i - 1] * h[i - 1]) / self.p[i]
+        return float(h[start:target].sum())
+
+    def expected_hitting_time_down(self, start: int, target: int) -> float:
+        """``E_start[time to reach target]`` for ``start > target``.
+
+        Mirror recursion: ``g_i`` = expected time from ``i`` to ``i−1``,
+        ``g_n = 1/q_{n-1}``, ``g_i = (1 + p_i·g_{i+1}) / q_{i-1}``.
+        """
+        start = check_positive_int("start", start, minimum=0)
+        target = check_positive_int("target", target, minimum=0)
+        if not target < start <= self.n:
+            raise InvalidParameterError(
+                f"need target < start <= {self.n}, got {start}, {target}")
+        g = np.empty(self.n + 1)
+        g[self.n] = 1.0 / self.q[self.n - 1]
+        for i in range(self.n - 1, 0, -1):
+            g[i] = (1.0 + self.p[i] * g[i + 1]) / self.q[i - 1]
+        return float(g[target + 1:start + 1].sum())
+
+    def expected_hitting_time(self, start: int, target: int) -> float:
+        """Expected hitting time in either direction (0 when equal)."""
+        if start == target:
+            return 0.0
+        if start < target:
+            return self.expected_hitting_time_up(start, target)
+        return self.expected_hitting_time_down(start, target)
+
+
+def ehrenfest_projection_chain(m: int, a: float, b: float) -> BirthDeathChain:
+    """The paper's eq. (11): the first coordinate of the k = 2 process.
+
+    From count ``i`` in urn 1: up-move (urn 2 loses a ball to urn 1) with
+    probability ``b·(m−i)/m``; down-move with ``a·i/m``.
+    """
+    m = check_positive_int("m", m, minimum=1)
+    if not (a > 0 and b > 0 and a + b <= 1 + 1e-12):
+        raise InvalidParameterError(
+            f"need a, b > 0 with a + b <= 1, got a={a!r}, b={b!r}")
+    births = np.array([b * (m - i) / m for i in range(m)])
+    deaths = np.array([a * (i + 1) / m for i in range(m)])
+    return BirthDeathChain(births, deaths)

@@ -1,0 +1,85 @@
+"""Cutoff-phenomenon profiling (Remark 2.6).
+
+The classical two-urn Ehrenfest process exhibits *cutoff*: ``d(t)`` stays
+near 1 and then collapses to 0 inside a window of width ``O(m)`` around
+``(1/2)·m·log m``.  The paper leaves the cutoff question for the general
+``(k, a, b, m)`` process open; this module measures the profile so the
+benchmarks can (a) confirm the classical constant for ``k = 2`` and
+(b) chart the empirical window for ``k > 2`` as an exploratory extension.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.markov.ehrenfest import EhrenfestProcess
+from repro.markov.mixing import distance_to_stationarity_curve, mixing_time_from_curve
+from repro.utils.errors import ConvergenceError
+
+
+@dataclass
+class CutoffProfile:
+    """Summary of a distance-to-stationarity profile.
+
+    Attributes
+    ----------
+    curve:
+        ``d(t)`` for ``t = 0 .. t_max``.
+    thresholds:
+        The TV levels at which crossing times were extracted.
+    crossing_times:
+        ``crossing_times[i]`` is the first ``t`` with
+        ``d(t) <= thresholds[i]``.
+    """
+
+    curve: np.ndarray
+    thresholds: tuple[float, ...] = (0.75, 0.5, 0.25, 0.1, 0.05)
+    crossing_times: dict[float, int] = field(default_factory=dict)
+
+    @property
+    def mixing_time(self) -> int:
+        """``t_mix(1/4)``."""
+        return self.crossing_times[0.25]
+
+    @property
+    def window_width(self) -> int:
+        """Width of the (0.75, 0.05) crossing window — narrow under cutoff."""
+        return self.crossing_times[0.05] - self.crossing_times[0.75]
+
+    def normalized_mixing_time(self, m: int) -> float:
+        """``t_mix / (m log m)`` — approaches 1/2 for the classical urn."""
+        return self.mixing_time / (m * math.log(m))
+
+
+def cutoff_profile(process: EhrenfestProcess, t_max: int | None = None,
+                   thresholds=(0.75, 0.5, 0.25, 0.1, 0.05),
+                   from_states=None) -> CutoffProfile:
+    """Compute the exact d(t) profile and its threshold crossings.
+
+    Uses the exact kernel over ``Delta_k^m`` — intended for instances with a
+    few thousand states at most.  ``from_states`` defaults to the two corner
+    states (which dominate the worst case for these monotone chains).
+    """
+    chain = process.exact_chain()
+    space = process.space()
+    if from_states is None:
+        low, high = space.extreme_states()
+        from_states = [space.index(low), space.index(high)]
+    if t_max is None:
+        t_max = int(3 * process.m * math.log(max(process.m, 2)) * process.k) + 20
+    pi = process.stationary_distribution(space)
+    curve = distance_to_stationarity_curve(chain, pi=pi, t_max=t_max,
+                                           from_states=from_states)
+    crossings: dict[float, int] = {}
+    for threshold in thresholds:
+        try:
+            crossings[threshold] = mixing_time_from_curve(curve, threshold)
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"profile did not cross {threshold} within t_max={t_max}"
+            ) from exc
+    return CutoffProfile(curve=curve, thresholds=tuple(thresholds),
+                         crossing_times=crossings)

@@ -1,0 +1,96 @@
+"""Strong lumpability: projecting a Markov chain onto a partition.
+
+The paper repeatedly works with *projections* of the Ehrenfest chain (the
+first-coordinate view of Appendix A.1).  A projection of a Markov chain is
+itself Markov exactly when the partition is *strongly lumpable*: every
+state in a block must have the same total transition probability into each
+other block.  This module checks that condition and constructs the lumped
+kernel, so projected analyses can be certified rather than assumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.chain import FiniteMarkovChain
+from repro.utils.errors import InvalidParameterError
+
+
+def _validate_partition(n_states: int, partition) -> list[list[int]]:
+    blocks = [sorted(int(s) for s in block) for block in partition]
+    seen: set[int] = set()
+    for block in blocks:
+        if not block:
+            raise InvalidParameterError("partition blocks must be non-empty")
+        for state in block:
+            if not 0 <= state < n_states:
+                raise InvalidParameterError(
+                    f"state {state} out of range 0..{n_states - 1}")
+            if state in seen:
+                raise InvalidParameterError(
+                    f"state {state} appears in multiple blocks")
+            seen.add(state)
+    if len(seen) != n_states:
+        raise InvalidParameterError(
+            f"partition covers {len(seen)} of {n_states} states")
+    return blocks
+
+
+def block_transition_probabilities(chain: FiniteMarkovChain,
+                                   partition) -> np.ndarray:
+    """Per-state probabilities into each block: shape ``(n_states, n_blocks)``."""
+    blocks = _validate_partition(chain.n_states, partition)
+    P = chain.dense()
+    out = np.empty((chain.n_states, len(blocks)))
+    for j, block in enumerate(blocks):
+        out[:, j] = P[:, block].sum(axis=1)
+    return out
+
+
+def is_strongly_lumpable(chain: FiniteMarkovChain, partition,
+                         atol: float = 1e-10) -> bool:
+    """Whether the partition is strongly lumpable for the chain.
+
+    True iff within every block, all states share the same row of
+    block-transition probabilities.
+    """
+    blocks = _validate_partition(chain.n_states, partition)
+    rows = block_transition_probabilities(chain, blocks)
+    for block in blocks:
+        reference = rows[block[0]]
+        for state in block[1:]:
+            if not np.allclose(rows[state], reference, atol=atol):
+                return False
+    return True
+
+
+def lump_chain(chain: FiniteMarkovChain, partition,
+               atol: float = 1e-10) -> FiniteMarkovChain:
+    """Construct the lumped chain over the partition's blocks.
+
+    Raises when the partition is not strongly lumpable (the projection
+    would not be Markov).
+    """
+    blocks = _validate_partition(chain.n_states, partition)
+    if not is_strongly_lumpable(chain, blocks, atol=atol):
+        raise InvalidParameterError(
+            "partition is not strongly lumpable: the projected process is "
+            "not a Markov chain")
+    rows = block_transition_probabilities(chain, blocks)
+    kernel = np.vstack([rows[block[0]] for block in blocks])
+    return FiniteMarkovChain(kernel)
+
+
+def lumped_stationary(chain: FiniteMarkovChain, partition,
+                      pi=None) -> np.ndarray:
+    """Aggregate a stationary distribution over the partition's blocks.
+
+    Valid for *any* partition (aggregation needs no lumpability); for
+    strongly lumpable ones it equals the lumped chain's stationary law,
+    which the tests verify.
+    """
+    blocks = _validate_partition(chain.n_states, partition)
+    if pi is None:
+        pi = chain.stationary_distribution()
+    pi = np.asarray(pi, dtype=float)
+    return np.array([pi[block].sum() for block in blocks])

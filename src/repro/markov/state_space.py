@@ -1,0 +1,112 @@
+"""The state space ``Delta_k^m`` of integer count vectors.
+
+The paper (Section 2.1) writes ``Delta_k^m`` for the set of non-negative
+integer vectors ``(x_1, ..., x_k)`` summing to ``m`` — the possible count
+vectors of ``m`` indistinguishable agents over ``k`` ordered strategies.
+This module enumerates and indexes that space so that exact transition
+matrices and stationary distributions can be computed for small instances.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils import check_positive_int
+
+
+def num_compositions(m: int, k: int) -> int:
+    """Return ``|Delta_k^m| = C(m + k - 1, k - 1)``.
+
+    This counts weak compositions of ``m`` into ``k`` ordered non-negative
+    parts (stars and bars).
+    """
+    m = check_positive_int("m", m, minimum=0)
+    k = check_positive_int("k", k, minimum=1)
+    return comb(m + k - 1, k - 1)
+
+
+def compositions(m: int, k: int) -> Iterator[tuple[int, ...]]:
+    """Yield every vector in ``Delta_k^m`` in lexicographic order.
+
+    The order is lexicographic on the tuple itself, e.g. for ``m=2, k=2``:
+    ``(0, 2), (1, 1), (2, 0)``.
+    """
+    m = check_positive_int("m", m, minimum=0)
+    k = check_positive_int("k", k, minimum=1)
+
+    def _rec(remaining: int, parts_left: int) -> Iterator[tuple[int, ...]]:
+        if parts_left == 1:
+            yield (remaining,)
+            return
+        for first in range(remaining + 1):
+            for rest in _rec(remaining - first, parts_left - 1):
+                yield (first,) + rest
+
+    yield from _rec(m, k)
+
+
+class CompositionSpace:
+    """Indexed enumeration of ``Delta_k^m``.
+
+    Provides a bijection between count vectors and contiguous integer indices
+    ``0 .. |Delta_k^m| - 1`` so that distributions over the space can be held
+    as flat numpy vectors and transition kernels as (sparse) matrices.
+
+    Parameters
+    ----------
+    m:
+        Total number of balls/agents (non-negative).
+    k:
+        Number of urns/strategies (``>= 1``).
+    """
+
+    def __init__(self, m: int, k: int):
+        self.m = check_positive_int("m", m, minimum=0)
+        self.k = check_positive_int("k", k, minimum=1)
+        self._states: list[tuple[int, ...]] = list(compositions(m, k))
+        self._index: dict[tuple[int, ...], int] = {
+            state: i for i, state in enumerate(self._states)
+        }
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._states)
+
+    def __contains__(self, state) -> bool:
+        return tuple(int(v) for v in state) in self._index
+
+    def state(self, index: int) -> tuple[int, ...]:
+        """Return the count vector at position ``index``."""
+        return self._states[index]
+
+    def index(self, state) -> int:
+        """Return the index of a count vector (raises ``KeyError`` if absent)."""
+        return self._index[tuple(int(v) for v in state)]
+
+    @property
+    def states(self) -> list[tuple[int, ...]]:
+        """All states, in enumeration order (do not mutate)."""
+        return self._states
+
+    def as_array(self) -> np.ndarray:
+        """Return the states as an ``(n_states, k)`` integer array."""
+        return np.array(self._states, dtype=np.int64)
+
+    def extreme_states(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Return the two corner states ``(m, 0, .., 0)`` and ``(0, .., 0, m)``.
+
+        These realize the diameter used in the paper's ``Omega(km)`` mixing
+        lower bound (Proposition A.9) and are natural worst-case starting
+        points for distance-to-stationarity curves.
+        """
+        low = (self.m,) + (0,) * (self.k - 1)
+        high = (0,) * (self.k - 1) + (self.m,)
+        return low, high
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompositionSpace(m={self.m}, k={self.k}, size={len(self)})"

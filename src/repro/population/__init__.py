@@ -1,0 +1,40 @@
+"""Population-protocol substrate.
+
+The model of Angluin et al. that the paper builds on: ``n`` anonymous,
+finite-state agents; at each discrete step a *scheduler* samples an ordered
+pair (initiator, responder) uniformly at random and both agents update their
+states through a common transition function.  The paper's k-IGT dynamics is a
+one-way protocol in this model (only the initiator updates — footnote 3).
+
+Alongside the generic machinery this package ships the classic protocols the
+paper cites as context — approximate/exact majority, leader election, rumor
+spreading, and averaging — which double as substrate validation and as
+examples of the time/space trade-off tradition the paper extends.
+"""
+
+from repro.population.metrics import (
+    CountTracker,
+    StateCountObserver,
+    convergence_step,
+)
+from repro.population.protocol import (
+    PopulationProtocol,
+    TransitionFunctionProtocol,
+)
+from repro.population.scaling import ScalingStudy, measure_convergence_scaling
+from repro.population.scheduler import RandomScheduler, WeightedScheduler
+from repro.population.simulator import SimulationResult, Simulator
+
+__all__ = [
+    "PopulationProtocol",
+    "TransitionFunctionProtocol",
+    "RandomScheduler",
+    "WeightedScheduler",
+    "Simulator",
+    "SimulationResult",
+    "StateCountObserver",
+    "CountTracker",
+    "convergence_step",
+    "ScalingStudy",
+    "measure_convergence_scaling",
+]

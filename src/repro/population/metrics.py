@@ -1,0 +1,75 @@
+"""Observers and convergence diagnostics for population simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.errors import InvalidParameterError
+
+
+@dataclass
+class StateCountObserver:
+    """Collects ``(step, counts)`` snapshots into parallel arrays.
+
+    Build one from ``SimulationResult.observations`` for convenient numpy
+    post-processing of a trajectory.
+    """
+
+    steps: np.ndarray
+    counts: np.ndarray
+
+    @classmethod
+    def from_observations(cls, observations) -> "StateCountObserver":
+        """Construct from the ``observations`` list of a simulation result."""
+        if not observations:
+            raise InvalidParameterError("observations list is empty")
+        steps = np.array([s for s, _ in observations], dtype=np.int64)
+        counts = np.stack([c for _, c in observations])
+        return cls(steps=steps, counts=counts)
+
+    def fractions(self) -> np.ndarray:
+        """Counts normalized to fractions of the population per snapshot."""
+        totals = self.counts.sum(axis=1, keepdims=True).astype(float)
+        return self.counts / totals
+
+    def trajectory_of(self, state: int) -> np.ndarray:
+        """Count trajectory of a single state."""
+        return self.counts[:, state]
+
+
+@dataclass
+class CountTracker:
+    """Streaming mean/variance tracker (Welford) for scalar series."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return float(np.sqrt(self.variance))
+
+
+def convergence_step(observer: StateCountObserver, predicate) -> int | None:
+    """First recorded step at which ``predicate(counts)`` holds, else ``None``."""
+    for step, counts in zip(observer.steps, observer.counts):
+        if predicate(counts):
+            return int(step)
+    return None

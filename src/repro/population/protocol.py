@@ -1,0 +1,114 @@
+"""The population-protocol abstraction.
+
+A protocol is (Q, δ, ι, ω): a finite state set, a joint transition function
+``δ(initiator, responder) -> (initiator', responder')``, an input encoding,
+and an output map.  States are represented as small integers; protocols
+expose human-readable labels for display and debugging.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.errors import InvalidParameterError
+
+
+class PopulationProtocol(ABC):
+    """Abstract base for two-way population protocols.
+
+    Subclasses define :attr:`n_states`, :meth:`transition`, and optionally
+    :meth:`output` and :meth:`state_label`.  The transition receives and
+    returns integer states; *one-way* protocols simply return the responder's
+    state unchanged.
+    """
+
+    @property
+    @abstractmethod
+    def n_states(self) -> int:
+        """Size of the per-agent state space."""
+
+    @abstractmethod
+    def transition(self, initiator: int, responder: int) -> tuple[int, int]:
+        """New ``(initiator, responder)`` states after an interaction."""
+
+    def output(self, state: int):
+        """Output value of an agent in ``state`` (default: the state itself)."""
+        return state
+
+    def state_label(self, state: int) -> str:
+        """Human-readable label of a state (default: its integer)."""
+        return str(state)
+
+    @property
+    def is_one_way(self) -> bool:
+        """Whether only the initiator ever changes state.
+
+        Determined by exhaustively checking the transition table; one-way
+        protocols match the paper's modeling assumption (footnote 3).
+        """
+        for u in range(self.n_states):
+            for v in range(self.n_states):
+                if self.transition(u, v)[1] != v:
+                    return False
+        return True
+
+    def transition_table(self) -> np.ndarray:
+        """Dense ``(n_states, n_states, 2)`` lookup of all transitions.
+
+        Used by the simulator's fast path: one array lookup per interaction
+        instead of a Python method call.
+        """
+        n = self.n_states
+        table = np.empty((n, n, 2), dtype=np.int64)
+        for u in range(n):
+            for v in range(n):
+                new_u, new_v = self.transition(u, v)
+                if not (0 <= new_u < n and 0 <= new_v < n):
+                    raise InvalidParameterError(
+                        f"transition({u},{v}) -> ({new_u},{new_v}) leaves "
+                        f"the state space of size {n}")
+                table[u, v, 0] = new_u
+                table[u, v, 1] = new_v
+        return table
+
+
+class TransitionFunctionProtocol(PopulationProtocol):
+    """A protocol defined by a plain transition function.
+
+    Convenient for ad-hoc or test protocols::
+
+        protocol = TransitionFunctionProtocol(
+            n_states=2, fn=lambda u, v: (max(u, v), max(u, v)))
+    """
+
+    def __init__(self, n_states: int, fn, labels=None, output_fn=None):
+        if n_states < 1:
+            raise InvalidParameterError(
+                f"n_states must be at least 1, got {n_states}")
+        self._n_states = int(n_states)
+        self._fn = fn
+        self._labels = list(labels) if labels is not None else None
+        self._output_fn = output_fn
+        if self._labels is not None and len(self._labels) != self._n_states:
+            raise InvalidParameterError(
+                f"{len(self._labels)} labels for {self._n_states} states")
+
+    @property
+    def n_states(self) -> int:
+        return self._n_states
+
+    def transition(self, initiator: int, responder: int) -> tuple[int, int]:
+        new_u, new_v = self._fn(initiator, responder)
+        return int(new_u), int(new_v)
+
+    def output(self, state: int):
+        if self._output_fn is None:
+            return state
+        return self._output_fn(state)
+
+    def state_label(self, state: int) -> str:
+        if self._labels is None:
+            return str(state)
+        return self._labels[state]

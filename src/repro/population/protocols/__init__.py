@@ -1,0 +1,22 @@
+"""Classic population protocols (substrate demos).
+
+Implementations of the fundamental protocols the paper cites as the
+tradition it extends — majority/consensus and leader election (Section 1.3)
+— plus rumor spreading and averaging.  Each exposes a standard initializer
+and an output/convergence predicate, and is exercised by the integration
+tests and the ``classic_protocols`` example.
+"""
+
+from repro.population.protocols.averaging import AveragingProtocol
+from repro.population.protocols.exact_majority import FourStateExactMajority
+from repro.population.protocols.leader import LeaderElectionProtocol
+from repro.population.protocols.majority import ThreeStateApproximateMajority
+from repro.population.protocols.rumor import RumorSpreadingProtocol
+
+__all__ = [
+    "ThreeStateApproximateMajority",
+    "FourStateExactMajority",
+    "LeaderElectionProtocol",
+    "RumorSpreadingProtocol",
+    "AveragingProtocol",
+]

@@ -1,0 +1,64 @@
+"""Integer load averaging.
+
+Agents hold integer values in ``0..max_value``; interacting agents split
+their sum as evenly as integers allow: ``(u, v) -> (⌈(u+v)/2⌉, ⌊(u+v)/2⌋)``.
+The population sum is invariant, and values contract to within 1 of the
+average — the "averaging dynamics" studied in the gossip/population
+literature cited in Section 1.3 (e.g. Becchetti et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.population.protocol import PopulationProtocol
+from repro.utils import check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+
+class AveragingProtocol(PopulationProtocol):
+    """Integer averaging over states ``0..max_value``.
+
+    Parameters
+    ----------
+    max_value:
+        Largest representable load; the state space has ``max_value + 1``
+        states.
+    """
+
+    def __init__(self, max_value: int):
+        self.max_value = check_positive_int("max_value", max_value, minimum=1)
+
+    @property
+    def n_states(self) -> int:
+        return self.max_value + 1
+
+    def transition(self, initiator: int, responder: int) -> tuple[int, int]:
+        total = initiator + responder
+        return (total + 1) // 2, total // 2
+
+    def output(self, state: int):
+        """The agent's current load."""
+        return state
+
+    @staticmethod
+    def initial_states(values) -> np.ndarray:
+        """Wrap explicit integer loads as an initial state array."""
+        states = np.asarray(values, dtype=np.int64)
+        if states.ndim != 1 or states.size < 2:
+            raise InvalidParameterError(
+                "values must be a 1-D array of at least 2 loads")
+        if states.min() < 0:
+            raise InvalidParameterError("loads must be non-negative")
+        return states
+
+    @staticmethod
+    def total_load(counts: np.ndarray) -> int:
+        """Population sum computed from the count vector (invariant)."""
+        return int(np.dot(np.arange(counts.size), counts))
+
+    @staticmethod
+    def is_balanced(counts: np.ndarray) -> bool:
+        """Whether all loads lie within 1 of each other (the fixed point)."""
+        present = np.nonzero(counts)[0]
+        return present.size <= 1 or int(present[-1] - present[0]) <= 1

@@ -1,0 +1,81 @@
+"""Four-state exact majority (binary interval consensus).
+
+States: strong ``A``/``B`` and weak ``a``/``b``.  Rules:
+
+* ``A + B -> a + b`` — opposing strong agents annihilate into weak ones
+  (preserving the strong-count difference),
+* ``A + b -> A + a`` and ``B + a -> B + b`` — strong agents convert weak
+  agents to their side.
+
+Whenever the initial strong counts differ, the minority strongs are
+eventually wiped out and the surviving majority converts every weak agent,
+so *all* agents output the true initial majority — the exact-majority
+guarantee of Draief–Vojnović / Perron et al. cited in Section 1.3.  Ties
+leave only weak agents and the output is undefined (as in the literature,
+exact majority with ties requires more states).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.population.protocol import PopulationProtocol
+from repro.utils import check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+STRONG_A, STRONG_B, WEAK_A, WEAK_B = 0, 1, 2, 3
+
+
+class FourStateExactMajority(PopulationProtocol):
+    """The 4-state exact-majority protocol."""
+
+    @property
+    def n_states(self) -> int:
+        return 4
+
+    def transition(self, initiator: int, responder: int) -> tuple[int, int]:
+        pair = (initiator, responder)
+        if pair == (STRONG_A, STRONG_B):
+            return WEAK_A, WEAK_B
+        if pair == (STRONG_B, STRONG_A):
+            return WEAK_B, WEAK_A
+        if initiator == STRONG_A and responder == WEAK_B:
+            return STRONG_A, WEAK_A
+        if initiator == STRONG_B and responder == WEAK_A:
+            return STRONG_B, WEAK_B
+        if responder == STRONG_A and initiator == WEAK_B:
+            return WEAK_A, STRONG_A
+        if responder == STRONG_B and initiator == WEAK_A:
+            return WEAK_B, STRONG_B
+        return initiator, responder
+
+    def state_label(self, state: int) -> str:
+        return {STRONG_A: "A", STRONG_B: "B", WEAK_A: "a", WEAK_B: "b"}[state]
+
+    def output(self, state: int):
+        """Current opinion: 0 for the A side, 1 for the B side."""
+        return 0 if state in (STRONG_A, WEAK_A) else 1
+
+    @staticmethod
+    def initial_states(n: int, a_count: int) -> np.ndarray:
+        """``a_count`` strong-A agents, the rest strong-B."""
+        n = check_positive_int("n", n, minimum=2)
+        a_count = check_positive_int("a_count", a_count, minimum=0)
+        if a_count > n:
+            raise InvalidParameterError(
+                f"a_count={a_count} exceeds population size n={n}")
+        states = np.full(n, STRONG_B, dtype=np.int64)
+        states[:a_count] = STRONG_A
+        return states
+
+    @staticmethod
+    def has_converged(counts: np.ndarray) -> bool:
+        """All agents output the same opinion."""
+        a_side = counts[STRONG_A] + counts[WEAK_A]
+        b_side = counts[STRONG_B] + counts[WEAK_B]
+        return a_side == 0 or b_side == 0
+
+    @staticmethod
+    def strong_difference(counts: np.ndarray) -> int:
+        """Invariant ``#A − #B`` over strong states (conserved by all rules)."""
+        return int(counts[STRONG_A] - counts[STRONG_B])

@@ -1,0 +1,59 @@
+"""Leader election by direct fratricide.
+
+States ``L`` (leader) and ``F`` (follower); the single rule
+``L + L -> L + F`` eliminates one of any two interacting leaders.  From an
+all-leader start exactly one leader always remains; the expected time is
+``Θ(n²)`` interactions — the baseline against which the sub-quadratic
+protocols cited in Section 1.3 improve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.population.protocol import PopulationProtocol
+from repro.utils import check_positive_int
+
+LEADER, FOLLOWER = 0, 1
+
+
+class LeaderElectionProtocol(PopulationProtocol):
+    """The two-state fratricide leader-election protocol."""
+
+    @property
+    def n_states(self) -> int:
+        return 2
+
+    def transition(self, initiator: int, responder: int) -> tuple[int, int]:
+        if initiator == LEADER and responder == LEADER:
+            return LEADER, FOLLOWER
+        return initiator, responder
+
+    def state_label(self, state: int) -> str:
+        return "L" if state == LEADER else "F"
+
+    def output(self, state: int):
+        """Whether this agent believes it is the leader."""
+        return state == LEADER
+
+    @staticmethod
+    def initial_states(n: int) -> np.ndarray:
+        """Every agent starts as a leader."""
+        n = check_positive_int("n", n, minimum=2)
+        return np.full(n, LEADER, dtype=np.int64)
+
+    @staticmethod
+    def has_unique_leader(counts: np.ndarray) -> bool:
+        """Whether exactly one leader remains (the stable configuration)."""
+        return counts[LEADER] == 1
+
+    @staticmethod
+    def expected_interactions(n: int) -> float:
+        """Exact expected interactions to a unique leader.
+
+        Two specific leaders meet with probability ``k(k−1)/(n(n−1))`` when
+        ``k`` leaders remain, so the expectation telescopes to
+        ``n(n−1) · Σ_{k=2..n} 1/(k(k−1)) = n(n−1)(1 − 1/n) = (n−1)²``.
+        """
+        n = check_positive_int("n", n, minimum=2)
+        return float((n - 1) ** 2)

@@ -1,0 +1,78 @@
+"""Three-state approximate majority (Angluin–Aspnes–Eisenstat).
+
+States ``X`` (opinion 0), ``Y`` (opinion 1), and ``B`` (blank).  Rules (both
+directions of each clash):
+
+* ``X + Y -> X + B`` — an opinionated initiator blanks a disagreeing responder,
+* ``X + B -> X + X`` and ``Y + B -> Y + Y`` — opinions recruit blanks.
+
+With an initial gap of ``ω(sqrt(n log n))`` the protocol converges to the
+initial majority within ``O(n log n)`` interactions with high probability —
+the classic fast approximate-majority result cited in Section 1.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.population.protocol import PopulationProtocol
+from repro.utils import check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+X, Y, BLANK = 0, 1, 2
+
+
+class ThreeStateApproximateMajority(PopulationProtocol):
+    """The 3-state approximate-majority protocol."""
+
+    @property
+    def n_states(self) -> int:
+        return 3
+
+    def transition(self, initiator: int, responder: int) -> tuple[int, int]:
+        if initiator == X and responder == Y:
+            return X, BLANK
+        if initiator == Y and responder == X:
+            return Y, BLANK
+        if initiator == X and responder == BLANK:
+            return X, X
+        if initiator == Y and responder == BLANK:
+            return Y, Y
+        return initiator, responder
+
+    def state_label(self, state: int) -> str:
+        return {X: "X", Y: "Y", BLANK: "B"}[state]
+
+    def output(self, state: int):
+        """Current opinion: 0 for X, 1 for Y, ``None`` while blank."""
+        if state == X:
+            return 0
+        if state == Y:
+            return 1
+        return None
+
+    @staticmethod
+    def initial_states(n: int, x_count: int) -> np.ndarray:
+        """``x_count`` agents with opinion X, the rest with opinion Y."""
+        n = check_positive_int("n", n, minimum=2)
+        x_count = check_positive_int("x_count", x_count, minimum=0)
+        if x_count > n:
+            raise InvalidParameterError(
+                f"x_count={x_count} exceeds population size n={n}")
+        states = np.full(n, Y, dtype=np.int64)
+        states[:x_count] = X
+        return states
+
+    @staticmethod
+    def has_consensus(counts: np.ndarray) -> bool:
+        """Whether exactly one opinion (plus blanks) remains."""
+        return counts[X] == 0 or counts[Y] == 0
+
+    @staticmethod
+    def winner(counts: np.ndarray):
+        """The surviving opinion (0 or 1), or ``None`` if both persist."""
+        if counts[X] > 0 and counts[Y] == 0:
+            return 0
+        if counts[Y] > 0 and counts[X] == 0:
+            return 1
+        return None

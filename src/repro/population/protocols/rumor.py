@@ -1,0 +1,68 @@
+"""One-way rumor spreading (pull epidemic).
+
+States ``INFORMED`` / ``SUSCEPTIBLE``; a susceptible *initiator* learns the
+rumor from an informed responder (``S + I -> I + I``), so only the initiator
+ever updates — the paper's one-way convention (footnote 3).  The classic
+epidemic process: full dissemination takes ``Θ(n log n)`` interactions in
+expectation, a standard calibration point for "parallel time ``O(log n)``"
+in the population model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.population.protocol import PopulationProtocol
+from repro.utils import check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+SUSCEPTIBLE, INFORMED = 0, 1
+
+
+class RumorSpreadingProtocol(PopulationProtocol):
+    """The one-way epidemic protocol."""
+
+    @property
+    def n_states(self) -> int:
+        return 2
+
+    def transition(self, initiator: int, responder: int) -> tuple[int, int]:
+        if initiator == SUSCEPTIBLE and responder == INFORMED:
+            return INFORMED, INFORMED
+        return initiator, responder
+
+    def state_label(self, state: int) -> str:
+        return "I" if state == INFORMED else "S"
+
+    def output(self, state: int):
+        """Whether the agent has heard the rumor."""
+        return state == INFORMED
+
+    @staticmethod
+    def initial_states(n: int, informed: int = 1) -> np.ndarray:
+        """``informed`` seeds, the rest susceptible."""
+        n = check_positive_int("n", n, minimum=2)
+        informed = check_positive_int("informed", informed, minimum=1)
+        if informed > n:
+            raise InvalidParameterError(
+                f"informed={informed} exceeds population size n={n}")
+        states = np.full(n, SUSCEPTIBLE, dtype=np.int64)
+        states[:informed] = INFORMED
+        return states
+
+    @staticmethod
+    def all_informed(counts: np.ndarray) -> bool:
+        """Whether the rumor has reached everyone."""
+        return counts[SUSCEPTIBLE] == 0
+
+    @staticmethod
+    def expected_interactions(n: int) -> float:
+        """Exact expected interactions until full dissemination from one seed.
+
+        With ``i`` informed agents the next infection happens with
+        probability ``i(n−i)/(n(n−1))``, so the expectation is
+        ``n(n−1)·Σ_{i=1..n−1} 1/(i(n−i)) ≈ 2n ln n``.
+        """
+        n = check_positive_int("n", n, minimum=2)
+        harmonic = sum(1.0 / (i * (n - i)) for i in range(1, n))
+        return n * (n - 1) * harmonic

@@ -1,0 +1,102 @@
+"""Convergence-time scaling studies for population protocols.
+
+The population-protocol literature the paper extends is organized around
+convergence-time scaling in ``n`` (majority in ``O(n log n)``, fratricide
+leader election in ``Θ(n²)``, ...).  This harness measures those curves:
+run replicas of a protocol at each population size, collect convergence
+times, and fit the growth exponent — the same methodology the benchmarks
+use for the k-IGT mixing claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.stats import fit_power_law, mean_confidence_interval
+from repro.population.simulator import Simulator
+from repro.utils import as_generator, check_positive_int, spawn_generators
+from repro.utils.errors import ConvergenceError, InvalidParameterError
+
+
+@dataclass
+class ScalingStudy:
+    """Convergence-time measurements across population sizes.
+
+    Attributes
+    ----------
+    ns:
+        Population sizes measured.
+    times:
+        ``times[i]`` is the array of convergence times (interactions) of
+        the replicas at ``ns[i]``.
+    """
+
+    ns: list[int]
+    times: list[np.ndarray] = field(default_factory=list)
+
+    def means(self) -> np.ndarray:
+        """Mean convergence time per population size."""
+        return np.array([t.mean() for t in self.times])
+
+    def confidence_intervals(self, confidence: float = 0.95) -> list[tuple]:
+        """``(mean, low, high)`` per population size."""
+        return [mean_confidence_interval(t, confidence) for t in self.times]
+
+    def growth_exponent(self) -> float:
+        """Fitted exponent of ``mean time ~ C·n^alpha``."""
+        return fit_power_law(self.ns, self.means())[0]
+
+    def normalized_by(self, fn) -> np.ndarray:
+        """Mean times divided by a reference growth function ``fn(n)``."""
+        return np.array([t.mean() / fn(n)
+                         for n, t in zip(self.ns, self.times)])
+
+
+def measure_convergence_scaling(protocol_factory, initializer, stop_predicate,
+                                ns, replicas: int = 10, seed=None,
+                                budget_factor: float = 200.0,
+                                check_stop_every: int = 16) -> ScalingStudy:
+    """Measure convergence times of a protocol across population sizes.
+
+    Parameters
+    ----------
+    protocol_factory:
+        ``n -> PopulationProtocol``.
+    initializer:
+        ``n -> initial state array`` of length ``n``.
+    stop_predicate:
+        ``protocol -> (counts -> bool)`` — called once per ``n`` to build
+        the stop condition.
+    ns:
+        Population sizes (each ``>= 2``).
+    replicas:
+        Replicas per size.
+    budget_factor:
+        Interaction budget per replica is ``budget_factor · n²`` (a
+        generous super-quadratic ceiling); exceeding it raises
+        :class:`ConvergenceError`.
+    """
+    ns = [check_positive_int("n", n, minimum=2) for n in ns]
+    replicas = check_positive_int("replicas", replicas)
+    if not ns:
+        raise InvalidParameterError("ns must be non-empty")
+    rng = as_generator(seed)
+    study = ScalingStudy(ns=list(ns))
+    for n in ns:
+        protocol = protocol_factory(n)
+        predicate = stop_predicate(protocol)
+        budget = int(budget_factor * n * n)
+        times = np.empty(replicas, dtype=np.int64)
+        for r, child in enumerate(spawn_generators(rng, replicas)):
+            sim = Simulator(protocol, initializer(n), seed=child)
+            result = sim.run(budget, stop_when=predicate,
+                             check_stop_every=check_stop_every)
+            if not result.converged:
+                raise ConvergenceError(
+                    f"protocol did not converge within {budget} "
+                    f"interactions at n={n} (replica {r})")
+            times[r] = result.steps
+        study.times.append(times)
+    return study

@@ -1,0 +1,155 @@
+"""Sequential population-protocol simulator.
+
+Executes a protocol under the uniform random scheduler with a fast
+table-lookup inner loop, periodic observers, and convergence predicates.
+Interactions are processed strictly sequentially (the model's semantics);
+randomness is drawn in vectorized blocks for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.population.protocol import PopulationProtocol
+from repro.population.scheduler import RandomScheduler
+from repro.utils import as_generator, check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run.
+
+    Attributes
+    ----------
+    states:
+        Final per-agent state array of length ``n``.
+    counts:
+        Final state-count vector of length ``n_states``.
+    steps:
+        Number of interactions executed.
+    converged:
+        Whether the stop predicate fired (``False`` when it never did or no
+        predicate was given).
+    observations:
+        ``(step, counts)`` snapshots collected by the observer, if any.
+    """
+
+    states: np.ndarray
+    counts: np.ndarray
+    steps: int
+    converged: bool
+    observations: list[tuple[int, np.ndarray]] = field(default_factory=list)
+
+
+class Simulator:
+    """Runs a :class:`PopulationProtocol` on a concrete population.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to execute.
+    initial_states:
+        Length-``n`` integer array of initial agent states.
+    seed:
+        Seed or generator.
+    """
+
+    def __init__(self, protocol: PopulationProtocol, initial_states, seed=None):
+        self.protocol = protocol
+        states = np.asarray(initial_states, dtype=np.int64).copy()
+        if states.ndim != 1 or states.size < 2:
+            raise InvalidParameterError(
+                "initial_states must be a 1-D array of at least 2 agents")
+        if states.min() < 0 or states.max() >= protocol.n_states:
+            raise InvalidParameterError(
+                f"initial states must lie in 0..{protocol.n_states - 1}")
+        self.states = states
+        self.n = states.size
+        self._table = protocol.transition_table()
+        self._scheduler = RandomScheduler(self.n, seed=as_generator(seed))
+        self._counts = np.bincount(states, minlength=protocol.n_states).astype(np.int64)
+        self.steps_run = 0
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Current state-count vector (kept incrementally; O(1) reads)."""
+        return self._counts.copy()
+
+    def state_count(self, state: int) -> int:
+        """Number of agents currently in ``state``."""
+        return int(self._counts[state])
+
+    def run(self, max_steps: int, stop_when=None,
+            observe_every: int | None = None,
+            check_stop_every: int = 1) -> SimulationResult:
+        """Execute up to ``max_steps`` interactions.
+
+        Parameters
+        ----------
+        max_steps:
+            Interaction budget.
+        stop_when:
+            Optional predicate ``counts -> bool`` evaluated every
+            ``check_stop_every`` steps; the run stops early when it returns
+            true.
+        observe_every:
+            When given, snapshot ``(step, counts)`` every that many steps
+            (including step 0).
+        """
+        max_steps = check_positive_int("max_steps", max_steps, minimum=0)
+        check_stop_every = check_positive_int("check_stop_every", check_stop_every)
+        observations: list[tuple[int, np.ndarray]] = []
+        if observe_every is not None:
+            observe_every = check_positive_int("observe_every", observe_every)
+            observations.append((self.steps_run, self.counts))
+        converged = False
+        if stop_when is not None and stop_when(self._counts):
+            converged = True
+            max_steps = 0
+
+        table = self._table
+        states = self.states
+        counts = self._counts
+        block = 65536
+        done = 0
+        while done < max_steps:
+            batch = min(block, max_steps - done)
+            initiators, responders = self._scheduler.pair_block(batch)
+            for offset in range(batch):
+                i = initiators[offset]
+                j = responders[offset]
+                u = states[i]
+                v = states[j]
+                new_u = table[u, v, 0]
+                new_v = table[u, v, 1]
+                if new_u != u:
+                    states[i] = new_u
+                    counts[u] -= 1
+                    counts[new_u] += 1
+                if new_v != v:
+                    states[j] = new_v
+                    counts[v] -= 1
+                    counts[new_v] += 1
+                step_number = self.steps_run + offset + 1
+                if observe_every is not None and step_number % observe_every == 0:
+                    observations.append((step_number, counts.copy()))
+                if (stop_when is not None
+                        and step_number % check_stop_every == 0
+                        and stop_when(counts)):
+                    self.steps_run = step_number
+                    return SimulationResult(
+                        states=states.copy(), counts=counts.copy(),
+                        steps=self.steps_run, converged=True,
+                        observations=observations)
+            done += batch
+            self.steps_run += batch
+        return SimulationResult(states=states.copy(), counts=counts.copy(),
+                                steps=self.steps_run, converged=converged,
+                                observations=observations)
+
+    def outputs(self) -> list:
+        """Current per-agent outputs under the protocol's output map."""
+        return [self.protocol.output(int(s)) for s in self.states]

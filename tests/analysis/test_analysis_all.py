@@ -1,0 +1,218 @@
+"""Tests for the analysis utilities (stats, sweep, tables, timeseries)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_confidence_interval,
+    chi_square_goodness_of_fit,
+    fit_power_law,
+    mean_confidence_interval,
+)
+from repro.analysis.sweep import parameter_sweep
+from repro.analysis.tables import format_records, format_table, sparkline
+from repro.analysis.timeseries import (
+    first_time_below,
+    relative_change,
+    running_mean,
+)
+from repro.utils import InvalidParameterError
+
+
+class TestMeanConfidenceInterval:
+    def test_contains_mean(self, rng):
+        samples = rng.normal(5.0, 1.0, size=200)
+        mean, low, high = mean_confidence_interval(samples)
+        assert low < mean < high
+        assert mean == pytest.approx(samples.mean())
+
+    def test_single_sample_degenerate(self):
+        mean, low, high = mean_confidence_interval([3.0])
+        assert mean == low == high == 3.0
+
+    def test_constant_samples_degenerate(self):
+        mean, low, high = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert mean == low == high == 2.0
+
+    def test_coverage(self, rng):
+        """~95% of intervals cover the true mean."""
+        covered = 0
+        for _ in range(200):
+            samples = rng.normal(0.0, 1.0, size=30)
+            _, low, high = mean_confidence_interval(samples)
+            covered += low <= 0.0 <= high
+        assert covered >= 170
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([])
+
+
+class TestBootstrap:
+    def test_contains_point(self, rng):
+        samples = rng.exponential(2.0, size=100)
+        point, low, high = bootstrap_confidence_interval(
+            samples, statistic=np.median, seed=rng, n_resamples=500)
+        assert low <= point <= high
+
+    def test_reproducible(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        a = bootstrap_confidence_interval(samples, seed=7, n_resamples=200)
+        b = bootstrap_confidence_interval(samples, seed=7, n_resamples=200)
+        assert a == b
+
+
+class TestChiSquare:
+    def test_good_fit_high_p(self, rng):
+        probs = np.array([0.25, 0.25, 0.5])
+        counts = rng.multinomial(2000, probs)
+        _, p = chi_square_goodness_of_fit(counts, probs)
+        assert p > 0.001
+
+    def test_bad_fit_low_p(self):
+        probs = np.array([0.5, 0.5])
+        counts = np.array([900, 100])
+        _, p = chi_square_goodness_of_fit(counts, probs)
+        assert p < 1e-6
+
+    def test_small_bins_pooled(self):
+        probs = np.array([0.98, 0.01, 0.01])
+        counts = np.array([98, 1, 1])
+        statistic, p = chi_square_goodness_of_fit(counts, probs)
+        assert p >= 0.0  # pooling keeps the test valid
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            chi_square_goodness_of_fit([1, 2], [0.5, 0.25, 0.25])
+
+    def test_zero_counts_raise(self):
+        with pytest.raises(InvalidParameterError):
+            chi_square_goodness_of_fit([0, 0], [0.5, 0.5])
+
+
+class TestPowerLawFit:
+    def test_exact_power_law(self):
+        x = np.array([1, 2, 4, 8, 16])
+        y = 3.0 * x**1.5
+        alpha, constant = fit_power_law(x, y)
+        assert alpha == pytest.approx(1.5)
+        assert constant == pytest.approx(3.0)
+
+    def test_inverse_law(self):
+        x = np.array([2, 4, 8, 16])
+        alpha, _ = fit_power_law(x, 5.0 / x)
+        assert alpha == pytest.approx(-1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([1, 2], [0.0, 1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([1], [1])
+
+
+class TestParameterSweep:
+    def test_cartesian_product(self):
+        result = parameter_sweep(lambda a, b: {"sum": a + b},
+                                 a=[1, 2], b=[10, 20])
+        assert len(result.records) == 4
+        assert result.column("sum") == [11, 21, 12, 22]
+
+    def test_where_filter(self):
+        result = parameter_sweep(lambda a, b: {"sum": a + b},
+                                 a=[1, 2], b=[10, 20])
+        assert len(result.where(a=1)) == 2
+        assert result.where(a=2, b=20)[0]["sum"] == 22
+
+    def test_missing_column_raises(self):
+        result = parameter_sweep(lambda a: {"out": a}, a=[1])
+        with pytest.raises(InvalidParameterError):
+            result.column("nope")
+
+    def test_non_dict_return_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parameter_sweep(lambda a: a, a=[1])
+
+    def test_key_collision_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parameter_sweep(lambda a: {"a": a}, a=[1])
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parameter_sweep(lambda: {})
+
+
+class TestTables:
+    def test_format_table_basic(self):
+        text = format_table(["x", "y"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert "x" in lines[0] and "y" in lines[0]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            format_table(["a", "b"], [[1]])
+
+    def test_cell_formats(self):
+        text = format_table(["v"], [[True], [None], [1e-9], [float("nan")]])
+        assert "yes" in text
+        assert "-" in text
+        assert "e-09" in text
+        assert "nan" in text
+
+    def test_format_records(self):
+        records = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_records(records, ["a", "b"])
+        assert "3" in text
+
+    def test_sparkline_range(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestTimeseries:
+    def test_running_mean(self):
+        out = running_mean([1, 2, 3, 4], 2)
+        assert np.allclose(out, [1.5, 2.5, 3.5])
+
+    def test_running_mean_window_too_large(self):
+        with pytest.raises(InvalidParameterError):
+            running_mean([1, 2], 3)
+
+    def test_first_time_below(self):
+        assert first_time_below([0.9, 0.5, 0.2, 0.1], 0.25) == 2
+
+    def test_first_time_below_never(self):
+        assert first_time_below([0.9, 0.8], 0.1) is None
+
+    def test_first_time_below_with_axis(self):
+        axis = np.array([0, 10, 20, 30])
+        assert first_time_below([0.9, 0.5, 0.2, 0.1], 0.25, axis=axis) == 20
+
+    def test_axis_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            first_time_below([0.9, 0.5], 0.25, axis=[0])
+
+    def test_relative_change_settled(self):
+        series = [5.0] * 20
+        assert relative_change(series, 5) == pytest.approx(0.0)
+
+    def test_relative_change_trending(self):
+        series = list(range(20))
+        assert relative_change(series, 5) > 0.1
+
+    def test_relative_change_needs_two_windows(self):
+        with pytest.raises(InvalidParameterError):
+            relative_change([1.0, 2.0], 2)

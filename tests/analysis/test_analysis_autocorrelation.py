@@ -1,0 +1,105 @@
+"""Tests for autocorrelation diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.autocorrelation import (
+    autocorrelation,
+    effective_sample_size,
+    integrated_autocorrelation_time,
+    thinned_indices,
+)
+from repro.utils import InvalidParameterError
+
+
+def ar1(rho: float, size: int, rng) -> np.ndarray:
+    """An AR(1) series with autocorrelation rho."""
+    noise = rng.normal(size=size)
+    out = np.empty(size)
+    out[0] = noise[0]
+    for t in range(1, size):
+        out[t] = rho * out[t - 1] + np.sqrt(1 - rho**2) * noise[t]
+    return out
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        rho = autocorrelation(rng.normal(size=500))
+        assert rho[0] == 1.0
+
+    def test_iid_decorrelated(self, rng):
+        rho = autocorrelation(rng.normal(size=5000), max_lag=5)
+        assert np.abs(rho[1:]).max() < 0.05
+
+    def test_ar1_matches_theory(self, rng):
+        series = ar1(0.7, 30_000, rng)
+        rho = autocorrelation(series, max_lag=4)
+        for lag in range(1, 5):
+            assert rho[lag] == pytest.approx(0.7**lag, abs=0.04)
+
+    def test_constant_series_raises(self):
+        with pytest.raises(InvalidParameterError):
+            autocorrelation(np.ones(100))
+
+    def test_max_lag_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            autocorrelation(rng.normal(size=10), max_lag=10)
+
+
+class TestIntegratedTime:
+    def test_iid_near_one(self, rng):
+        tau = integrated_autocorrelation_time(rng.normal(size=10_000))
+        assert tau == pytest.approx(1.0, abs=0.25)
+
+    def test_ar1_matches_theory(self, rng):
+        """tau_int for AR(1) is (1+rho)/(1-rho)."""
+        rho = 0.6
+        series = ar1(rho, 60_000, rng)
+        tau = integrated_autocorrelation_time(series)
+        assert tau == pytest.approx((1 + rho) / (1 - rho), rel=0.25)
+
+    def test_at_least_one(self, rng):
+        # Anti-correlated series: tau clipped to 1.
+        series = np.tile([1.0, -1.0], 500) + rng.normal(0, 0.1, 1000)
+        assert integrated_autocorrelation_time(series) >= 1.0
+
+
+class TestEffectiveSampleSize:
+    def test_iid_full_size(self, rng):
+        ess = effective_sample_size(rng.normal(size=5000))
+        assert ess == pytest.approx(5000, rel=0.25)
+
+    def test_correlated_shrinks(self, rng):
+        series = ar1(0.9, 20_000, rng)
+        assert effective_sample_size(series) < 5000
+
+
+class TestThinning:
+    def test_stride(self):
+        idx = thinned_indices(100, tau=5.0)
+        assert idx[1] - idx[0] == 10
+
+    def test_tau_zero_keeps_all(self):
+        assert thinned_indices(10, 0.0).size == 10
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            thinned_indices(10, -1.0)
+
+    def test_igt_generosity_series_has_finite_tau(self, rng):
+        """Sanity: the k-IGT average-generosity series is mixing, so its
+        autocorrelation time is finite and thinning produces usable ESS."""
+        from repro.core.igt import GenerosityGrid
+        from repro.core.population_igt import IGTSimulation, PopulationShares
+
+        shares = PopulationShares(alpha=0.3, beta=0.2, gamma=0.5)
+        sim = IGTSimulation(n=100, shares=shares,
+                            grid=GenerosityGrid(k=3, g_max=0.6), seed=rng)
+        sim.run(20_000)
+        series = np.empty(400)
+        for i in range(400):
+            sim.run(50)
+            series[i] = sim.average_generosity()
+        tau = integrated_autocorrelation_time(series)
+        assert 1.0 <= tau < 200
+        assert effective_sample_size(series) > 2

@@ -1,0 +1,155 @@
+"""Tests for empirical convergence measurement and observation noise."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.convergence import (
+    ConvergenceCurve,
+    igt_convergence_curve,
+    igt_empirical_mixing_estimate,
+)
+from repro.core.igt import GenerosityGrid
+from repro.core.population_igt import IGTSimulation, PopulationShares
+from repro.core.stationary import noisy_igt_lambda
+from repro.core.theory import igt_mixing_lower_bound, igt_mixing_upper_bound
+from repro.utils import ConvergenceError, InvalidParameterError
+
+
+@pytest.fixture
+def shares():
+    return PopulationShares(alpha=0.3, beta=0.2, gamma=0.5)
+
+
+@pytest.fixture
+def grid():
+    return GenerosityGrid(k=3, g_max=0.6)
+
+
+class TestNoisyLambda:
+    def test_zero_noise_recovers_theorem_2_7(self):
+        assert noisy_igt_lambda(0.2, 0.0) == pytest.approx(4.0)
+
+    def test_half_noise_is_uniform(self):
+        for beta in (0.1, 0.3, 0.7):
+            assert noisy_igt_lambda(beta, 0.5) == pytest.approx(1.0)
+
+    def test_full_noise_inverts(self):
+        assert noisy_igt_lambda(0.2, 1.0) == pytest.approx(0.25)
+
+    def test_monotone_decreasing_toward_half(self):
+        lams = [noisy_igt_lambda(0.2, eps) for eps in (0.0, 0.1, 0.3, 0.5)]
+        assert all(lams[i] > lams[i + 1] for i in range(3))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            noisy_igt_lambda(1.5, 0.1)
+        with pytest.raises(InvalidParameterError):
+            noisy_igt_lambda(0.2, -0.1)
+        with pytest.raises(InvalidParameterError):
+            noisy_igt_lambda(0.0, 0.0)
+
+
+class TestObservationNoiseSimulation:
+    def test_noise_requires_strategy_mode(self, shares, grid):
+        with pytest.raises(InvalidParameterError):
+            IGTSimulation(n=60, shares=shares, grid=grid, seed=0,
+                          mode="strict", observation_noise=0.1)
+
+    def test_noisy_embedding_lambda(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                            observation_noise=0.2)
+        process = sim.equivalent_ehrenfest(exact=False)
+        assert process.lam == pytest.approx(noisy_igt_lambda(0.2, 0.2))
+
+    def test_noise_flattens_stationary(self, shares, grid):
+        """More noise -> weaker bias -> lower stationary generosity."""
+        results = []
+        for eps in (0.0, 0.25, 0.5):
+            sim = IGTSimulation(n=200, shares=shares, grid=grid, seed=3,
+                                observation_noise=eps)
+            sim.run(40_000)
+            total = 0.0
+            for _ in range(100):
+                sim.run(100)
+                total += sim.average_generosity()
+            results.append(total / 100)
+        assert results[0] > results[1] > results[2] - 0.02
+        assert results[2] == pytest.approx(0.3, abs=0.05)  # uniform: g_max/2
+
+    def test_noisy_run_matches_noisy_theory(self, shares, grid):
+        eps = 0.3
+        sim = IGTSimulation(n=200, shares=shares, grid=grid, seed=5,
+                            observation_noise=eps)
+        process = sim.equivalent_ehrenfest(exact=True)
+        sim.run(40_000)
+        pooled = np.zeros(3)
+        for _ in range(150):
+            sim.run(100)
+            pooled += sim.counts
+        pooled /= pooled.sum()
+        assert np.abs(pooled - process.stationary_weights()).max() < 0.04
+
+    def test_noise_enables_embedding_without_ad(self, grid):
+        """With noise, even a beta=0 population has decrement pressure."""
+        shares = PopulationShares(alpha=0.5, beta=0.0, gamma=0.5)
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                            observation_noise=0.1)
+        process = sim.equivalent_ehrenfest(exact=False)
+        assert process.lam == pytest.approx(0.9 / 0.1)
+
+
+class TestConvergenceCurve:
+    def test_curve_decreases_to_threshold(self, shares, grid):
+        # The estimator's noise floor is ~sqrt(bins/replicas); with m=40
+        # (41 bins) we need a few hundred replicas to see distances < 0.15.
+        upper = igt_mixing_upper_bound(3, shares, 80)
+        times = [10, int(0.2 * upper), int(2 * upper)]
+        curve = igt_convergence_curve(80, shares, grid, times, replicas=150,
+                                      seed=1)
+        assert curve.distances[0] > curve.distances[-1]
+        assert curve.distances[0] > 0.8  # worst-case start is far away
+        assert curve.distances[-1] < 0.15
+
+    def test_crossing_time_within_paper_bounds(self, shares, grid):
+        n = 60
+        estimate = igt_empirical_mixing_estimate(
+            n, shares, grid, threshold=0.3, replicas=80, points=6, seed=2)
+        assert estimate <= 2 * igt_mixing_upper_bound(3, shares, n)
+        # Empirical marginal crossing can undershoot the full-state t_mix
+        # but not the trivial floor.
+        assert estimate >= 1
+
+    def test_crossing_never_reached_raises(self):
+        curve = ConvergenceCurve(times=np.array([1, 2]),
+                                 distances=np.array([0.9, 0.8]), replicas=10)
+        with pytest.raises(ConvergenceError):
+            curve.crossing_time(0.25)
+
+    def test_validation(self, shares, grid):
+        with pytest.raises(InvalidParameterError):
+            igt_convergence_curve(80, shares, grid, [], replicas=5)
+
+    def test_mixing_grows_with_k(self, shares):
+        """Empirical crossing times increase with k (Theorem 2.7 shape)."""
+        n = 60
+        estimates = []
+        for k in (2, 5):
+            grid = GenerosityGrid(k=k, g_max=0.6)
+            estimates.append(igt_empirical_mixing_estimate(
+                n, shares, grid, replicas=30, points=6, seed=4))
+        assert estimates[0] < estimates[1]
+
+
+class TestCliSimulate:
+    def test_simulate_runs(self, capsys):
+        assert main(["simulate", "--n", "80", "--k", "3", "--steps", "2000",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "average generosity" in out
+        assert "stationary p_j" in out
+
+    def test_simulate_with_noise(self, capsys):
+        assert main(["simulate", "--n", "60", "--k", "3", "--steps", "1000",
+                     "--noise", "0.3"]) == 0
+        assert "noise=0.3" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""Tests for the generosity grid and the k-IGT update rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.igt import AgentType, GenerosityGrid, IGTRule
+from repro.utils import InvalidParameterError
+
+
+class TestGenerosityGrid:
+    def test_values_equidistant(self):
+        grid = GenerosityGrid(k=5, g_max=0.8)
+        assert np.allclose(grid.values, [0.0, 0.2, 0.4, 0.6, 0.8])
+
+    def test_endpoints(self):
+        grid = GenerosityGrid(k=7, g_max=0.63)
+        assert grid.value(0) == 0.0
+        assert grid.value(6) == pytest.approx(0.63)
+
+    def test_spacing(self):
+        assert GenerosityGrid(k=4, g_max=0.6).spacing == pytest.approx(0.2)
+
+    def test_k_two_minimal(self):
+        grid = GenerosityGrid(k=2, g_max=1.0)
+        assert np.allclose(grid.values, [0.0, 1.0])
+
+    def test_rejects_k_one(self):
+        with pytest.raises(InvalidParameterError):
+            GenerosityGrid(k=1, g_max=0.5)
+
+    def test_rejects_zero_g_max(self):
+        with pytest.raises(InvalidParameterError):
+            GenerosityGrid(k=3, g_max=0.0)
+
+    def test_rejects_g_max_above_one(self):
+        with pytest.raises(InvalidParameterError):
+            GenerosityGrid(k=3, g_max=1.5)
+
+    def test_value_out_of_range(self):
+        grid = GenerosityGrid(k=3, g_max=0.5)
+        with pytest.raises(InvalidParameterError):
+            grid.value(3)
+
+    def test_nearest_index_roundtrip(self):
+        grid = GenerosityGrid(k=5, g_max=0.8)
+        for j in range(5):
+            assert grid.nearest_index(grid.value(j)) == j
+
+    def test_nearest_index_above_max(self):
+        grid = GenerosityGrid(k=5, g_max=0.8)
+        assert grid.nearest_index(0.95) == 4
+
+    def test_matches_paper_definition(self):
+        """g_j = g_max * (j-1)/(k-1) for 1-based j."""
+        grid = GenerosityGrid(k=6, g_max=1.0)
+        for j in range(1, 7):
+            assert grid.value(j - 1) == pytest.approx((j - 1) / 5)
+
+
+class TestIGTRule:
+    @pytest.fixture
+    def rule(self):
+        return IGTRule(GenerosityGrid(k=4, g_max=0.6))
+
+    def test_increment_on_ac(self, rule):
+        assert rule.next_index(1, AgentType.AC) == 2
+
+    def test_increment_on_gtft(self, rule):
+        assert rule.next_index(1, AgentType.GTFT) == 2
+
+    def test_decrement_on_ad(self, rule):
+        assert rule.next_index(2, AgentType.AD) == 1
+
+    def test_truncation_top(self, rule):
+        assert rule.next_index(3, AgentType.AC) == 3
+
+    def test_truncation_bottom(self, rule):
+        assert rule.next_index(0, AgentType.AD) == 0
+
+    def test_out_of_range_raises(self, rule):
+        with pytest.raises(InvalidParameterError):
+            rule.next_index(4, AgentType.AC)
+
+    def test_inc_dec_helpers(self, rule):
+        assert rule.increment(3) == 3
+        assert rule.decrement(0) == 0
+        assert rule.increment(0) == 1
+        assert rule.decrement(3) == 2
+
+    def test_strict_variant_ignores_ac(self):
+        strict = IGTRule(GenerosityGrid(k=4, g_max=0.6), strict=True)
+        assert strict.next_index(1, AgentType.AC) == 1
+        assert strict.next_index(1, AgentType.GTFT) == 2
+        assert strict.next_index(1, AgentType.AD) == 0
+
+    def test_transition_diagram_covers_all_states(self, rule):
+        diagram = rule.transition_diagram()
+        assert len(diagram) == 4
+        assert [entry["index"] for entry in diagram] == [0, 1, 2, 3]
+
+    def test_transition_diagram_consistent_with_rule(self, rule):
+        for entry in rule.transition_diagram():
+            j = entry["index"]
+            assert entry["on_ac"] == rule.next_index(j, AgentType.AC)
+            assert entry["on_ad"] == rule.next_index(j, AgentType.AD)
+
+
+class TestAgentType:
+    def test_three_types(self):
+        assert {AgentType.AC, AgentType.AD, AgentType.GTFT} == set(AgentType)
+
+    def test_values_stable(self):
+        assert int(AgentType.AC) == 0
+        assert int(AgentType.AD) == 1
+        assert int(AgentType.GTFT) == 2

@@ -1,0 +1,283 @@
+"""Tests for the agent-level IGT simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import RDSetting
+from repro.core.igt import AgentType, GenerosityGrid
+from repro.core.population_igt import IGTSimulation, PopulationShares
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture
+def shares():
+    return PopulationShares(alpha=0.3, beta=0.2, gamma=0.5)
+
+
+@pytest.fixture
+def grid():
+    return GenerosityGrid(k=3, g_max=0.6)
+
+
+class TestPopulationShares:
+    def test_valid(self, shares):
+        assert shares.lam == pytest.approx(4.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(InvalidParameterError):
+            PopulationShares(alpha=0.5, beta=0.5, gamma=0.5)
+
+    def test_rejects_zero_gamma(self):
+        with pytest.raises(InvalidParameterError):
+            PopulationShares(alpha=0.5, beta=0.5, gamma=0.0)
+
+    def test_lambda_infinite_at_beta_zero(self):
+        shares = PopulationShares(alpha=0.5, beta=0.0, gamma=0.5)
+        assert shares.lam == float("inf")
+
+    def test_agent_counts_sum(self, shares):
+        n_ac, n_ad, n_gtft = shares.agent_counts(100)
+        assert n_ac + n_ad + n_gtft == 100
+        assert (n_ac, n_ad, n_gtft) == (30, 20, 50)
+
+    def test_agent_counts_need_gtft(self):
+        shares = PopulationShares(alpha=0.99, beta=0.0, gamma=0.01)
+        with pytest.raises(InvalidParameterError):
+            shares.agent_counts(10)
+
+
+class TestConstruction:
+    def test_type_layout(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        assert (sim.types == AgentType.AC).sum() == 30
+        assert (sim.types == AgentType.AD).sum() == 20
+        assert (sim.types == AgentType.GTFT).sum() == 50
+        assert sim.n_gtft == 50
+
+    def test_counts_match_indices(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        assert sim.counts.sum() == sim.n_gtft
+        assert np.array_equal(
+            sim.counts, np.bincount(sim.gtft_indices(), minlength=3))
+
+    def test_uniform_initialization_spreads(self, shares, grid):
+        sim = IGTSimulation(n=4000, shares=shares, grid=grid, seed=1)
+        fractions = sim.counts / sim.n_gtft
+        assert np.allclose(fractions, 1 / 3, atol=0.06)
+
+    def test_scalar_initialization(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                            initial_indices=2)
+        assert sim.counts[2] == sim.n_gtft
+
+    def test_explicit_initialization(self, shares, grid):
+        explicit = np.zeros(50, dtype=np.int64)
+        explicit[:10] = 1
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                            initial_indices=explicit)
+        assert sim.counts[1] == 10
+
+    def test_explicit_wrong_length_raises(self, shares, grid):
+        with pytest.raises(InvalidParameterError):
+            IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                          initial_indices=np.zeros(7, dtype=np.int64))
+
+    def test_bad_scalar_raises(self, shares, grid):
+        with pytest.raises(InvalidParameterError):
+            IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                          initial_indices=5)
+
+    def test_bad_mode_raises(self, shares, grid):
+        with pytest.raises(InvalidParameterError):
+            IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                          mode="telepathic")
+
+    def test_action_mode_requires_setting(self, shares, grid):
+        with pytest.raises(InvalidParameterError):
+            IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                          mode="action")
+
+
+class TestDynamics:
+    def test_gtft_count_invariant(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        sim.run(5000)
+        assert sim.counts.sum() == sim.n_gtft
+        assert (sim.types == AgentType.GTFT).sum() == sim.n_gtft
+
+    def test_fixed_types_never_change(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        types_before = sim.types.copy()
+        sim.run(5000)
+        assert np.array_equal(types_before, sim.types)
+
+    def test_only_gtft_indices_move(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        non_gtft = sim.types != AgentType.GTFT
+        before = sim.indices[non_gtft].copy()
+        sim.run(2000)
+        assert np.array_equal(before, sim.indices[non_gtft])
+
+    def test_reproducible(self, shares, grid):
+        sim1 = IGTSimulation(n=100, shares=shares, grid=grid, seed=77)
+        sim1.run(3000)
+        sim2 = IGTSimulation(n=100, shares=shares, grid=grid, seed=77)
+        sim2.run(3000)
+        assert np.array_equal(sim1.counts, sim2.counts)
+
+    def test_step_and_run_sample_same_law(self, shares, grid):
+        """step() and run() agree in distribution (not bitwise — the fast
+        path consumes randomness in blocks)."""
+        totals_step = np.zeros(3)
+        totals_run = np.zeros(3)
+        for seed in range(12):
+            sim1 = IGTSimulation(n=50, shares=shares, grid=grid, seed=seed,
+                                 initial_indices=1)
+            for _ in range(400):
+                sim1.step()
+            totals_step += sim1.counts
+            sim2 = IGTSimulation(n=50, shares=shares, grid=grid, seed=seed,
+                                 initial_indices=1)
+            sim2.run(400)
+            totals_run += sim2.counts
+        assert sim1.steps_run == sim2.steps_run == 400
+        # Pooled distributions close in TV.
+        tv = 0.5 * np.abs(totals_step / totals_step.sum()
+                          - totals_run / totals_run.sum()).sum()
+        assert tv < 0.08
+
+    def test_trajectory_recording(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        trajectory = sim.run(1000, record_every=100)
+        assert trajectory.shape == (11, 3)
+        assert (trajectory.sum(axis=1) == sim.n_gtft).all()
+
+    def test_empirical_mu_sums_to_one(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        sim.run(500)
+        assert sim.empirical_mu().sum() == pytest.approx(1.0)
+
+    def test_average_generosity_in_range(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        sim.run(500)
+        assert 0.0 <= sim.average_generosity() <= grid.g_max
+
+    def test_all_ad_contact_drives_generosity_down(self, grid):
+        """With overwhelmingly many AD partners, generosity collapses."""
+        shares = PopulationShares(alpha=0.0, beta=0.9, gamma=0.1)
+        sim = IGTSimulation(n=200, shares=shares, grid=grid, seed=3,
+                            initial_indices=2)
+        sim.run(30_000)
+        assert sim.average_generosity() < 0.1
+
+    def test_no_ad_drives_generosity_to_max(self, grid):
+        shares = PopulationShares(alpha=0.5, beta=0.0, gamma=0.5)
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=3,
+                            initial_indices=0)
+        sim.run(20_000)
+        assert sim.average_generosity() == pytest.approx(grid.g_max)
+
+
+class TestStrategyObjects:
+    def test_strategy_of_types(self, shares, grid, small_setting):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                            setting=small_setting)
+        ac_agent = int(np.nonzero(sim.types == AgentType.AC)[0][0])
+        ad_agent = int(np.nonzero(sim.types == AgentType.AD)[0][0])
+        gtft_agent = int(np.nonzero(sim.types == AgentType.GTFT)[0][0])
+        assert sim.strategy_of(ac_agent).name == "AC"
+        assert sim.strategy_of(ad_agent).name == "AD"
+        assert sim.strategy_of(gtft_agent).name.startswith("GTFT")
+
+    def test_gtft_strategy_uses_current_index(self, shares, grid,
+                                              small_setting):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                            setting=small_setting, initial_indices=2)
+        gtft_agent = int(np.nonzero(sim.types == AgentType.GTFT)[0][0])
+        strategy = sim.strategy_of(gtft_agent)
+        assert strategy.coop_probs[1] == pytest.approx(grid.value(2))
+
+
+class TestPayoffTracking:
+    def test_requires_setting(self, shares, grid):
+        with pytest.raises(InvalidParameterError):
+            IGTSimulation(n=50, shares=shares, grid=grid, seed=0,
+                          track_payoffs=True)
+
+    def test_accumulates(self, shares, grid, small_setting):
+        sim = IGTSimulation(n=50, shares=shares, grid=grid, seed=0,
+                            setting=small_setting, track_payoffs=True)
+        sim.run(2000)
+        assert sim.interactions_played.sum() == 2 * 2000
+        assert np.abs(sim.total_payoffs).sum() > 0
+
+    def test_ad_agents_earn_most_against_cooperators(self, grid,
+                                                     small_setting):
+        """AD free-rides: with many AC agents, AD out-earns AC on average."""
+        shares = PopulationShares(alpha=0.6, beta=0.2, gamma=0.2)
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=1,
+                            setting=small_setting, track_payoffs=True)
+        sim.run(20_000)
+        means = sim.mean_payoff_per_interaction()
+        ad_mean = means[sim.types == AgentType.AD].mean()
+        ac_mean = means[sim.types == AgentType.AC].mean()
+        assert ad_mean > ac_mean
+
+
+class TestActionMode:
+    def test_runs_and_conserves(self, shares, grid, small_setting, rng):
+        sim = IGTSimulation(n=30, shares=shares, grid=grid, seed=rng,
+                            mode="action", setting=small_setting)
+        sim.run(500)
+        assert sim.counts.sum() == sim.n_gtft
+
+    def test_high_delta_matches_strategy_mode_direction(self, shares, grid,
+                                                        rng):
+        """With delta near 1, AD partners are identified reliably."""
+        setting = RDSetting(b=4.0, c=1.0, delta=0.95, s1=0.5)
+        sim = IGTSimulation(n=40, shares=shares, grid=grid, seed=rng,
+                            mode="action", setting=setting,
+                            initial_indices=1)
+        sim.run(4000)
+        # lambda = (1-beta)/beta = 4 > 1: generosity should drift up.
+        assert sim.average_generosity() > 0.3
+
+
+class TestEhrenfestEmbedding:
+    def test_paper_parameters(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        process = sim.equivalent_ehrenfest(exact=False)
+        assert process.a == pytest.approx(shares.gamma * (1 - shares.beta))
+        assert process.b == pytest.approx(shares.gamma * shares.beta)
+        assert process.m == sim.n_gtft
+
+    def test_exact_parameters(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        process = sim.equivalent_ehrenfest(exact=True)
+        assert process.lam == pytest.approx((100 - 1 - 20) / 20)
+
+    def test_exact_lambda_approaches_paper_lambda(self, shares, grid):
+        sim = IGTSimulation(n=10_000, shares=shares, grid=grid, seed=0)
+        exact = sim.equivalent_ehrenfest(exact=True).lam
+        assert exact == pytest.approx(shares.lam, rel=0.01)
+
+    def test_needs_ad_agents(self, grid):
+        shares = PopulationShares(alpha=0.5, beta=0.0, gamma=0.5)
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
+        with pytest.raises(InvalidParameterError):
+            sim.equivalent_ehrenfest(exact=True)
+        with pytest.raises(InvalidParameterError):
+            sim.equivalent_ehrenfest(exact=False)
+
+    def test_strict_embedding_lower_bias(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                            mode="strict")
+        strict_process = sim.strict_equivalent_ehrenfest()
+        assert strict_process.lam == pytest.approx((50 - 1) / 20)
+        assert strict_process.lam < (100 - 1 - 20) / 20
+
+    def test_strict_mode_rejects_standard_embedding(self, shares, grid):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0,
+                            mode="strict")
+        with pytest.raises(InvalidParameterError):
+            sim.equivalent_ehrenfest()

@@ -1,0 +1,97 @@
+"""Tests for the experiment registry, reports, and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import all_experiments, get_experiment, run_experiment
+from repro.experiments.base import ExperimentReport, register
+from repro.utils import InvalidParameterError
+
+EXPECTED_IDS = [f"E{i}" for i in range(1, 17)]
+
+
+class TestRegistry:
+    def test_all_sixteen_registered(self):
+        ids = [eid for eid, _ in all_experiments()]
+        assert sorted(ids) == sorted(EXPECTED_IDS)
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("e1") is get_experiment("E1")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(InvalidParameterError, match="unknown"):
+            get_experiment("E99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register("E1", "dup")(lambda fast, seed: None)
+
+    def test_titles_nonempty(self):
+        assert all(title for _, title in all_experiments())
+
+
+class TestReport:
+    def test_render_contains_table_and_checks(self):
+        report = ExperimentReport(
+            experiment_id="EX", title="t", claim="c",
+            headers=["a"], rows=[[1]], checks={"ok": True, "bad": False},
+            notes=["hello"])
+        text = report.render()
+        assert "EX" in text
+        assert "[PASS] ok" in text
+        assert "[FAIL] bad" in text
+        assert "note: hello" in text
+
+    def test_all_checks_pass(self):
+        good = ExperimentReport("E", "t", "c", ["h"], checks={"x": True})
+        bad = ExperimentReport("E", "t", "c", ["h"], checks={"x": False})
+        assert good.all_checks_pass
+        assert not bad.all_checks_pass
+
+    def test_empty_checks_pass(self):
+        report = ExperimentReport("E", "t", "c", ["h"])
+        assert report.all_checks_pass
+
+
+class TestDeterministicExperiments:
+    """The cheap, fully deterministic experiments run and pass here; the
+    stochastic ones are exercised in the integration suite and benchmarks."""
+
+    @pytest.mark.parametrize("experiment_id", ["E1", "E2", "E4", "E8",
+                                               "E12", "E13", "E16"])
+    def test_runs_and_passes(self, experiment_id):
+        report = run_experiment(experiment_id, fast=True)
+        assert report.experiment_id == experiment_id
+        assert report.rows
+        assert report.all_checks_pass, report.render()
+
+    def test_e1_has_six_rows(self):
+        assert len(run_experiment("E1").rows) == 6
+
+    def test_e2_has_ten_rows(self):
+        assert len(run_experiment("E2").rows) == 10
+
+    def test_reports_render(self):
+        for experiment_id in ("E1", "E2"):
+            text = run_experiment(experiment_id).render()
+            assert "claim:" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in EXPECTED_IDS:
+            assert eid in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+
+    def test_run_with_seed(self, capsys):
+        assert main(["run", "E2", "--seed", "7"]) == 0
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(InvalidParameterError):
+            main(["run", "E99"])

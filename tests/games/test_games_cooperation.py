@@ -1,0 +1,103 @@
+"""Tests for cooperation-rate analysis."""
+
+import pytest
+
+from repro.games.cooperation import (
+    discounted_cooperation_rates,
+    limit_cooperation_rates,
+    mutual_cooperation_index,
+)
+from repro.games.strategies import (
+    always_cooperate,
+    always_defect,
+    generous_tit_for_tat,
+    reactive,
+    tit_for_tat,
+)
+from repro.utils import InvalidParameterError
+
+
+class TestDiscountedRates:
+    def test_ac_vs_ad(self):
+        r1, r2 = discounted_cooperation_rates(always_cooperate(),
+                                              always_defect(), 0.8)
+        assert r1 == pytest.approx(1.0)
+        assert r2 == pytest.approx(0.0)
+
+    def test_gtft_vs_ad_rate_approaches_g(self):
+        """Against AD, GTFT cooperates w.p. s1 in round 1 and g after."""
+        g, s1, delta = 0.3, 0.5, 0.9
+        r1, _ = discounted_cooperation_rates(
+            generous_tit_for_tat(g, s1), always_defect(), delta)
+        # Exact: (s1 + g * delta/(1-delta)) / (1/(1-delta)).
+        expected = (s1 + g * delta / (1 - delta)) * (1 - delta)
+        assert r1 == pytest.approx(expected)
+
+    def test_symmetric_pair_equal_rates(self):
+        strategy = generous_tit_for_tat(0.4, 0.5)
+        r1, r2 = discounted_cooperation_rates(strategy, strategy, 0.7)
+        assert r1 == pytest.approx(r2)
+
+    def test_rates_in_unit_interval(self):
+        for delta in (0.0, 0.5, 0.9):
+            r1, r2 = discounted_cooperation_rates(
+                reactive(0.7, 0.2, 0.4), reactive(0.3, 0.8, 0.6), delta)
+            assert 0.0 <= r1 <= 1.0
+            assert 0.0 <= r2 <= 1.0
+
+
+class TestLimitRates:
+    def test_gtft_pair_fully_cooperative(self):
+        gtft = generous_tit_for_tat(0.2, 0.5)
+        r1, r2 = limit_cooperation_rates(gtft, gtft)
+        assert r1 == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_gtft_vs_ad_limit_is_g(self):
+        g = 0.35
+        r1, r2 = limit_cooperation_rates(generous_tit_for_tat(g, 0.5),
+                                         always_defect())
+        assert r1 == pytest.approx(g)
+        assert r2 == pytest.approx(0.0)
+
+    def test_degenerate_pair_raises(self):
+        with pytest.raises(InvalidParameterError):
+            limit_cooperation_rates(tit_for_tat(), tit_for_tat())
+
+    def test_discounted_approaches_limit(self):
+        """As delta -> 1, discounted rates converge to the limit rates."""
+        first = reactive(0.8, 0.3, 0.5)
+        second = reactive(0.4, 0.6, 0.5)
+        limit_r1, _ = limit_cooperation_rates(first, second)
+        d_r1, _ = discounted_cooperation_rates(first, second, 0.999)
+        assert d_r1 == pytest.approx(limit_r1, abs=0.01)
+
+
+class TestMutualCooperation:
+    def test_ac_pair_always_cc(self):
+        assert mutual_cooperation_index(always_cooperate(),
+                                        always_cooperate(), 0.7) == \
+            pytest.approx(1.0)
+
+    def test_ad_pair_never_cc(self):
+        assert mutual_cooperation_index(always_defect(), always_defect(),
+                                        0.7) == pytest.approx(0.0)
+
+    def test_noise_lowers_mutual_cooperation(self):
+        from repro.games.strategies import with_execution_noise
+
+        clean = mutual_cooperation_index(tit_for_tat(), tit_for_tat(), 0.9)
+        noisy_strategy = with_execution_noise(tit_for_tat(), 0.1)
+        noisy = mutual_cooperation_index(noisy_strategy, noisy_strategy, 0.9)
+        assert noisy < clean
+
+    def test_generosity_restores_mutual_cooperation(self):
+        """Under noise, GTFT holds more CC mass than TFT — the quantified
+        version of the paper's Section 1.1.2 robustness discussion."""
+        from repro.games.strategies import with_execution_noise
+
+        noise, delta = 0.05, 0.9
+        tft = with_execution_noise(tit_for_tat(), noise)
+        gtft = with_execution_noise(generous_tit_for_tat(0.3, 1.0), noise)
+        assert mutual_cooperation_index(gtft, gtft, delta) > \
+            mutual_cooperation_index(tft, tft, delta)

@@ -1,0 +1,167 @@
+"""Tests for the frequency-dependent Moran process."""
+
+import numpy as np
+import pytest
+
+from repro.games.base import MatrixGame
+from repro.games.donation import DonationGame
+from repro.games.moran import (
+    MoranProcess,
+    interior_equilibrium,
+    one_third_rule_prediction,
+)
+from repro.utils import InvalidParameterError
+
+
+def constant_fitness_game(r: float) -> MatrixGame:
+    """A game where A always earns r and B always earns 1."""
+    return MatrixGame(np.array([[r, r], [1.0, 1.0]]))
+
+
+def coordination_game(a=6.0, b=2.0, c=3.0, d=3.0) -> MatrixGame:
+    return MatrixGame(np.array([[a, b], [c, d]]))
+
+
+class TestConstruction:
+    def test_rejects_asymmetric(self):
+        game = MatrixGame(np.eye(2), np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(InvalidParameterError):
+            MoranProcess(game, n=10)
+
+    def test_rejects_3x3(self):
+        game = MatrixGame(np.eye(3))
+        with pytest.raises(InvalidParameterError):
+            MoranProcess(game, n=10)
+
+    def test_rejects_overstrong_selection(self):
+        game = MatrixGame(np.array([[-10.0, -10.0], [0.0, 0.0]]))
+        with pytest.raises(InvalidParameterError):
+            MoranProcess(game, n=10, selection_intensity=0.5)
+
+
+class TestPayoffs:
+    def test_self_exclusion(self):
+        game = coordination_game()
+        process = MoranProcess(game, n=4)
+        f, g = process.average_payoffs(2)
+        # A meets 1 A and 2 B: (6*1 + 2*2)/3; B meets 2 A and 1 B.
+        assert f == pytest.approx((6 + 4) / 3)
+        assert g == pytest.approx((6 + 3) / 3)
+
+    def test_boundary_states_rejected(self):
+        process = MoranProcess(coordination_game(), n=5)
+        with pytest.raises(InvalidParameterError):
+            process.average_payoffs(0)
+        with pytest.raises(InvalidParameterError):
+            process.average_payoffs(5)
+
+    def test_transitions_absorbing_at_ends(self):
+        process = MoranProcess(coordination_game(), n=5)
+        assert process.transition_probabilities(0) == (0.0, 0.0)
+        assert process.transition_probabilities(5) == (0.0, 0.0)
+
+    def test_transition_probabilities_valid(self):
+        process = MoranProcess(coordination_game(), n=8)
+        for i in range(1, 8):
+            t_plus, t_minus = process.transition_probabilities(i)
+            assert t_plus > 0 and t_minus > 0
+            assert t_plus + t_minus <= 1.0 + 1e-12
+
+
+class TestFixationProbability:
+    def test_neutral_drift(self):
+        process = MoranProcess(coordination_game(), n=20,
+                               selection_intensity=0.0)
+        for start in (1, 5, 13):
+            assert process.fixation_probability(start) == \
+                pytest.approx(start / 20)
+
+    def test_boundaries(self):
+        process = MoranProcess(coordination_game(), n=10)
+        assert process.fixation_probability(0) == 0.0
+        assert process.fixation_probability(10) == 1.0
+
+    def test_constant_fitness_classic_formula(self):
+        """rho = (1 - 1/r) / (1 - 1/r^n) for constant fitness ratio r."""
+        r_payoff, w, n = 2.0, 0.5, 12
+        process = MoranProcess(constant_fitness_game(r_payoff), n=n,
+                               selection_intensity=w)
+        r = (1 - w + w * r_payoff) / (1 - w + w * 1.0)
+        expected = (1 - 1 / r) / (1 - 1 / r**n)
+        assert process.fixation_probability(1) == pytest.approx(expected)
+
+    def test_advantageous_beats_neutral(self):
+        process = MoranProcess(constant_fitness_game(2.0), n=15,
+                               selection_intensity=0.3)
+        assert process.is_favored_by_selection(1)
+
+    def test_disadvantageous_below_neutral(self):
+        process = MoranProcess(constant_fitness_game(0.5), n=15,
+                               selection_intensity=0.3)
+        assert not process.is_favored_by_selection(1)
+
+    def test_monotone_in_start(self):
+        process = MoranProcess(coordination_game(), n=12,
+                               selection_intensity=0.2)
+        probs = [process.fixation_probability(s) for s in range(13)]
+        assert all(probs[i] < probs[i + 1] for i in range(12))
+
+    def test_matches_chain_absorption(self):
+        """Fixation formula equals the absorbing chain's hit probability."""
+        process = MoranProcess(coordination_game(), n=8,
+                               selection_intensity=0.3)
+        chain = process.chain()
+        # Absorption probabilities at state n solve h = P h with h(n)=1,
+        # h(0)=0.
+        P = chain.dense()
+        interior = list(range(1, 8))
+        A = np.eye(7) - P[np.ix_(interior, interior)]
+        rhs = P[np.ix_(interior, [8])].ravel()
+        h = np.linalg.solve(A, rhs)
+        for idx, i in enumerate(interior):
+            assert process.fixation_probability(i) == pytest.approx(h[idx])
+
+    def test_simulation_agrees(self, rng):
+        process = MoranProcess(constant_fitness_game(1.5), n=10,
+                               selection_intensity=0.5)
+        wins = sum(process.simulate_fixation(3, seed=rng)[0]
+                   for _ in range(800))
+        assert wins / 800 == pytest.approx(process.fixation_probability(3),
+                                           abs=0.06)
+
+    def test_donation_game_defection_favored(self):
+        """One-shot donation game: AD invades AC, AC cannot invade AD."""
+        game = DonationGame(4.0, 1.0)
+        # Strategy 0 = C, 1 = D. Invading D among C's:
+        flipped = MatrixGame(game.row_payoffs[::-1, ::-1].copy())
+        d_invades = MoranProcess(flipped, n=20, selection_intensity=0.2)
+        assert d_invades.is_favored_by_selection(1)
+        c_invades = MoranProcess(game, n=20, selection_intensity=0.2)
+        assert not c_invades.is_favored_by_selection(1)
+
+
+class TestOneThirdRule:
+    def test_interior_equilibrium(self):
+        assert interior_equilibrium(coordination_game()) == \
+            pytest.approx(0.25)
+
+    def test_no_interior_for_dominance(self):
+        with pytest.raises(InvalidParameterError):
+            interior_equilibrium(DonationGame(4.0, 1.0))
+
+    def test_prediction_flag(self):
+        assert one_third_rule_prediction(coordination_game())  # x* = 1/4
+        balanced = coordination_game(a=4.0, b=1.0, c=2.0, d=3.0)  # x* = 1/2
+        assert not one_third_rule_prediction(balanced)
+
+    def test_one_third_rule_weak_selection(self):
+        """x* < 1/3 -> invader favored; x* > 2/3 -> disfavored (weak w)."""
+        n, w = 60, 0.01
+        favored = MoranProcess(coordination_game(), n=n,
+                               selection_intensity=w)  # x* = 1/4
+        assert favored.fixation_probability(1) > 1 / n
+        # Mirror game: x* = 3/4 > 2/3.
+        mirrored = coordination_game(a=3.0, b=3.0, c=2.0, d=6.0)
+        disfavored = MoranProcess(mirrored, n=n, selection_intensity=w)
+        assert interior_equilibrium(mirrored) == pytest.approx(0.75)
+        assert disfavored.fixation_probability(1) < 1 / n

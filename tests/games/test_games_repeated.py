@@ -1,0 +1,126 @@
+"""Tests for the Monte Carlo repeated-game engine."""
+
+import numpy as np
+import pytest
+
+from repro.games.base import Action
+from repro.games.donation import DonationGame
+from repro.games.expected_payoff import expected_payoff
+from repro.games.repeated import GameRecord, RepeatedGameEngine, monte_carlo_payoff
+from repro.games.strategies import (
+    always_cooperate,
+    always_defect,
+    generous_tit_for_tat,
+    tit_for_tat,
+)
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture
+def game():
+    return DonationGame(b=4.0, c=1.0)
+
+
+class TestEngineBasics:
+    def test_rejects_delta_one(self, game):
+        with pytest.raises(InvalidParameterError):
+            RepeatedGameEngine(game, 1.0)
+
+    def test_delta_zero_single_round(self, game, rng):
+        engine = RepeatedGameEngine(game, 0.0)
+        record = engine.play(always_defect(), always_cooperate(), seed=rng)
+        assert record.rounds == 1
+        assert record.first_payoff == 4.0
+        assert record.second_payoff == -1.0
+
+    def test_max_rounds_cap(self, game, rng):
+        engine = RepeatedGameEngine(game, 0.999999, max_rounds=10)
+        record = engine.play(always_cooperate(), always_cooperate(), seed=rng)
+        assert record.rounds == 10
+
+    def test_reproducible(self, game):
+        engine = RepeatedGameEngine(game, 0.8)
+        r1 = engine.play(tit_for_tat(), always_defect(), seed=42)
+        r2 = engine.play(tit_for_tat(), always_defect(), seed=42)
+        assert r1.first_payoff == r2.first_payoff
+        assert r1.first_actions == r2.first_actions
+
+    def test_payoffs_are_symmetric_function_of_actions(self, game, rng):
+        engine = RepeatedGameEngine(game, 0.7)
+        record = engine.play(generous_tit_for_tat(0.3, 0.5),
+                             always_defect(), seed=rng)
+        recomputed_first = sum(
+            game.round_payoff(a1, a2)
+            for a1, a2 in zip(record.first_actions, record.second_actions))
+        assert record.first_payoff == pytest.approx(recomputed_first)
+
+    def test_mean_rounds_geometric(self, game, rng):
+        engine = RepeatedGameEngine(game, 0.75)
+        rounds = [engine.play(always_defect(), always_defect(),
+                              seed=rng).rounds for _ in range(3000)]
+        assert np.mean(rounds) == pytest.approx(4.0, rel=0.07)
+
+
+class TestActionTranscripts:
+    def test_ad_always_defects(self, game, rng):
+        engine = RepeatedGameEngine(game, 0.9)
+        record = engine.play(always_cooperate(), always_defect(), seed=rng)
+        assert record.opponent_always_defected()
+
+    def test_ac_never_classified_ad(self, game, rng):
+        engine = RepeatedGameEngine(game, 0.9)
+        record = engine.play(always_defect(), always_cooperate(), seed=rng)
+        assert not record.opponent_always_defected()
+
+    def test_tft_vs_tft_all_cooperate(self, game, rng):
+        engine = RepeatedGameEngine(game, 0.9)
+        record = engine.play(tit_for_tat(), tit_for_tat(), seed=rng)
+        assert all(a is Action.COOPERATE for a in record.first_actions)
+        assert all(a is Action.COOPERATE for a in record.second_actions)
+
+    def test_record_actions_false_skips_storage(self, game, rng):
+        engine = RepeatedGameEngine(game, 0.7)
+        record = engine.play(tit_for_tat(), tit_for_tat(), seed=rng,
+                             record_actions=False)
+        assert record.rounds == 0  # actions not stored
+        assert record.first_payoff != 0.0
+
+
+class TestMonteCarloPayoff:
+    def test_agrees_with_resolvent(self, game, rng):
+        first = generous_tit_for_tat(0.4, 0.5)
+        second = always_defect()
+        mc, _ = monte_carlo_payoff(first, second, game, 0.7, 5000, seed=rng)
+        exact = expected_payoff(first, second, game.reward_vector, 0.7)
+        assert mc == pytest.approx(exact, abs=0.15)
+
+    def test_both_players_estimated(self, game, rng):
+        mc1, mc2 = monte_carlo_payoff(always_defect(), always_cooperate(),
+                                      game, 0.5, 2000, seed=rng)
+        assert mc1 == pytest.approx(game.b / 0.5, rel=0.1)
+        assert mc2 == pytest.approx(-game.c / 0.5, rel=0.15)
+
+    def test_noise_reduces_tft_payoff(self, game, rng):
+        clean, _ = monte_carlo_payoff(tit_for_tat(), tit_for_tat(), game,
+                                      0.9, 2000, seed=rng)
+        noisy, _ = monte_carlo_payoff(tit_for_tat(), tit_for_tat(), game,
+                                      0.9, 2000, seed=rng, noise=0.1)
+        assert noisy < clean
+
+    def test_play_many_shape(self, game, rng):
+        engine = RepeatedGameEngine(game, 0.5)
+        payoffs = engine.play_many(tit_for_tat(), always_defect(), 50,
+                                   seed=rng)
+        assert payoffs.shape == (50, 2)
+
+
+class TestGameRecord:
+    def test_rounds_property(self):
+        record = GameRecord(first_payoff=1.0, second_payoff=2.0,
+                            first_actions=[Action.COOPERATE] * 3,
+                            second_actions=[Action.DEFECT] * 3)
+        assert record.rounds == 3
+
+    def test_opponent_always_defected_empty_is_true(self):
+        record = GameRecord(first_payoff=0.0, second_payoff=0.0)
+        assert record.opponent_always_defected()

@@ -1,0 +1,161 @@
+"""Tests for memory-one and reactive strategies."""
+
+import numpy as np
+import pytest
+
+from repro.games.base import Action
+from repro.games.strategies import (
+    MemoryOneStrategy,
+    always_cooperate,
+    always_defect,
+    generous_tit_for_tat,
+    grim_trigger,
+    joint_initial_distribution,
+    reactive,
+    tit_for_tat,
+    win_stay_lose_shift,
+    with_execution_noise,
+)
+from repro.utils import InvalidParameterError
+
+C, D = Action.COOPERATE, Action.DEFECT
+
+
+class TestMemoryOneStrategy:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(InvalidParameterError):
+            MemoryOneStrategy(initial_coop_prob=1.5, coop_probs=(1, 1, 1, 1))
+        with pytest.raises(InvalidParameterError):
+            MemoryOneStrategy(initial_coop_prob=0.5,
+                              coop_probs=(1, 1, -0.1, 1))
+
+    def test_cooperation_probability_indexing(self):
+        strategy = MemoryOneStrategy(initial_coop_prob=1.0,
+                                     coop_probs=(0.1, 0.2, 0.3, 0.4))
+        assert strategy.cooperation_probability(C, C) == 0.1
+        assert strategy.cooperation_probability(C, D) == 0.2
+        assert strategy.cooperation_probability(D, C) == 0.3
+        assert strategy.cooperation_probability(D, D) == 0.4
+
+    def test_is_reactive(self):
+        assert reactive(0.8, 0.2, 0.5).is_reactive
+        assert not win_stay_lose_shift().is_reactive
+
+    def test_is_deterministic(self):
+        assert always_cooperate().is_deterministic
+        assert not generous_tit_for_tat(0.3, 0.5).is_deterministic
+
+    def test_initial_action_deterministic(self, rng):
+        assert always_defect().initial_action(rng) is D
+        assert always_cooperate().initial_action(rng) is C
+
+    def test_initial_action_frequency(self, rng):
+        strategy = reactive(1.0, 0.0, 0.3)
+        draws = [strategy.initial_action(rng) is C for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(0.3, abs=0.03)
+
+    def test_next_action_frequency(self, rng):
+        gtft = generous_tit_for_tat(0.25, 1.0)
+        draws = [gtft.next_action(C, D, rng) is C for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(0.25, abs=0.03)
+
+
+class TestNamedStrategies:
+    def test_ac_always_cooperates(self, rng):
+        ac = always_cooperate()
+        for mine in (C, D):
+            for theirs in (C, D):
+                assert ac.next_action(mine, theirs, rng) is C
+
+    def test_ad_always_defects(self, rng):
+        ad = always_defect()
+        for mine in (C, D):
+            for theirs in (C, D):
+                assert ad.next_action(mine, theirs, rng) is D
+
+    def test_tft_repeats_opponent(self, rng):
+        tft = tit_for_tat()
+        assert tft.next_action(D, C, rng) is C
+        assert tft.next_action(C, D, rng) is D
+
+    def test_gtft_semantics(self):
+        """GTFT(g): coop prob 1 after opponent C, g after opponent D."""
+        gtft = generous_tit_for_tat(0.3, 0.5)
+        assert gtft.cooperation_probability(C, C) == 1.0
+        assert gtft.cooperation_probability(D, C) == 1.0
+        assert gtft.cooperation_probability(C, D) == 0.3
+        assert gtft.cooperation_probability(D, D) == 0.3
+
+    def test_gtft_zero_is_tft(self):
+        gtft = generous_tit_for_tat(0.0, 1.0)
+        assert gtft.coop_probs == tit_for_tat().coop_probs
+
+    def test_gtft_one_is_ac_after_first_round(self):
+        gtft = generous_tit_for_tat(1.0, 1.0)
+        assert gtft.coop_probs == (1.0, 1.0, 1.0, 1.0)
+
+    def test_grim_only_cooperates_after_cc(self):
+        grim = grim_trigger()
+        assert grim.coop_probs == (1.0, 0.0, 0.0, 0.0)
+
+    def test_wsls_pavlov(self):
+        wsls = win_stay_lose_shift()
+        assert wsls.cooperation_probability(C, C) == 1.0
+        assert wsls.cooperation_probability(D, D) == 1.0
+        assert wsls.cooperation_probability(C, D) == 0.0
+        assert wsls.cooperation_probability(D, C) == 0.0
+
+    def test_invalid_generosity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            generous_tit_for_tat(1.2, 0.5)
+
+
+class TestExecutionNoise:
+    def test_zero_noise_identity(self):
+        tft = tit_for_tat()
+        noisy = with_execution_noise(tft, 0.0)
+        assert noisy.coop_probs == tft.coop_probs
+        assert noisy.initial_coop_prob == tft.initial_coop_prob
+
+    def test_flip_map(self):
+        noisy = with_execution_noise(always_cooperate(), 0.1)
+        assert all(p == pytest.approx(0.9) for p in noisy.coop_probs)
+        assert noisy.initial_coop_prob == pytest.approx(0.9)
+
+    def test_half_noise_randomizes(self):
+        noisy = with_execution_noise(always_defect(), 0.5)
+        assert all(p == pytest.approx(0.5) for p in noisy.coop_probs)
+
+    def test_noise_composes(self):
+        """Two layers of noise e compose to 2e(1-e) total flip mass."""
+        once = with_execution_noise(always_cooperate(), 0.1)
+        twice = with_execution_noise(once, 0.1)
+        expected = (1 - 0.1) * 0.9 + 0.1 * (1 - 0.9)
+        assert twice.coop_probs[0] == pytest.approx(expected)
+
+
+class TestJointInitialDistribution:
+    def test_matches_eq_34(self):
+        """q1 for (GTFT, AC) is [s1, 0, 1-s1, 0]."""
+        q1 = joint_initial_distribution(generous_tit_for_tat(0.3, 0.4),
+                                        always_cooperate())
+        assert np.allclose(q1, [0.4, 0.0, 0.6, 0.0])
+
+    def test_matches_eq_37(self):
+        """q1 for (GTFT, AD) is [0, s1, 0, 1-s1]."""
+        q1 = joint_initial_distribution(generous_tit_for_tat(0.3, 0.4),
+                                        always_defect())
+        assert np.allclose(q1, [0.0, 0.4, 0.0, 0.6])
+
+    def test_matches_eq_40(self):
+        """q1 for (GTFT, GTFT) is the product distribution."""
+        s1 = 0.3
+        q1 = joint_initial_distribution(generous_tit_for_tat(0.1, s1),
+                                        generous_tit_for_tat(0.9, s1))
+        expected = [s1 * s1, s1 * (1 - s1), (1 - s1) * s1, (1 - s1) ** 2]
+        assert np.allclose(q1, expected)
+
+    def test_sums_to_one(self):
+        q1 = joint_initial_distribution(reactive(1, 0, 0.7),
+                                        reactive(0.5, 0.5, 0.2))
+        assert q1.sum() == pytest.approx(1.0)

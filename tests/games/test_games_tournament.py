@@ -1,0 +1,126 @@
+"""Tests for the round-robin tournament engine."""
+
+import numpy as np
+import pytest
+
+from repro.games.donation import DonationGame
+from repro.games.strategies import (
+    always_cooperate,
+    always_defect,
+    generous_tit_for_tat,
+    grim_trigger,
+    tit_for_tat,
+    win_stay_lose_shift,
+)
+from repro.games.tournament import Tournament
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture
+def game():
+    return DonationGame(b=4.0, c=1.0)
+
+
+@pytest.fixture
+def axelrod_field(game):
+    entrants = [always_cooperate(), always_defect(), tit_for_tat(),
+                generous_tit_for_tat(0.3, 1.0), grim_trigger(),
+                win_stay_lose_shift()]
+    return Tournament(entrants, game, delta=0.9)
+
+
+class TestConstruction:
+    def test_needs_two_entrants(self, game):
+        with pytest.raises(InvalidParameterError):
+            Tournament([always_defect()], game, 0.9)
+
+    def test_rejects_delta_one(self, game):
+        with pytest.raises(InvalidParameterError):
+            Tournament([always_defect(), always_cooperate()], game, 1.0)
+
+    def test_name_mismatch(self, game):
+        with pytest.raises(InvalidParameterError):
+            Tournament([always_defect(), always_cooperate()], game, 0.9,
+                       names=["only-one"])
+
+    def test_default_names(self, axelrod_field):
+        assert axelrod_field.names[0] == "AC"
+        assert axelrod_field.names[1] == "AD"
+
+
+class TestPayoffMatrix:
+    def test_known_entries(self, axelrod_field, game):
+        matrix = axelrod_field.payoff_matrix()
+        delta = 0.9
+        # AC vs AC: full cooperation.
+        assert matrix[0, 0] == pytest.approx((game.b - game.c) / (1 - delta))
+        # AD vs AD: zero.
+        assert matrix[1, 1] == pytest.approx(0.0)
+        # AD vs AC: temptation every round.
+        assert matrix[1, 0] == pytest.approx(game.b / (1 - delta))
+
+    def test_monte_carlo_close_to_exact(self, axelrod_field, rng):
+        exact = axelrod_field.payoff_matrix()
+        sampled = axelrod_field.payoff_matrix(method="monte_carlo",
+                                              n_games=1500, seed=rng)
+        assert np.abs(exact - sampled).max() < 2.5
+
+    def test_unknown_method(self, axelrod_field):
+        with pytest.raises(InvalidParameterError):
+            axelrod_field.payoff_matrix(method="oracle")
+
+
+class TestResults:
+    def test_reciprocators_beat_ad(self, axelrod_field):
+        """The classic Axelrod finding: reciprocity tops the table and
+        unconditional defection finishes last."""
+        result = axelrod_field.run()
+        ranking = result.ranking()
+        assert ranking[-1][0] == "AD"
+        assert result.winner() in ("TFT", "GRIM", "GTFT(g=0.3)", "WSLS")
+
+    def test_scores_are_row_means(self, axelrod_field):
+        result = axelrod_field.run()
+        assert np.allclose(result.scores, result.payoff_matrix.mean(axis=1))
+
+    def test_exclude_self_play(self, game):
+        tournament = Tournament([always_cooperate(), always_defect()], game,
+                                0.5, include_self_play=False)
+        result = tournament.run()
+        matrix = result.payoff_matrix
+        assert result.scores[0] == pytest.approx(matrix[0, 1])
+        assert result.scores[1] == pytest.approx(matrix[1, 0])
+
+    def test_ranking_sorted(self, axelrod_field):
+        ranking = axelrod_field.run().ranking()
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+
+
+class TestEquilibriumAnalysis:
+    def test_ad_is_nash_and_ess_vs_ac(self, game):
+        tournament = Tournament([always_cooperate(), always_defect()], game,
+                                0.9)
+        assert tournament.is_symmetric_nash(1)
+        assert tournament.is_evolutionarily_stable(1)
+        assert not tournament.is_symmetric_nash(0)
+
+    def test_ac_invadable_by_ad(self, game):
+        tournament = Tournament([always_cooperate(), always_defect()], game,
+                                0.9)
+        assert not tournament.is_evolutionarily_stable(0)
+
+    def test_gtft_nash_against_ad_for_high_delta(self, game):
+        """With delta = 0.9 > c/b, GTFT(small g) resists AD invasion:
+        u(AD, GTFT) < u(GTFT, GTFT)."""
+        gtft = generous_tit_for_tat(0.1, 1.0)
+        tournament = Tournament([gtft, always_defect()], game, 0.9)
+        matrix = tournament.payoff_matrix()
+        assert matrix[1, 0] < matrix[0, 0]
+        assert tournament.is_symmetric_nash(0)
+
+    def test_best_responses_to(self, game):
+        tournament = Tournament([always_cooperate(), always_defect()], game,
+                                0.9)
+        # Best response to AC is AD (temptation forever).
+        assert tournament.best_responses_to(0) == [1]

@@ -1,0 +1,165 @@
+"""Tests for zero-determinant strategies and limit-of-means payoffs."""
+
+import numpy as np
+import pytest
+
+from repro.games.donation import DonationGame
+from repro.games.strategies import (
+    always_cooperate,
+    always_defect,
+    generous_tit_for_tat,
+    reactive,
+    tit_for_tat,
+    win_stay_lose_shift,
+)
+from repro.games.zd import (
+    average_payoff_pair,
+    extortionate_zd,
+    generous_zd,
+    max_feasible_phi,
+    zd_relation_residual,
+    zd_strategy,
+    zd_tilde_vector,
+)
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture
+def game():
+    return DonationGame(b=4.0, c=1.0)
+
+
+class TestConstruction:
+    def test_extortionate_probabilities_valid(self, game):
+        for chi in (1.0, 2.0, 5.0):
+            strategy = extortionate_zd(game, chi)
+            assert all(0.0 <= p <= 1.0 for p in strategy.coop_probs)
+
+    def test_extortionate_never_cooperates_after_dd(self, game):
+        assert extortionate_zd(game, 3.0).coop_probs[3] == 0.0
+
+    def test_generous_always_cooperates_after_cc(self, game):
+        assert generous_zd(game, 2.0).coop_probs[0] == 1.0
+
+    def test_rejects_chi_below_one(self, game):
+        with pytest.raises(InvalidParameterError):
+            extortionate_zd(game, 0.5)
+        with pytest.raises(InvalidParameterError):
+            generous_zd(game, 0.5)
+
+    def test_rejects_bad_phi_fraction(self, game):
+        with pytest.raises(InvalidParameterError):
+            zd_strategy(game, baseline=0.0, slope=2.0, phi_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            zd_strategy(game, baseline=0.0, slope=2.0, phi_fraction=1.5)
+
+    def test_max_feasible_phi_positive_in_valid_region(self, game):
+        assert max_feasible_phi(game, baseline=0.0, slope=2.0) > 0
+        assert max_feasible_phi(game, baseline=3.0, slope=2.0) > 0
+
+    def test_infeasible_region_detected(self, game):
+        # Baseline far above R makes p2 constraints unsatisfiable.
+        assert max_feasible_phi(game, baseline=10.0, slope=0.1) == 0.0
+
+    def test_infeasible_raises_on_construction(self, game):
+        with pytest.raises(InvalidParameterError):
+            zd_strategy(game, baseline=10.0, slope=0.1)
+
+    def test_tilde_vector_zero_at_baseline_states(self, game):
+        # At l = P = 0, state DD contributes (0-0) - chi(0-0) = 0.
+        tilde = zd_tilde_vector(game, baseline=0.0, slope=2.0)
+        assert tilde[3] == 0.0
+
+
+class TestAveragePayoffs:
+    def test_ac_vs_ad(self, game):
+        u1, u2 = average_payoff_pair(always_cooperate(), always_defect(),
+                                     game)
+        assert u1 == pytest.approx(-1.0)
+        assert u2 == pytest.approx(4.0)
+
+    def test_gtft_pair_full_cooperation(self, game):
+        gtft = generous_tit_for_tat(0.3, 0.5)
+        u1, u2 = average_payoff_pair(gtft, gtft, game)
+        assert u1 == pytest.approx(3.0)
+        assert u2 == pytest.approx(3.0)
+
+    def test_wsls_pair_full_cooperation(self, game):
+        u1, u2 = average_payoff_pair(win_stay_lose_shift(),
+                                     win_stay_lose_shift(), game)
+        assert u1 == pytest.approx(3.0)
+
+    def test_tft_vs_tft_not_unique(self, game):
+        """Deterministic TFT vs TFT has multiple recurrent classes."""
+        with pytest.raises(InvalidParameterError):
+            average_payoff_pair(tit_for_tat(), tit_for_tat(), game)
+
+    def test_symmetry(self, game):
+        first = reactive(0.8, 0.3, 0.5)
+        second = reactive(0.4, 0.6, 0.5)
+        u1, u2 = average_payoff_pair(first, second, game)
+        v2, v1 = average_payoff_pair(second, first, game)
+        assert u1 == pytest.approx(v1)
+        assert u2 == pytest.approx(v2)
+
+
+class TestZdRelations:
+    @pytest.mark.parametrize("chi", [1.5, 2.0, 4.0])
+    def test_extortion_enforces_relation_vs_random_opponents(self, game, chi,
+                                                             rng):
+        strategy = extortionate_zd(game, chi)
+        for _ in range(8):
+            opponent = reactive(float(rng.uniform(0.05, 0.95)),
+                                float(rng.uniform(0.05, 0.95)), 0.5)
+            residual = zd_relation_residual(strategy, opponent, game,
+                                            baseline=0.0, slope=chi)
+            assert residual < 1e-9
+
+    @pytest.mark.parametrize("chi", [1.5, 3.0])
+    def test_generosity_enforces_relation(self, game, chi, rng):
+        strategy = generous_zd(game, chi)
+        for _ in range(8):
+            opponent = reactive(float(rng.uniform(0.05, 0.95)),
+                                float(rng.uniform(0.05, 0.95)), 0.5)
+            residual = zd_relation_residual(strategy, opponent, game,
+                                            baseline=3.0, slope=chi)
+            assert residual < 1e-9
+
+    def test_extortioner_out_earns_opponent(self, game, rng):
+        """u1 = chi*u2 with chi > 1 and u2 >= 0 implies u1 >= u2."""
+        strategy = extortionate_zd(game, 3.0)
+        for _ in range(6):
+            opponent = reactive(float(rng.uniform(0.1, 0.9)),
+                                float(rng.uniform(0.1, 0.9)), 0.5)
+            u1, u2 = average_payoff_pair(strategy, opponent, game)
+            assert u1 >= u2 - 1e-9
+
+    def test_generous_under_earns_opponent(self, game, rng):
+        """u1 - R = chi(u2 - R), chi > 1, payoffs <= R: focal earns less."""
+        strategy = generous_zd(game, 2.0)
+        for _ in range(6):
+            opponent = reactive(float(rng.uniform(0.1, 0.9)),
+                                float(rng.uniform(0.1, 0.9)), 0.5)
+            u1, u2 = average_payoff_pair(strategy, opponent, game)
+            assert u1 <= u2 + 1e-9
+
+    def test_extortion_vs_ad_yields_punishment(self, game):
+        """Against AD both land on mutual defection: u1 = u2 = P = 0."""
+        strategy = extortionate_zd(game, 2.0)
+        u1, u2 = average_payoff_pair(strategy, always_defect(), game)
+        assert u1 == pytest.approx(0.0)
+        assert u2 == pytest.approx(0.0)
+
+    def test_generous_vs_ac_yields_reward(self, game):
+        strategy = generous_zd(game, 2.0)
+        u1, u2 = average_payoff_pair(strategy, always_cooperate(), game)
+        assert u1 == pytest.approx(3.0)
+        assert u2 == pytest.approx(3.0)
+
+    def test_phi_fraction_does_not_change_relation(self, game, rng):
+        opponent = reactive(0.7, 0.2, 0.5)
+        for fraction in (0.25, 0.5, 0.9):
+            strategy = zd_strategy(game, baseline=0.0, slope=2.0,
+                                   phi_fraction=fraction)
+            assert zd_relation_residual(strategy, opponent, game,
+                                        baseline=0.0, slope=2.0) < 1e-9

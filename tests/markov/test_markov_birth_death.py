@@ -1,0 +1,141 @@
+"""Tests for the birth-death chain toolkit."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.markov.birth_death import BirthDeathChain, ehrenfest_projection_chain
+from repro.markov.ehrenfest import EhrenfestProcess
+from repro.markov.hitting import expected_hitting_times
+from repro.markov.random_walks import ReflectedWalk
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture
+def biased_chain():
+    """Birth-death chain on {0..4} with constant rates p=0.4, q=0.2."""
+    return BirthDeathChain([0.4] * 4, [0.2] * 4)
+
+
+class TestConstruction:
+    def test_n_states(self, biased_chain):
+        assert biased_chain.n_states == 5
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            BirthDeathChain([0.3, 0.3], [0.2])
+
+    def test_rejects_zero_rates(self):
+        with pytest.raises(InvalidParameterError):
+            BirthDeathChain([0.3, 0.0], [0.2, 0.2])
+
+    def test_rejects_overfull_interior(self):
+        with pytest.raises(InvalidParameterError):
+            BirthDeathChain([0.7, 0.7], [0.5, 0.5])
+
+    def test_kernel_is_tridiagonal_stochastic(self, biased_chain):
+        P = biased_chain.transition_matrix()
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert P[0, 2] == 0.0
+        assert P[2, 0] == 0.0
+
+
+class TestStationary:
+    def test_product_form_matches_solve(self, biased_chain):
+        pi_formula = biased_chain.stationary_distribution()
+        pi_solved = biased_chain.chain().stationary_distribution()
+        assert np.allclose(pi_formula, pi_solved, atol=1e-10)
+
+    def test_detailed_balance(self, biased_chain):
+        assert biased_chain.chain().satisfies_detailed_balance(
+            biased_chain.stationary_distribution(), atol=1e-12)
+
+    def test_matches_reflected_walk(self):
+        """Constant-rate birth-death on {0..k-1} == ReflectedWalk on {1..k}."""
+        walk = ReflectedWalk(5, 0.4, 0.2)
+        chain = BirthDeathChain([0.4] * 4, [0.2] * 4)
+        assert np.allclose(chain.stationary_distribution(),
+                           walk.stationary_distribution())
+
+    def test_extreme_bias_stable(self):
+        chain = BirthDeathChain([0.9] * 40, [1e-3] * 40)
+        pi = chain.stationary_distribution()
+        assert np.isfinite(pi).all()
+        assert pi.sum() == pytest.approx(1.0)
+        assert pi[-1] > 0.99
+
+
+class TestHittingTimes:
+    def test_up_matches_linear_solve(self, biased_chain):
+        h = expected_hitting_times(biased_chain.chain(), [4])
+        for start in range(4):
+            assert biased_chain.expected_hitting_time_up(start, 4) == \
+                pytest.approx(h[start])
+
+    def test_down_matches_linear_solve(self, biased_chain):
+        h = expected_hitting_times(biased_chain.chain(), [0])
+        for start in range(1, 5):
+            assert biased_chain.expected_hitting_time_down(start, 0) == \
+                pytest.approx(h[start])
+
+    def test_additivity_along_path(self, biased_chain):
+        """E_0[hit 4] = E_0[hit 2] + E_2[hit 4] (birth-death paths)."""
+        total = biased_chain.expected_hitting_time(0, 4)
+        split = (biased_chain.expected_hitting_time(0, 2)
+                 + biased_chain.expected_hitting_time(2, 4))
+        assert total == pytest.approx(split)
+
+    def test_same_state_zero(self, biased_chain):
+        assert biased_chain.expected_hitting_time(2, 2) == 0.0
+
+    def test_direction_validation(self, biased_chain):
+        with pytest.raises(InvalidParameterError):
+            biased_chain.expected_hitting_time_up(3, 1)
+        with pytest.raises(InvalidParameterError):
+            biased_chain.expected_hitting_time_down(1, 3)
+
+    def test_against_drift_heuristic(self):
+        """Strong upward bias: hitting time ~ distance/drift."""
+        chain = BirthDeathChain([0.6] * 30, [0.05] * 30)
+        time = chain.expected_hitting_time(0, 30)
+        assert time == pytest.approx(30 / 0.55, rel=0.15)
+
+
+class TestEhrenfestProjection:
+    def test_matches_paper_eq_11(self):
+        """The projected kernel has entries b(m-x)/m and a·x/m."""
+        m, a, b = 6, 0.4, 0.2
+        chain = ehrenfest_projection_chain(m, a, b)
+        P = chain.transition_matrix()
+        for x in range(m + 1):
+            if x < m:
+                assert P[x, x + 1] == pytest.approx(b * (m - x) / m)
+            if x > 0:
+                assert P[x, x - 1] == pytest.approx(a * x / m)
+
+    def test_stationary_is_binomial_marginal(self):
+        """Remark A.2: the first coordinate is Binomial(m, 1/(1+lambda))."""
+        m, a, b = 8, 0.4, 0.2
+        chain = ehrenfest_projection_chain(m, a, b)
+        pi = chain.stationary_distribution()
+        p_first = (b / a) / (1 + b / a)  # weight of urn 1 under Thm 2.4
+        expected = scipy_stats.binom(m, 1 - p_first).pmf(np.arange(m + 1))
+        # Careful with orientation: urn-1 count i has weight p1 = 1/(1+lam).
+        process = EhrenfestProcess(k=2, a=a, b=b, m=m)
+        p1 = process.stationary_weights()[0]
+        expected = scipy_stats.binom(m, p1).pmf(np.arange(m + 1))
+        assert np.allclose(pi, expected, atol=1e-12)
+
+    def test_agrees_with_full_chain_marginal(self):
+        """Projecting the exact 2-urn chain's stationary law coordinate-wise
+        equals the projection chain's stationary law."""
+        m, a, b = 5, 0.35, 0.15
+        process = EhrenfestProcess(k=2, a=a, b=b, m=m)
+        space = process.space()
+        pi_full = process.stationary_distribution(space)
+        marginal = np.zeros(m + 1)
+        for i, state in enumerate(space):
+            marginal[state[0]] += pi_full[i]
+        projected = ehrenfest_projection_chain(m, a, b)
+        assert np.allclose(marginal, projected.stationary_distribution(),
+                           atol=1e-12)

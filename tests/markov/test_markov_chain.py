@@ -1,0 +1,138 @@
+"""Tests for the generic FiniteMarkovChain."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.markov.chain import FiniteMarkovChain
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture
+def two_state():
+    """Simple two-state chain with known stationary distribution (0.6, 0.4)."""
+    # pi = (q/(p+q), p/(p+q)) for flip probabilities p=0.2, q=0.3.
+    return FiniteMarkovChain(np.array([[0.8, 0.2], [0.3, 0.7]]))
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidParameterError):
+            FiniteMarkovChain(np.ones((2, 3)) / 3)
+
+    def test_rejects_non_stochastic_rows(self):
+        with pytest.raises(InvalidParameterError, match="row"):
+            FiniteMarkovChain(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(InvalidParameterError, match="negative"):
+            FiniteMarkovChain(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+    def test_validate_false_skips_check(self):
+        chain = FiniteMarkovChain(np.array([[0.5, 0.4], [0.5, 0.5]]),
+                                  validate=False)
+        assert chain.n_states == 2
+
+    def test_sparse_accepted(self):
+        P = sp.csr_matrix(np.array([[0.8, 0.2], [0.3, 0.7]]))
+        assert FiniteMarkovChain(P).n_states == 2
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            FiniteMarkovChain(np.eye(2), state_labels=["a"])
+
+    def test_dense_of_sparse(self):
+        P = sp.csr_matrix(np.array([[0.8, 0.2], [0.3, 0.7]]))
+        assert np.allclose(FiniteMarkovChain(P).dense(),
+                           [[0.8, 0.2], [0.3, 0.7]])
+
+
+class TestDistributions:
+    def test_step_distribution(self, two_state):
+        out = two_state.step_distribution(np.array([1.0, 0.0]))
+        assert np.allclose(out, [0.8, 0.2])
+
+    def test_distribution_after_zero(self, two_state):
+        start = np.array([0.5, 0.5])
+        assert np.allclose(two_state.distribution_after(start, 0), start)
+
+    def test_distribution_after_preserves_mass(self, two_state):
+        out = two_state.distribution_after(np.array([1.0, 0.0]), 17)
+        assert out.sum() == pytest.approx(1.0)
+
+
+class TestStationary:
+    def test_two_state_solve(self, two_state):
+        pi = two_state.stationary_distribution(method="solve")
+        assert np.allclose(pi, [0.6, 0.4])
+
+    def test_two_state_power(self, two_state):
+        pi = two_state.stationary_distribution(method="power")
+        assert np.allclose(pi, [0.6, 0.4], atol=1e-8)
+
+    def test_auto_matches_solve(self, two_state):
+        assert np.allclose(two_state.stationary_distribution("auto"),
+                           two_state.stationary_distribution("solve"))
+
+    def test_unknown_method_raises(self, two_state):
+        with pytest.raises(InvalidParameterError):
+            two_state.stationary_distribution(method="magic")
+
+    def test_is_stationary(self, two_state):
+        assert two_state.is_stationary([0.6, 0.4], atol=1e-12)
+        assert not two_state.is_stationary([0.5, 0.5], atol=1e-12)
+
+    def test_identity_chain_any_distribution_stationary(self):
+        chain = FiniteMarkovChain(np.eye(3))
+        assert chain.is_stationary([0.2, 0.3, 0.5])
+
+    def test_sparse_stationary(self):
+        P = sp.csr_matrix(np.array([[0.8, 0.2], [0.3, 0.7]]))
+        pi = FiniteMarkovChain(P).stationary_distribution(method="solve")
+        assert np.allclose(pi, [0.6, 0.4])
+
+
+class TestDetailedBalance:
+    def test_reversible_chain(self, two_state):
+        assert two_state.satisfies_detailed_balance([0.6, 0.4], atol=1e-12)
+
+    def test_non_reversible_cycle(self):
+        # Deterministic 3-cycle: stationary uniform but not reversible.
+        P = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+        chain = FiniteMarkovChain(P)
+        pi = np.full(3, 1 / 3)
+        assert chain.is_stationary(pi)
+        assert not chain.satisfies_detailed_balance(pi)
+
+    def test_sparse_detailed_balance(self):
+        P = sp.csr_matrix(np.array([[0.8, 0.2], [0.3, 0.7]]))
+        chain = FiniteMarkovChain(P)
+        assert chain.satisfies_detailed_balance(np.array([0.6, 0.4]),
+                                                atol=1e-12)
+
+
+class TestSamplePath:
+    def test_length(self, two_state):
+        path = two_state.sample_path(0, 50, seed=0)
+        assert path.shape == (51,)
+
+    def test_starts_at_start(self, two_state):
+        assert two_state.sample_path(1, 5, seed=0)[0] == 1
+
+    def test_reproducible(self, two_state):
+        a = two_state.sample_path(0, 100, seed=3)
+        b = two_state.sample_path(0, 100, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_states_in_range(self, two_state):
+        path = two_state.sample_path(0, 200, seed=1)
+        assert path.min() >= 0 and path.max() <= 1
+
+    def test_empirical_frequencies_near_stationary(self, two_state):
+        path = two_state.sample_path(0, 20000, seed=5)
+        frequency = np.mean(path == 0)
+        assert frequency == pytest.approx(0.6, abs=0.05)
+
+    def test_out_of_range_start_raises(self, two_state):
+        with pytest.raises(InvalidParameterError):
+            two_state.sample_path(5, 10, seed=0)

@@ -1,0 +1,113 @@
+"""Tests for the coordinate coupling (Appendix A.4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.markov.coupling import (
+    CoordinateCoupling,
+    coupling_mixing_estimate,
+    coupling_time_samples,
+)
+from repro.markov.ehrenfest import EhrenfestProcess
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture
+def process():
+    return EhrenfestProcess(k=3, a=0.35, b=0.15, m=10)
+
+
+class TestCouplingRun:
+    def test_coalesces(self, process, rng):
+        result = CoordinateCoupling(process).run(seed=rng)
+        assert result.coalesced
+        assert result.coupling_time > 0
+
+    def test_identical_starts_couple_immediately(self, process, rng):
+        x = np.full(10, 2, dtype=np.int64)
+        result = CoordinateCoupling(process).run(x, x.copy(), seed=rng)
+        assert result.coupling_time == 0
+
+    def test_reproducible(self, process):
+        t1 = CoordinateCoupling(process).run(seed=11).coupling_time
+        t2 = CoordinateCoupling(process).run(seed=11).coupling_time
+        assert t1 == t2
+
+    def test_extreme_starts_shape(self, process):
+        low, high = CoordinateCoupling(process).extreme_starts()
+        assert (low == 1).all() and (high == 3).all()
+        assert low.size == high.size == 10
+
+    def test_budget_exhaustion_reports_censored(self, process, rng):
+        result = CoordinateCoupling(process).run(seed=rng, max_steps=1)
+        assert not result.coalesced
+        assert result.coupling_time is None
+
+    def test_wrong_coordinate_count_raises(self, process, rng):
+        with pytest.raises(InvalidParameterError):
+            CoordinateCoupling(process).run(np.ones(3, dtype=np.int64),
+                                            np.ones(3, dtype=np.int64),
+                                            seed=rng)
+
+    def test_out_of_range_coordinates_raise(self, process, rng):
+        bad = np.full(10, 9, dtype=np.int64)
+        with pytest.raises(InvalidParameterError):
+            CoordinateCoupling(process).run(bad, bad.copy(), seed=rng)
+
+
+class TestCouplingSamples:
+    def test_sample_count(self, process, rng):
+        times = coupling_time_samples(process, 5, seed=rng)
+        assert times.shape == (5,)
+        assert (times > 0).all()
+
+    def test_lemma_a8_tail_bound(self, rng):
+        """At least 3/4 of coupling times fall below 2*Phi*log(4m)."""
+        process = EhrenfestProcess(k=3, a=0.35, b=0.15, m=15)
+        bound = process.mixing_time_upper_bound()
+        times = coupling_time_samples(process, 24, seed=rng)
+        assert np.mean(times <= bound) >= 0.75
+
+    def test_couple_time_scales_with_m(self, rng):
+        small = EhrenfestProcess(k=3, a=0.35, b=0.15, m=5)
+        large = EhrenfestProcess(k=3, a=0.35, b=0.15, m=40)
+        t_small = np.median(coupling_time_samples(small, 9, seed=rng))
+        t_large = np.median(coupling_time_samples(large, 9, seed=rng))
+        assert t_large > t_small
+
+
+class TestMixingEstimate:
+    def test_quantile_is_conservative(self):
+        # method="higher": the estimate never undershoots the order statistic.
+        times = np.array([10, 20, 30, 40])
+        assert coupling_mixing_estimate(times, quantile=0.5) == pytest.approx(30.0)
+        assert coupling_mixing_estimate(times, quantile=1.0) == pytest.approx(40.0)
+
+    def test_censored_treated_as_infinite(self):
+        times = np.array([10, -1, -1, -1])
+        assert coupling_mixing_estimate(times, quantile=0.75) == np.inf
+
+    def test_estimate_upper_bounds_exact_tmix(self, rng):
+        """Coupling-quantile estimate dominates the exact mixing time."""
+        from repro.markov.mixing import exact_mixing_time
+
+        process = EhrenfestProcess(k=2, a=0.4, b=0.3, m=8)
+        times = coupling_time_samples(process, 40, seed=rng)
+        estimate = coupling_mixing_estimate(times)
+        chain = process.exact_chain()
+        tmix = exact_mixing_time(chain, pi=process.stationary_distribution(),
+                                 t_max=20_000)
+        # The 0.75-quantile coupling time is a high-probability upper bound;
+        # allow slack for sampling noise.
+        assert estimate >= 0.5 * tmix
+
+
+class TestCouplingMarginals:
+    def test_marginal_is_ehrenfest(self, rng):
+        """Counts of the X-copy evolve with the correct stationary mean."""
+        process = EhrenfestProcess(k=2, a=0.45, b=0.15, m=20)
+        coupling = CoordinateCoupling(process)
+        x0, y0 = coupling.extreme_starts()
+        # Run well past the bound; then X == Y and both are ~stationary.
+        result = coupling.run(x0, y0, seed=rng)
+        assert result.coalesced

@@ -1,0 +1,127 @@
+"""Tests for exact hitting-time analysis."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import FiniteMarkovChain
+from repro.markov.ehrenfest import EhrenfestProcess
+from repro.markov.hitting import (
+    corner_hitting_time,
+    expected_hitting_times,
+    expected_return_time,
+)
+from repro.markov.random_walks import BiasedWalkSpec
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture
+def two_state():
+    return FiniteMarkovChain(np.array([[0.8, 0.2], [0.3, 0.7]]))
+
+
+class TestExpectedHittingTimes:
+    def test_zero_on_targets(self, two_state):
+        h = expected_hitting_times(two_state, [1])
+        assert h[1] == 0.0
+
+    def test_geometric_two_state(self, two_state):
+        # From state 0, hit state 1 in Geometric(0.2): mean 5.
+        h = expected_hitting_times(two_state, [1])
+        assert h[0] == pytest.approx(5.0)
+
+    def test_gamblers_ruin_expected_duration(self):
+        """Unbiased gambler's ruin on {0..N}: E_i[tau] = i(N - i)."""
+        N = 8
+        P = np.zeros((N + 1, N + 1))
+        P[0, 0] = P[N, N] = 1.0
+        for i in range(1, N):
+            P[i, i - 1] = P[i, i + 1] = 0.5
+        chain = FiniteMarkovChain(P)
+        h = expected_hitting_times(chain, [0, N])
+        for i in range(N + 1):
+            assert h[i] == pytest.approx(i * (N - i))
+
+    def test_biased_interval_matches_martingale_formula(self):
+        """Hitting {-k, k} from 0 equals Proposition A.7's closed form."""
+        from repro.markov.random_walks import expected_absorption_time
+
+        k, a, b = 4, 0.4, 0.2
+        size = 2 * k + 1  # states -k..k
+        P = np.zeros((size, size))
+        P[0, 0] = P[-1, -1] = 1.0
+        for i in range(1, size - 1):
+            P[i, i + 1] = a
+            P[i, i - 1] = b
+            P[i, i] = 1 - a - b
+        chain = FiniteMarkovChain(P)
+        h = expected_hitting_times(chain, [0, size - 1])
+        assert h[k] == pytest.approx(expected_absorption_time(k, a, b))
+
+    def test_unreachable_target_raises(self):
+        P = np.array([[1.0, 0.0], [0.5, 0.5]])
+        chain = FiniteMarkovChain(P)
+        with pytest.raises(InvalidParameterError):
+            expected_hitting_times(chain, [1])
+
+    def test_empty_targets_raise(self, two_state):
+        with pytest.raises(InvalidParameterError):
+            expected_hitting_times(two_state, [])
+
+    def test_all_states_targets(self, two_state):
+        h = expected_hitting_times(two_state, [0, 1])
+        assert np.allclose(h, 0.0)
+
+    def test_out_of_range_target(self, two_state):
+        with pytest.raises(InvalidParameterError):
+            expected_hitting_times(two_state, [5])
+
+
+class TestReturnTime:
+    def test_kac_formula(self, two_state):
+        pi = two_state.stationary_distribution()
+        assert expected_return_time(two_state, 0) == pytest.approx(1 / pi[0])
+
+    def test_zero_mass_raises(self):
+        chain = FiniteMarkovChain(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        with pytest.raises(InvalidParameterError):
+            expected_return_time(chain, 1, pi=np.array([1.0, 0.0]))
+
+    def test_return_time_vs_simulation(self, rng):
+        chain = FiniteMarkovChain(np.array([[0.6, 0.4], [0.2, 0.8]]))
+        path = chain.sample_path(0, 40_000, seed=rng)
+        visits = np.nonzero(path == 0)[0]
+        gaps = np.diff(visits)
+        assert gaps.mean() == pytest.approx(expected_return_time(chain, 0),
+                                            rel=0.1)
+
+
+class TestCornerHitting:
+    def test_at_least_graph_distance(self):
+        process = EhrenfestProcess(k=3, a=0.4, b=0.1, m=4)
+        distance = (3 - 1) * 4
+        assert corner_hitting_time(process, "up") >= distance
+        assert corner_hitting_time(process, "down") >= distance
+
+    def test_drift_direction_asymmetry(self):
+        """Upward drift (a > b) makes the up-hit much cheaper."""
+        process = EhrenfestProcess(k=3, a=0.45, b=0.05, m=5)
+        up = corner_hitting_time(process, "up")
+        down = corner_hitting_time(process, "down")
+        assert up < down / 5
+
+    def test_symmetric_process_symmetric_times(self):
+        process = EhrenfestProcess(k=3, a=0.25, b=0.25, m=4)
+        up = corner_hitting_time(process, "up")
+        down = corner_hitting_time(process, "down")
+        assert up == pytest.approx(down, rel=1e-9)
+
+    def test_bad_direction(self):
+        process = EhrenfestProcess(k=2, a=0.3, b=0.3, m=3)
+        with pytest.raises(InvalidParameterError):
+            corner_hitting_time(process, "sideways")
+
+    def test_diameter_bound_consistency(self):
+        """t_mix lower bound km/2 is indeed below the corner hitting time."""
+        process = EhrenfestProcess(k=3, a=0.3, b=0.2, m=6)
+        hit = corner_hitting_time(process, "up")
+        assert hit >= process.mixing_time_lower_bound()

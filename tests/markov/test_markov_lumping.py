@@ -1,0 +1,129 @@
+"""Tests for strong lumpability and chain projection."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import FiniteMarkovChain
+from repro.markov.ehrenfest import EhrenfestProcess
+from repro.markov.lumping import (
+    block_transition_probabilities,
+    is_strongly_lumpable,
+    lump_chain,
+    lumped_stationary,
+)
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture
+def symmetric_chain():
+    """Random walk on a 4-cycle with laziness — lumpable by opposite pairs."""
+    P = np.array([
+        [0.5, 0.25, 0.0, 0.25],
+        [0.25, 0.5, 0.25, 0.0],
+        [0.0, 0.25, 0.5, 0.25],
+        [0.25, 0.0, 0.25, 0.5],
+    ])
+    return FiniteMarkovChain(P)
+
+
+class TestPartitionValidation:
+    def test_rejects_incomplete_partition(self, symmetric_chain):
+        with pytest.raises(InvalidParameterError):
+            is_strongly_lumpable(symmetric_chain, [[0, 1]])
+
+    def test_rejects_overlapping_blocks(self, symmetric_chain):
+        with pytest.raises(InvalidParameterError):
+            is_strongly_lumpable(symmetric_chain, [[0, 1], [1, 2, 3]])
+
+    def test_rejects_empty_block(self, symmetric_chain):
+        with pytest.raises(InvalidParameterError):
+            is_strongly_lumpable(symmetric_chain, [[0, 1, 2, 3], []])
+
+    def test_rejects_out_of_range(self, symmetric_chain):
+        with pytest.raises(InvalidParameterError):
+            is_strongly_lumpable(symmetric_chain, [[0, 1], [2, 5]])
+
+
+class TestLumpability:
+    def test_trivial_partitions_lumpable(self, symmetric_chain):
+        singletons = [[i] for i in range(4)]
+        assert is_strongly_lumpable(symmetric_chain, singletons)
+        assert is_strongly_lumpable(symmetric_chain, [[0, 1, 2, 3]])
+
+    def test_opposite_pairs_lumpable(self, symmetric_chain):
+        assert is_strongly_lumpable(symmetric_chain, [[0, 2], [1, 3]])
+
+    def test_adjacent_pairs_lumpable_on_cycle(self, symmetric_chain):
+        # {0,1} vs {2,3}: from 0 -> block2 prob 0.25; from 1 -> 0.25. OK.
+        assert is_strongly_lumpable(symmetric_chain, [[0, 1], [2, 3]])
+
+    def test_non_lumpable_detected(self):
+        P = np.array([
+            [0.0, 1.0, 0.0],
+            [0.5, 0.0, 0.5],
+            [0.0, 0.2, 0.8],
+        ])
+        chain = FiniteMarkovChain(P)
+        # Block {0, 2}: from 0 the chain enters {1} w.p. 1, from 2 w.p. 0.2.
+        assert not is_strongly_lumpable(chain, [[0, 2], [1]])
+
+    def test_block_probabilities_shape(self, symmetric_chain):
+        rows = block_transition_probabilities(symmetric_chain,
+                                              [[0, 2], [1, 3]])
+        assert rows.shape == (4, 2)
+        assert np.allclose(rows.sum(axis=1), 1.0)
+
+
+class TestLumpedChain:
+    def test_lumped_kernel(self, symmetric_chain):
+        lumped = lump_chain(symmetric_chain, [[0, 2], [1, 3]])
+        assert lumped.n_states == 2
+        assert np.allclose(lumped.dense(), [[0.5, 0.5], [0.5, 0.5]])
+
+    def test_lump_rejects_non_lumpable(self):
+        P = np.array([
+            [0.0, 1.0, 0.0],
+            [0.5, 0.0, 0.5],
+            [0.0, 0.2, 0.8],
+        ])
+        with pytest.raises(InvalidParameterError):
+            lump_chain(FiniteMarkovChain(P), [[0, 2], [1]])
+
+    def test_lumped_stationary_consistency(self, symmetric_chain):
+        """Aggregated stationary == stationary of the lumped chain."""
+        partition = [[0, 2], [1, 3]]
+        aggregated = lumped_stationary(symmetric_chain, partition)
+        lumped = lump_chain(symmetric_chain, partition)
+        assert np.allclose(aggregated, lumped.stationary_distribution(),
+                           atol=1e-10)
+
+    def test_ehrenfest_k3_coordinate_projection_not_lumpable(self):
+        """Projecting the k=3 Ehrenfest chain onto its first coordinate is
+        NOT strongly lumpable (moves out of urn 1 depend on urn 2's load),
+        which is why the paper uses the full planar embedding in A.2."""
+        process = EhrenfestProcess(k=3, a=0.3, b=0.2, m=3)
+        space = process.space()
+        chain = process.exact_chain(space)
+        blocks: dict[int, list[int]] = {}
+        for i, state in enumerate(space):
+            blocks.setdefault(state[0], []).append(i)
+        partition = [blocks[v] for v in sorted(blocks)]
+        assert not is_strongly_lumpable(chain, partition)
+
+    def test_ehrenfest_k2_projection_lumpable_and_matches_eq_11(self):
+        """For k=2 the coordinate projection IS (trivially) lumpable and the
+        lumped kernel equals the paper's eq. 11 birth-death chain."""
+        from repro.markov.birth_death import ehrenfest_projection_chain
+
+        m, a, b = 4, 0.4, 0.2
+        process = EhrenfestProcess(k=2, a=a, b=b, m=m)
+        space = process.space()
+        chain = process.exact_chain(space)
+        blocks: dict[int, list[int]] = {}
+        for i, state in enumerate(space):
+            blocks.setdefault(state[0], []).append(i)
+        partition = [blocks[v] for v in sorted(blocks)]
+        assert is_strongly_lumpable(chain, partition)
+        lumped = lump_chain(chain, partition)
+        reference = ehrenfest_projection_chain(m, a, b).transition_matrix()
+        assert np.allclose(lumped.dense(), reference)

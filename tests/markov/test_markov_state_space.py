@@ -1,0 +1,92 @@
+"""Tests for the Delta_k^m composition space."""
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.markov.state_space import CompositionSpace, compositions, num_compositions
+from repro.utils import InvalidParameterError
+
+
+class TestNumCompositions:
+    @pytest.mark.parametrize("m,k,expected", [
+        (0, 1, 1), (3, 1, 1), (2, 2, 3), (3, 3, 10), (5, 4, 56),
+    ])
+    def test_known_values(self, m, k, expected):
+        assert num_compositions(m, k) == expected
+
+    def test_matches_binomial(self):
+        for m in range(6):
+            for k in range(1, 5):
+                assert num_compositions(m, k) == comb(m + k - 1, k - 1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            num_compositions(3, 0)
+
+
+class TestCompositions:
+    def test_enumeration_count(self):
+        assert len(list(compositions(4, 3))) == num_compositions(4, 3)
+
+    def test_all_sum_to_m(self):
+        assert all(sum(x) == 5 for x in compositions(5, 3))
+
+    def test_all_nonnegative(self):
+        assert all(min(x) >= 0 for x in compositions(4, 4))
+
+    def test_no_duplicates(self):
+        states = list(compositions(5, 3))
+        assert len(set(states)) == len(states)
+
+    def test_lexicographic_order(self):
+        states = list(compositions(2, 2))
+        assert states == [(0, 2), (1, 1), (2, 0)]
+
+    def test_k_equals_one(self):
+        assert list(compositions(7, 1)) == [(7,)]
+
+    def test_m_zero(self):
+        assert list(compositions(0, 3)) == [(0, 0, 0)]
+
+
+class TestCompositionSpace:
+    def test_len(self):
+        assert len(CompositionSpace(4, 3)) == 15
+
+    def test_index_state_roundtrip(self):
+        space = CompositionSpace(5, 3)
+        for i, state in enumerate(space):
+            assert space.index(state) == i
+            assert space.state(i) == state
+
+    def test_index_accepts_numpy(self):
+        space = CompositionSpace(3, 2)
+        assert space.index(np.array([1, 2])) == space.index((1, 2))
+
+    def test_contains(self):
+        space = CompositionSpace(3, 2)
+        assert (1, 2) in space
+        assert (2, 2) not in space
+
+    def test_missing_state_raises(self):
+        space = CompositionSpace(3, 2)
+        with pytest.raises(KeyError):
+            space.index((4, -1))
+
+    def test_as_array_shape_and_sums(self):
+        space = CompositionSpace(4, 3)
+        arr = space.as_array()
+        assert arr.shape == (len(space), 3)
+        assert (arr.sum(axis=1) == 4).all()
+
+    def test_extreme_states(self):
+        low, high = CompositionSpace(5, 3).extreme_states()
+        assert low == (5, 0, 0)
+        assert high == (0, 0, 5)
+
+    def test_extremes_are_members(self):
+        space = CompositionSpace(4, 4)
+        low, high = space.extreme_states()
+        assert low in space and high in space

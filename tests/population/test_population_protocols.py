@@ -1,0 +1,223 @@
+"""Tests for the classic population protocols (substrate demos)."""
+
+import numpy as np
+import pytest
+
+from repro.population.protocols.averaging import AveragingProtocol
+from repro.population.protocols.exact_majority import (
+    STRONG_A,
+    STRONG_B,
+    WEAK_A,
+    WEAK_B,
+    FourStateExactMajority,
+)
+from repro.population.protocols.leader import (
+    FOLLOWER,
+    LEADER,
+    LeaderElectionProtocol,
+)
+from repro.population.protocols.majority import (
+    BLANK,
+    X,
+    Y,
+    ThreeStateApproximateMajority,
+)
+from repro.population.protocols.rumor import (
+    INFORMED,
+    SUSCEPTIBLE,
+    RumorSpreadingProtocol,
+)
+from repro.population.simulator import Simulator
+from repro.utils import InvalidParameterError
+
+
+class TestApproximateMajority:
+    def test_transition_rules(self):
+        protocol = ThreeStateApproximateMajority()
+        assert protocol.transition(X, Y) == (X, BLANK)
+        assert protocol.transition(Y, X) == (Y, BLANK)
+        assert protocol.transition(X, BLANK) == (X, X)
+        assert protocol.transition(Y, BLANK) == (Y, Y)
+        assert protocol.transition(BLANK, X) == (BLANK, X)
+
+    def test_initial_states(self):
+        states = ThreeStateApproximateMajority.initial_states(10, 7)
+        assert (states == X).sum() == 7
+        assert (states == Y).sum() == 3
+
+    def test_initial_states_bad_count(self):
+        with pytest.raises(InvalidParameterError):
+            ThreeStateApproximateMajority.initial_states(5, 6)
+
+    def test_output_map(self):
+        protocol = ThreeStateApproximateMajority()
+        assert protocol.output(X) == 0
+        assert protocol.output(Y) == 1
+        assert protocol.output(BLANK) is None
+
+    def test_converges_to_clear_majority(self, rng):
+        protocol = ThreeStateApproximateMajority()
+        n = 120
+        states = protocol.initial_states(n, 90)
+        sim = Simulator(protocol, states, seed=rng)
+        result = sim.run(80 * n, stop_when=protocol.has_consensus,
+                         check_stop_every=50)
+        assert result.converged
+        assert protocol.winner(result.counts) == 0
+
+    def test_winner_undetermined_when_mixed(self):
+        counts = np.array([3, 3, 0])
+        assert ThreeStateApproximateMajority.winner(counts) is None
+
+
+class TestExactMajority:
+    def test_annihilation_rule(self):
+        protocol = FourStateExactMajority()
+        assert protocol.transition(STRONG_A, STRONG_B) == (WEAK_A, WEAK_B)
+        assert protocol.transition(STRONG_B, STRONG_A) == (WEAK_B, WEAK_A)
+
+    def test_conversion_rules(self):
+        protocol = FourStateExactMajority()
+        assert protocol.transition(STRONG_A, WEAK_B) == (STRONG_A, WEAK_A)
+        assert protocol.transition(WEAK_B, STRONG_A) == (WEAK_A, STRONG_A)
+
+    def test_weak_weak_inert(self):
+        protocol = FourStateExactMajority()
+        assert protocol.transition(WEAK_A, WEAK_B) == (WEAK_A, WEAK_B)
+
+    def test_strong_difference_invariant(self, rng):
+        protocol = FourStateExactMajority()
+        n = 60
+        states = protocol.initial_states(n, 35)
+        sim = Simulator(protocol, states, seed=rng)
+        initial_diff = protocol.strong_difference(sim.counts)
+        sim.run(5000)
+        assert protocol.strong_difference(sim.counts) == initial_diff
+
+    @pytest.mark.parametrize("a_count,expected", [(40, 0), (20, 1)])
+    def test_exact_majority_correct(self, rng, a_count, expected):
+        protocol = FourStateExactMajority()
+        n = 60
+        states = protocol.initial_states(n, a_count)
+        sim = Simulator(protocol, states, seed=rng)
+        result = sim.run(400 * n, stop_when=protocol.has_converged,
+                         check_stop_every=100)
+        assert result.converged
+        outputs = set(sim.outputs())
+        assert outputs == {expected}
+
+
+class TestLeaderElection:
+    def test_rule(self):
+        protocol = LeaderElectionProtocol()
+        assert protocol.transition(LEADER, LEADER) == (LEADER, FOLLOWER)
+        assert protocol.transition(LEADER, FOLLOWER) == (LEADER, FOLLOWER)
+
+    def test_exactly_one_leader_survives(self, rng):
+        protocol = LeaderElectionProtocol()
+        n = 40
+        sim = Simulator(protocol, protocol.initial_states(n), seed=rng)
+        result = sim.run(100 * n * n, stop_when=protocol.has_unique_leader,
+                         check_stop_every=100)
+        assert result.converged
+        assert result.counts[LEADER] == 1
+
+    def test_leader_count_never_increases(self, rng):
+        protocol = LeaderElectionProtocol()
+        sim = Simulator(protocol, protocol.initial_states(20), seed=rng)
+        previous = sim.counts[LEADER]
+        for _ in range(30):
+            result = sim.run(50)
+            current = result.counts[LEADER]
+            assert current <= previous
+            previous = current
+
+    def test_expected_interactions_formula(self, rng):
+        """Mean convergence time matches (n-1)^2 exactly (within CI)."""
+        protocol = LeaderElectionProtocol()
+        n = 12
+        times = []
+        for _ in range(120):
+            sim = Simulator(protocol, protocol.initial_states(n), seed=rng)
+            result = sim.run(80 * n * n,
+                             stop_when=protocol.has_unique_leader)
+            assert result.converged
+            times.append(result.steps)
+        expected = protocol.expected_interactions(n)
+        assert np.mean(times) == pytest.approx(expected, rel=0.2)
+
+
+class TestRumorSpreading:
+    def test_rule_one_way(self):
+        protocol = RumorSpreadingProtocol()
+        # Pull: the susceptible initiator learns from an informed responder.
+        assert protocol.transition(SUSCEPTIBLE, INFORMED) == (INFORMED, INFORMED)
+        # The responder never changes (paper footnote 3 one-way convention).
+        assert protocol.transition(INFORMED, SUSCEPTIBLE) == (INFORMED, SUSCEPTIBLE)
+        assert protocol.is_one_way
+
+    def test_everyone_informed(self, rng):
+        protocol = RumorSpreadingProtocol()
+        n = 80
+        sim = Simulator(protocol, protocol.initial_states(n), seed=rng)
+        result = sim.run(200 * n, stop_when=protocol.all_informed,
+                         check_stop_every=20)
+        assert result.converged
+
+    def test_informed_count_monotone(self, rng):
+        protocol = RumorSpreadingProtocol()
+        sim = Simulator(protocol, protocol.initial_states(30), seed=rng)
+        previous = sim.counts[INFORMED]
+        for _ in range(20):
+            current = sim.run(30).counts[INFORMED]
+            assert current >= previous
+            previous = current
+
+    def test_expected_interactions_scales_n_log_n(self, rng):
+        protocol = RumorSpreadingProtocol()
+        n = 50
+        times = []
+        for _ in range(60):
+            sim = Simulator(protocol, protocol.initial_states(n), seed=rng)
+            result = sim.run(400 * n, stop_when=protocol.all_informed,
+                             check_stop_every=5)
+            assert result.converged
+            times.append(result.steps)
+        expected = protocol.expected_interactions(n)
+        assert np.mean(times) == pytest.approx(expected, rel=0.25)
+
+
+class TestAveraging:
+    def test_split_rule(self):
+        protocol = AveragingProtocol(max_value=10)
+        assert protocol.transition(5, 2) == (4, 3)
+        assert protocol.transition(2, 5) == (4, 3)
+        assert protocol.transition(3, 3) == (3, 3)
+
+    def test_sum_conserved(self, rng):
+        protocol = AveragingProtocol(max_value=16)
+        values = np.array([16, 0, 0, 0, 8, 8, 4, 12], dtype=np.int64)
+        sim = Simulator(protocol, values, seed=rng)
+        total_before = protocol.total_load(sim.counts)
+        sim.run(5000)
+        assert protocol.total_load(sim.counts) == total_before
+
+    def test_balances(self, rng):
+        protocol = AveragingProtocol(max_value=16)
+        values = np.array([16, 0] * 10, dtype=np.int64)
+        sim = Simulator(protocol, values, seed=rng)
+        result = sim.run(40_000, stop_when=protocol.is_balanced,
+                         check_stop_every=100)
+        assert result.converged
+        present = np.nonzero(result.counts)[0]
+        assert present[-1] - present[0] <= 1
+
+    def test_is_balanced_predicate(self):
+        assert AveragingProtocol.is_balanced(np.array([0, 3, 5, 0]))
+        assert not AveragingProtocol.is_balanced(np.array([1, 0, 5]))
+
+    def test_initial_states_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AveragingProtocol.initial_states([5])
+        with pytest.raises(InvalidParameterError):
+            AveragingProtocol.initial_states([-1, 2])

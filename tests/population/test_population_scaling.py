@@ -1,0 +1,82 @@
+"""Tests for the protocol convergence-scaling harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.population.protocols.leader import LeaderElectionProtocol
+from repro.population.protocols.rumor import RumorSpreadingProtocol
+from repro.population.scaling import ScalingStudy, measure_convergence_scaling
+from repro.utils import ConvergenceError, InvalidParameterError
+
+
+def _leader_study(ns, replicas, seed):
+    return measure_convergence_scaling(
+        protocol_factory=lambda n: LeaderElectionProtocol(),
+        initializer=LeaderElectionProtocol.initial_states,
+        stop_predicate=lambda protocol: protocol.has_unique_leader,
+        ns=ns, replicas=replicas, seed=seed)
+
+
+class TestScalingStudy:
+    def test_structure(self, rng):
+        study = _leader_study([8, 16], replicas=6, seed=rng)
+        assert study.ns == [8, 16]
+        assert len(study.times) == 2
+        assert study.times[0].shape == (6,)
+
+    def test_means_positive_increasing(self, rng):
+        study = _leader_study([8, 24], replicas=8, seed=rng)
+        means = study.means()
+        assert means[0] < means[1]
+
+    def test_confidence_intervals(self, rng):
+        study = _leader_study([10], replicas=8, seed=rng)
+        mean, low, high = study.confidence_intervals()[0]
+        assert low <= mean <= high
+
+    def test_leader_election_quadratic(self, rng):
+        """Fratricide leader election scales ~n^2."""
+        study = _leader_study([8, 16, 32], replicas=12, seed=rng)
+        assert study.growth_exponent() == pytest.approx(2.0, abs=0.5)
+
+    def test_leader_election_matches_exact_formula(self, rng):
+        """Mean time ~ (n-1)^2 — the normalized curve is flat near 1."""
+        study = _leader_study([10, 20], replicas=25, seed=rng)
+        normalized = study.normalized_by(lambda n: (n - 1) ** 2)
+        assert np.all(np.abs(normalized - 1.0) < 0.35)
+
+    def test_rumor_scales_n_log_n(self, rng):
+        protocol = RumorSpreadingProtocol()
+        study = measure_convergence_scaling(
+            protocol_factory=lambda n: protocol,
+            initializer=protocol.initial_states,
+            stop_predicate=lambda p: p.all_informed,
+            ns=[16, 32, 64], replicas=12, seed=rng,
+            check_stop_every=4)
+        normalized = study.normalized_by(lambda n: 2 * n * math.log(n))
+        # Flat within a generous band (the constant is exactly 2n H-ish).
+        assert normalized.max() / normalized.min() < 1.6
+
+    def test_budget_exhaustion_raises(self, rng):
+        protocol = LeaderElectionProtocol()
+        with pytest.raises(ConvergenceError):
+            measure_convergence_scaling(
+                protocol_factory=lambda n: protocol,
+                initializer=protocol.initial_states,
+                stop_predicate=lambda p: p.has_unique_leader,
+                ns=[30], replicas=2, seed=rng, budget_factor=0.01)
+
+    def test_empty_ns_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            measure_convergence_scaling(
+                protocol_factory=lambda n: LeaderElectionProtocol(),
+                initializer=LeaderElectionProtocol.initial_states,
+                stop_predicate=lambda p: p.has_unique_leader,
+                ns=[], replicas=2, seed=rng)
+
+    def test_growth_exponent_requires_two_sizes(self, rng):
+        study = _leader_study([10], replicas=3, seed=rng)
+        with pytest.raises(InvalidParameterError):
+            study.growth_exponent()

@@ -1,0 +1,132 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mean_field import drift_generator, mean_field_stationary
+from repro.games.base import MatrixGame
+from repro.games.donation import DonationGame
+from repro.games.moran import MoranProcess
+from repro.games.zd import max_feasible_phi, zd_strategy
+from repro.markov.birth_death import BirthDeathChain
+from repro.markov.ehrenfest import EhrenfestProcess
+from repro.utils.errors import InvalidParameterError
+
+rates = st.tuples(
+    st.floats(min_value=0.05, max_value=0.9),
+    st.floats(min_value=0.05, max_value=0.9),
+).filter(lambda ab: ab[0] + ab[1] <= 1.0)
+
+
+class TestBirthDeathProperties:
+    @given(n=st.integers(min_value=1, max_value=8),
+           raw=st.lists(st.floats(min_value=0.05, max_value=0.45),
+                        min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_product_stationary_solves_chain(self, n, raw):
+        births = np.array(raw[:n])
+        deaths = np.array(raw[n:2 * n])
+        chain = BirthDeathChain(births, deaths)
+        pi = chain.stationary_distribution()
+        assert chain.chain().is_stationary(pi, atol=1e-8)
+
+    @given(n=st.integers(min_value=1, max_value=8),
+           raw=st.lists(st.floats(min_value=0.05, max_value=0.45),
+                        min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_hitting_times_positive_and_additive(self, n, raw):
+        births = np.array(raw[:n])
+        deaths = np.array(raw[n:2 * n])
+        chain = BirthDeathChain(births, deaths)
+        total = chain.expected_hitting_time(0, n)
+        assert total > 0
+        if n >= 2:
+            split = (chain.expected_hitting_time(0, 1)
+                     + chain.expected_hitting_time(1, n))
+            assert total == pytest.approx(split, rel=1e-9)
+
+
+class TestMeanFieldProperties:
+    @given(k=st.integers(min_value=2, max_value=8), ab=rates)
+    @settings(max_examples=30, deadline=None)
+    def test_stationary_matches_ehrenfest_weights(self, k, ab):
+        a, b = ab
+        process = EhrenfestProcess(k=k, a=a, b=b, m=3)
+        assert np.allclose(mean_field_stationary(k, a, b),
+                           process.stationary_weights(), atol=1e-8)
+
+    @given(k=st.integers(min_value=2, max_value=8), ab=rates)
+    @settings(max_examples=30, deadline=None)
+    def test_generator_conserves_mass(self, k, ab):
+        a, b = ab
+        A = drift_generator(k, a, b)
+        assert np.allclose(A.sum(axis=0), 0.0, atol=1e-12)
+
+
+class TestZdProperties:
+    @given(slope=st.floats(min_value=1.0, max_value=10.0),
+           fraction=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_extortion_probabilities_always_valid(self, slope, fraction):
+        game = DonationGame(4.0, 1.0)
+        strategy = zd_strategy(game, baseline=0.0, slope=slope,
+                               phi_fraction=fraction)
+        assert all(0.0 <= p <= 1.0 for p in strategy.coop_probs)
+
+    @given(baseline=st.floats(min_value=-2.0, max_value=5.0),
+           slope=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_feasibility_boundary_consistent(self, baseline, slope):
+        """If a positive phi exists, constructing at it yields valid
+        probabilities; if not, construction raises."""
+        game = DonationGame(4.0, 1.0)
+        phi_max = max_feasible_phi(game, baseline, slope)
+        if phi_max > 0:
+            strategy = zd_strategy(game, baseline, slope, phi_fraction=1.0)
+            assert all(-1e-9 <= p <= 1 + 1e-9
+                       for p in strategy.coop_probs)
+        else:
+            with pytest.raises(InvalidParameterError):
+                zd_strategy(game, baseline, slope)
+
+
+class TestMoranProperties:
+    @given(n=st.integers(min_value=2, max_value=20),
+           start=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_neutral_fixation_is_start_over_n(self, n, start):
+        if start > n:
+            return
+        game = MatrixGame(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        process = MoranProcess(game, n=n, selection_intensity=0.5)
+        assert process.fixation_probability(start) == \
+            pytest.approx(start / n, abs=1e-9)
+
+    @given(n=st.integers(min_value=3, max_value=15),
+           payoffs=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                            min_size=4, max_size=4),
+           w=st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_fixation_probability_in_unit_interval(self, n, payoffs, w):
+        game = MatrixGame(np.array(payoffs).reshape(2, 2))
+        process = MoranProcess(game, n=n, selection_intensity=w)
+        for start in (1, n // 2, n - 1):
+            rho = process.fixation_probability(start)
+            assert 0.0 <= rho <= 1.0
+
+    @given(n=st.integers(min_value=3, max_value=12),
+           payoffs=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                            min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_complementary_fixation(self, n, payoffs):
+        """rho_A(start) + rho_B(n - start) = 1: someone always fixates."""
+        game = MatrixGame(np.array(payoffs).reshape(2, 2))
+        process = MoranProcess(game, n=n, selection_intensity=0.3)
+        mirrored = MatrixGame(game.row_payoffs[::-1, ::-1].copy())
+        mirror = MoranProcess(mirrored, n=n, selection_intensity=0.3)
+        for start in (1, n // 2):
+            total = (process.fixation_probability(start)
+                     + mirror.fixation_probability(n - start))
+            assert total == pytest.approx(1.0, abs=1e-9)

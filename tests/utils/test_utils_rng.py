@@ -1,0 +1,56 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 4)
+        assert len(gens) == 4
+
+    def test_independent_streams(self):
+        g1, g2 = spawn_generators(0, 2)
+        assert not np.array_equal(g1.random(10), g2.random(10))
+
+    def test_reproducible_from_seed(self):
+        a = [g.random() for g in spawn_generators(5, 3)]
+        b = [g.random() for g in spawn_generators(5, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(0), 3)
+        assert len(gens) == 3
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
