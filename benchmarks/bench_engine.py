@@ -1,0 +1,196 @@
+"""Engine throughput benchmark — emits machine-readable BENCH_engine.json.
+
+Measures interactions/second of the simulation engines across population
+sizes ``n ∈ {10^3, 10^5, 10^7}`` on two workloads, and compares them
+against faithful reimplementations of the *seed* (pre-engine)
+per-interaction loops:
+
+* ``igt`` — the paper's k-IGT dynamics (k = 8, the headline workload);
+  seed baseline: the ``IGTSimulation`` fast-path loop.
+* ``epidemic`` — a generic 3-state one-way protocol; seed baseline: the
+  ``Simulator`` table loop.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+and commit the regenerated ``BENCH_engine.json`` (repo root) so later PRs
+can track the performance trajectory.  Not collected by pytest — this is a
+standalone timing script.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from bench_workloads import (  # noqa: E402
+    EPIDEMIC,
+    GRID,
+    epidemic_states,
+    igt_states,
+)
+
+from repro.core.igt import AgentType  # noqa: E402
+from repro.engine import (  # noqa: E402
+    AgentBackend,
+    CountBackend,
+    igt_model,
+    protocol_model,
+)
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+# ----------------------------------------------------------------------
+# Seed baselines: the pre-engine per-interaction loops, frozen.
+# ----------------------------------------------------------------------
+def seed_simulator_loop(states, table, steps, rng):
+    """The seed ``Simulator.run`` inner loop (per-interaction, NumPy)."""
+    n = states.size
+    counts = np.bincount(states, minlength=table.shape[0]).astype(np.int64)
+    block = 65536
+    done = 0
+    while done < steps:
+        batch = min(block, steps - done)
+        initiators = rng.integers(0, n, size=batch)
+        responders = rng.integers(0, n - 1, size=batch)
+        responders = responders + (responders >= initiators)
+        for offset in range(batch):
+            i = initiators[offset]
+            j = responders[offset]
+            u = states[i]
+            v = states[j]
+            new_u = table[u, v, 0]
+            new_v = table[u, v, 1]
+            if new_u != u:
+                states[i] = new_u
+                counts[u] -= 1
+                counts[new_u] += 1
+            if new_v != v:
+                states[j] = new_v
+                counts[v] -= 1
+                counts[new_v] += 1
+        done += batch
+    return counts
+
+
+def seed_igt_loop(types, indices, counts, k, steps, rng):
+    """The seed ``IGTSimulation.run`` fast path (per-interaction, NumPy)."""
+    n = types.size
+    block = 65536
+    done = 0
+    while done < steps:
+        batch = min(block, steps - done)
+        first = rng.integers(0, n, size=batch)
+        second = rng.integers(0, n - 1, size=batch)
+        second = second + (second >= first)
+        for offset in range(batch):
+            i = first[offset]
+            if types[i] == AgentType.GTFT:
+                j = second[offset]
+                partner = types[j]
+                old = indices[i]
+                if partner == AgentType.AD:
+                    new = old - 1 if old > 0 else old
+                else:
+                    new = old + 1 if old < k - 1 else old
+                if new != old:
+                    indices[i] = new
+                    counts[old] -= 1
+                    counts[new] += 1
+        done += batch
+    return counts
+
+
+def timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    results = []
+
+    def record(workload, backend, n, steps, seconds, baseline=None):
+        entry = {
+            "workload": workload,
+            "backend": backend,
+            "n": n,
+            "interactions": steps,
+            "seconds": round(seconds, 4),
+            "interactions_per_sec": round(steps / seconds),
+        }
+        if baseline is not None:
+            entry["speedup_vs_seed_loop"] = round(steps / seconds / baseline,
+                                                  2)
+        results.append(entry)
+        per_sec = steps / seconds
+        extra = (f"  ({entry['speedup_vs_seed_loop']}x seed)"
+                 if baseline is not None else "")
+        print(f"{workload:>9} {backend:>10}  n=10^{len(str(n)) - 1}  "
+              f"{per_sec:>12,.0f}/s{extra}")
+        return per_sec
+
+    steps = 1_000_000
+    for n in (1000, 100_000, 10_000_000):
+        # --- k-IGT workload ------------------------------------------
+        model = igt_model(GRID.k)
+        states = igt_states(n)
+        if n <= 100_000:  # the seed loop is too slow beyond this
+            types = np.empty(n, dtype=np.int64)
+            types[:n // 2] = AgentType.GTFT
+            types[n // 2:n // 2 + (3 * n) // 10] = AgentType.AC
+            types[n // 2 + (3 * n) // 10:] = AgentType.AD
+            indices = np.where(states < GRID.k, states, 0)
+            counts = np.bincount(indices[types == AgentType.GTFT],
+                                 minlength=GRID.k).astype(np.int64)
+            rng = np.random.default_rng(0)
+            baseline = steps / timed(
+                lambda: seed_igt_loop(types, indices, counts, GRID.k, steps,
+                                      rng))
+            record("igt", "seed-loop", n, steps, steps / baseline)
+        else:
+            baseline = None
+        record("igt", "agent", n, steps,
+               timed(lambda: AgentBackend(model, states, seed=1).run(steps)),
+               baseline)
+        start_counts = np.bincount(states, minlength=GRID.k + 2)
+        record("igt", "count", n, steps,
+               timed(lambda: CountBackend(model, start_counts,
+                                          seed=1).run(steps)),
+               baseline)
+
+        # --- generic epidemic protocol -------------------------------
+        model = protocol_model(EPIDEMIC)
+        states = epidemic_states(n)
+        if n <= 100_000:
+            table = EPIDEMIC.transition_table()
+            rng = np.random.default_rng(0)
+            scratch = states.copy()
+            baseline = steps / timed(
+                lambda: seed_simulator_loop(scratch, table, steps, rng))
+            record("epidemic", "seed-loop", n, steps, steps / baseline)
+        else:
+            baseline = None
+        record("epidemic", "agent", n, steps,
+               timed(lambda: AgentBackend(model, states, seed=1).run(steps)),
+               baseline)
+        start_counts = np.bincount(states, minlength=3)
+        record("epidemic", "count", n, steps,
+               timed(lambda: CountBackend(model, start_counts,
+                                          seed=1).run(steps)),
+               baseline)
+
+    OUTPUT.write_text(json.dumps({"interactions_per_case": steps,
+                                  "cases": results}, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,17 +8,18 @@ Monte Carlo engine.
 """
 
 import numpy as np
+from bench_workloads import EPIDEMIC, GRID, epidemic_states, igt_counts
 
 from repro.core.equilibrium import RDSetting, payoff_table
 from repro.core.igt import GenerosityGrid
 from repro.core.population_igt import IGTSimulation, PopulationShares
+from repro.engine import AgentBackend, CountBackend, igt_model, protocol_model
 from repro.games.donation import DonationGame
 from repro.games.repeated import RepeatedGameEngine
 from repro.games.strategies import generous_tit_for_tat
 from repro.markov.ehrenfest import EhrenfestProcess
 
 SHARES = PopulationShares(alpha=0.3, beta=0.2, gamma=0.5)
-GRID = GenerosityGrid(k=8, g_max=0.6)
 SETTING = RDSetting(b=4.0, c=1.0, delta=0.7, s1=0.5)
 
 
@@ -85,6 +86,54 @@ def test_repeated_game_engine_1k_games(benchmark):
 
     payoffs = benchmark(run)
     assert payoffs.shape == (1000, 2)
+
+
+def test_engine_agent_backend_epidemic_n1e5(benchmark):
+    """Agent engine, generic 3-state protocol, 200k interactions at n=1e5."""
+    states = epidemic_states(100_000)
+
+    def run():
+        backend = AgentBackend(protocol_model(EPIDEMIC), states, seed=1)
+        return backend.run(200_000).counts
+
+    counts = benchmark(run)
+    assert counts.sum() == 100_000
+
+
+def test_engine_count_backend_epidemic_n1e5(benchmark):
+    """Count engine, same protocol/size as the agent case above."""
+    start = np.bincount(epidemic_states(100_000), minlength=3)
+
+    def run():
+        backend = CountBackend(protocol_model(EPIDEMIC), start, seed=1)
+        return backend.run(200_000).counts
+
+    counts = benchmark(run)
+    assert counts.sum() == 100_000
+
+
+def test_engine_count_backend_igt_n1e5(benchmark):
+    """Count engine on the paper's k-IGT dynamics at n=1e5."""
+    start = igt_counts(100_000)
+
+    def run():
+        backend = CountBackend(igt_model(GRID.k), start, seed=2)
+        return backend.run(200_000).counts
+
+    counts = benchmark(run)
+    assert counts.sum() == 100_000
+
+
+def test_engine_count_backend_igt_n1e3(benchmark):
+    """Count engine at small n (where the agent engine is competitive)."""
+    start = igt_counts(1000)
+
+    def run():
+        backend = CountBackend(igt_model(GRID.k), start, seed=3)
+        return backend.run(200_000).counts
+
+    counts = benchmark(run)
+    assert counts.sum() == 1000
 
 
 def test_de_gap_k64(benchmark):

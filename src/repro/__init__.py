@@ -6,6 +6,11 @@ Protocol Model* (PODC 2024, arXiv:2307.07297), built as a reusable library:
 
 * :mod:`repro.core` — the k-IGT dynamics, distributional equilibria, the
   stationary/mixing/approximation theorems, and the headline trade-off.
+* :mod:`repro.engine` — the unified simulation-engine layer: protocols and
+  games declare a pairwise interaction model once, and interchangeable
+  backends execute it — per-agent (:class:`~repro.engine.AgentBackend`) or
+  exact count-level (:class:`~repro.engine.CountBackend`, practical to
+  ``n = 10^7`` and beyond).
 * :mod:`repro.markov` — ``(k, a, b, m)``-Ehrenfest processes and the full
   Markov-chain toolkit (exact stationary analysis, mixing, couplings,
   random walks, spectral gaps, cutoff profiles).
@@ -51,6 +56,14 @@ from repro.core import (
     theorem_2_9_conditions,
     tradeoff_table,
 )
+from repro.engine import (
+    AgentBackend,
+    CountBackend,
+    EngineResult,
+    igt_model,
+    matrix_game_model,
+    protocol_model,
+)
 from repro.games import (
     DonationGame,
     MemoryOneStrategy,
@@ -94,6 +107,13 @@ __all__ = [
     "igt_mixing_upper_bound",
     "igt_mixing_lower_bound",
     "tradeoff_table",
+    # engine
+    "AgentBackend",
+    "CountBackend",
+    "EngineResult",
+    "protocol_model",
+    "igt_model",
+    "matrix_game_model",
     # games
     "DonationGame",
     "MemoryOneStrategy",

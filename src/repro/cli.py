@@ -37,6 +37,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seed", type=int, default=12345,
         help="random seed (default 12345)")
+    run_parser.add_argument(
+        "--backend", choices=["agent", "count"], default=None,
+        help=("simulation engine for population experiments: per-agent "
+              "('agent') or exact count-level ('count'); experiments that "
+              "do not simulate populations ignore it"))
 
     sim_parser = subparsers.add_parser(
         "simulate", help="run one k-IGT simulation and report vs theory")
@@ -56,6 +61,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="observation noise (default 0)")
     sim_parser.add_argument("--seed", type=int, default=0,
                             help="random seed (default 0)")
+    sim_parser.add_argument(
+        "--backend", choices=["agent", "count"], default="agent",
+        help=("simulation engine: 'agent' tracks every agent, 'count' "
+              "simulates the exact count chain (much faster at large n)"))
     return parser
 
 
@@ -72,10 +81,10 @@ def _run_simulate(args) -> int:
     if steps is None:
         steps = int(2 * igt_mixing_upper_bound(args.k, shares, args.n))
     sim = IGTSimulation(n=args.n, shares=shares, grid=grid, seed=args.seed,
-                        observation_noise=args.noise)
+                        observation_noise=args.noise, backend=args.backend)
     print(f"k-IGT: n={args.n}, (alpha,beta,gamma)=({args.alpha}, "
           f"{args.beta}, {gamma:.3g}), k={args.k}, g_max={args.g_max}, "
-          f"noise={args.noise}, steps={steps}")
+          f"noise={args.noise}, steps={steps}, backend={args.backend}")
     sim.run(steps)
     process = sim.equivalent_ehrenfest(exact=True)
     weights = process.stationary_weights()
@@ -106,7 +115,7 @@ def main(argv=None) -> int:
     for experiment_id in ids:
         start = time.perf_counter()
         report = run_experiment(experiment_id, fast=not args.full,
-                                seed=args.seed)
+                                seed=args.seed, backend=args.backend)
         elapsed = time.perf_counter() - start
         print(report.render())
         print(f"({elapsed:.1f}s)")

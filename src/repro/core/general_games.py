@@ -23,14 +23,24 @@ simple local rules:
 :func:`de_gap_trajectory` tracks the Definition 1.1 gap of the empirical
 strategy distribution over time — the quantity Experiment E14(iv) reports
 for the hawk–dove game.
+
+The update rules are declared once as engine interaction models
+(:func:`repro.engine.matrix_game_model`); ``step()`` and ``run()`` both
+execute that shared law.  The ``backend=`` knob selects the engine:
+``"agent"`` keeps per-agent strategies, ``"count"`` runs the exact
+count-level chain — distribution-identical and far faster at large ``n``
+(per-agent observables and ``step()`` are then unavailable).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.engine import AgentBackend, CountBackend, check_backend, \
+    matrix_game_model
 from repro.games.base import MatrixGame
 from repro.games.nash import symmetric_de_gap
+from repro.population.scheduler import RandomScheduler
 from repro.utils import as_generator, check_positive_int, check_probability
 from repro.utils.errors import InvalidParameterError
 
@@ -58,11 +68,16 @@ class PopulationGameSimulation:
         Update probability for the best-response rule.
     eta:
         Inverse temperature for the logit rule.
+    backend:
+        ``"agent"`` (default) tracks every agent's strategy; ``"count"``
+        tracks only the strategy-count vector — distribution-identical and
+        far faster at large ``n``, but ``strategies`` and ``step()`` are
+        unavailable.
     """
 
     def __init__(self, game: MatrixGame, n: int, rule: str = "imitation",
                  seed=None, initial_strategies=None, p_update: float = 0.5,
-                 eta: float = 1.0):
+                 eta: float = 1.0, backend: str = "agent"):
         if not game.is_symmetric():
             raise InvalidParameterError(
                 "population game dynamics require a symmetric game")
@@ -77,6 +92,7 @@ class PopulationGameSimulation:
         if eta <= 0:
             raise InvalidParameterError(f"eta must be positive, got {eta!r}")
         self.eta = float(eta)
+        self.backend = check_backend(backend)
         self._rng = as_generator(seed)
         n_strategies = self.payoffs.shape[0]
         if initial_strategies is None:
@@ -89,17 +105,41 @@ class PopulationGameSimulation:
             if strategies.min() < 0 or strategies.max() >= n_strategies:
                 raise InvalidParameterError(
                     f"strategies must lie in 0..{n_strategies - 1}")
-        self.strategies = strategies
-        self._counts = np.bincount(strategies, minlength=n_strategies).astype(np.int64)
         payoff_span = float(self.payoffs.max() - self.payoffs.min())
         self._imitation_scale = payoff_span if payoff_span > 0 else 1.0
-        self._best_responses = np.argmax(self.payoffs, axis=0)
+        # The update rule, declared once as an engine interaction model;
+        # step() and both backends execute this shared law.
+        self._model = matrix_game_model(
+            self.payoffs, rule, p_update=self.p_update, eta=self.eta,
+            imitation_scale=self._imitation_scale)
+        if backend == "count":
+            self._strategies = None
+            self._engine = CountBackend(
+                self._model,
+                np.bincount(strategies, minlength=n_strategies),
+                seed=self._rng)
+        else:
+            self._strategies = strategies
+            self._engine = AgentBackend(
+                self._model, strategies,
+                scheduler=RandomScheduler(self.n, seed=self._rng),
+                copy=False)
+        self._counts = self._engine.counts_live
         self.steps_run = 0
 
     @property
     def n_strategies(self) -> int:
         """Number of pure strategies in the game."""
         return self.payoffs.shape[0]
+
+    @property
+    def strategies(self) -> np.ndarray:
+        """Per-agent strategy array (``backend="agent"`` only; live view)."""
+        if self._strategies is None:
+            raise InvalidParameterError(
+                "per-agent strategies are not tracked by backend='count'; "
+                "use backend='agent'")
+        return self._strategies
 
     @property
     def counts(self) -> np.ndarray:
@@ -115,50 +155,43 @@ class PopulationGameSimulation:
         return symmetric_de_gap(self.payoffs, self.empirical_mu())
 
     def _switch(self, agent: int, new_strategy: int) -> None:
-        old = int(self.strategies[agent])
+        old = int(self._strategies[agent])
         if new_strategy != old:
-            self.strategies[agent] = new_strategy
+            self._strategies[agent] = new_strategy
             self._counts[old] -= 1
             self._counts[new_strategy] += 1
 
     def step(self) -> None:
-        """One scheduled interaction with the configured update rule."""
+        """One scheduled interaction (``backend="agent"``)."""
+        strategies = self.strategies
         rng = self._rng
         i = int(rng.integers(0, self.n))
         j = int(rng.integers(0, self.n - 1))
         if j >= i:
             j += 1
-        si = int(self.strategies[i])
-        sj = int(self.strategies[j])
-        if self.rule == "imitation":
-            # Evaluate both agents against independently sampled opponents.
+        observed = None
+        if self._model.slots_per_step == 4:
+            # The rule reads two independently sampled opponents.
             oi = int(rng.integers(0, self.n - 1))
             if oi >= i:
                 oi += 1
             oj = int(rng.integers(0, self.n - 1))
             if oj >= j:
                 oj += 1
-            payoff_i = self.payoffs[si, int(self.strategies[oi])]
-            payoff_j = self.payoffs[sj, int(self.strategies[oj])]
-            advantage = payoff_j - payoff_i
-            if advantage > 0 and rng.random() < advantage / self._imitation_scale:
-                self._switch(i, sj)
-        elif self.rule == "best_response":
-            if rng.random() < self.p_update:
-                self._switch(i, int(self._best_responses[sj]))
-        else:  # logit
-            logits = self.eta * self.payoffs[:, sj]
-            logits -= logits.max()
-            weights = np.exp(logits)
-            weights /= weights.sum()
-            self._switch(i, int(rng.choice(self.n_strategies, p=weights)))
+            observed = (int(strategies[oi]), int(strategies[oj]))
+        new_u, _ = self._model.apply_scalar(int(strategies[i]),
+                                            int(strategies[j]), rng, observed)
+        self._switch(i, new_u)
         self.steps_run += 1
 
     def run(self, steps: int) -> None:
-        """Execute ``steps`` interactions."""
+        """Execute ``steps`` interactions on the configured backend."""
         steps = check_positive_int("steps", steps, minimum=0)
-        for _ in range(steps):
-            self.step()
+        if steps == 0:
+            return
+        self._engine.steps_run = self.steps_run
+        result = self._engine.run(steps)
+        self.steps_run = result.steps
 
 
 def de_gap_trajectory(simulation: PopulationGameSimulation, steps: int,

@@ -19,6 +19,16 @@ The count vector over generosity indices is exactly a
 ``(k, a, b, m)``-Ehrenfest process (Section 2.2.1); the embedding — with
 both the paper's idealized parameters and the exact finite-``n`` sampling
 corrections — is exposed via :meth:`IGTSimulation.equivalent_ehrenfest`.
+
+Execution is delegated to the engine layer (:mod:`repro.engine`): the
+dynamics is declared once as a ``k + 2``-state interaction model
+(:func:`repro.engine.igt_model`) and run on the backend selected by the
+``backend=`` knob — ``"agent"`` (per-agent states, trajectories bit-for-bit
+identical to the pre-engine fast path under a fixed seed) or ``"count"``
+(exact count-level simulation, practical up to ``n = 10^7`` and beyond; no
+per-agent observables).  The Monte-Carlo ``"action"`` mode and per-agent
+payoff accounting inherently need agent identities and keep their
+sequential loop on ``backend="agent"``.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.igt import AgentType, GenerosityGrid, IGTRule
+from repro.engine import AgentBackend, CountBackend, check_backend, igt_model
 from repro.games.repeated import RepeatedGameEngine
 from repro.games.strategies import (
     MemoryOneStrategy,
@@ -36,6 +47,7 @@ from repro.games.strategies import (
     generous_tit_for_tat,
 )
 from repro.markov.ehrenfest import EhrenfestProcess
+from repro.population.scheduler import RandomScheduler
 from repro.utils import as_generator, check_fraction, check_positive_int
 from repro.utils.errors import InvalidParameterError
 
@@ -128,12 +140,19 @@ class IGTSimulation:
         rates (see :meth:`equivalent_ehrenfest`); at noise ``1/2`` the
         stationary law becomes uniform.  A robustness extension beyond the
         paper's noiseless rule.
+    backend:
+        ``"agent"`` (default) tracks every agent's state;  ``"count"``
+        tracks only the count vector over ``{g_1..g_k, AC, AD}`` —
+        distribution-identical and far faster at large ``n``, but per-agent
+        observables (``indices``, ``step``, payoffs, ``mode="action"``) are
+        unavailable and the per-agent arrays (``types``, ``total_payoffs``,
+        ``interactions_played``) are ``None``.
     """
 
     def __init__(self, n: int, shares: PopulationShares, grid: GenerosityGrid,
                  seed=None, mode: str = "strategy", setting=None,
                  track_payoffs: bool = False, initial_indices="uniform",
-                 observation_noise: float = 0.0):
+                 observation_noise: float = 0.0, backend: str = "agent"):
         if mode not in _MODES:
             raise InvalidParameterError(
                 f"mode must be one of {_MODES}, got {mode!r}")
@@ -143,6 +162,7 @@ class IGTSimulation:
         self.mode = mode
         self.rule = IGTRule(grid, strict=(mode == "strict"))
         self.setting = setting
+        self.backend = check_backend(backend)
         self.observation_noise = check_fraction("observation_noise",
                                                 observation_noise)
         if self.observation_noise > 0 and mode != "strategy":
@@ -151,49 +171,81 @@ class IGTSimulation:
                 "(mode='action' derives its own noise from game play, and "
                 "the strict rule's three-way classification makes a flipped "
                 "binary reading ambiguous)")
+        if backend == "count" and (mode == "action" or track_payoffs):
+            raise InvalidParameterError(
+                "mode='action' and payoff tracking need per-agent state; "
+                "use backend='agent'")
         self._rng = as_generator(seed)
 
         n_ac, n_ad, n_gtft = shares.agent_counts(n)
         self.n_ac, self.n_ad, self.n_gtft = n_ac, n_ad, n_gtft
-        types = np.empty(n, dtype=np.int64)
-        types[:n_ac] = AgentType.AC
-        types[n_ac:n_ac + n_ad] = AgentType.AD
-        types[n_ac + n_ad:] = AgentType.GTFT
-        self.types = types
         self._gtft_slice = slice(n_ac + n_ad, n)
+        # Per-agent arrays exist only on the agent backend: the count
+        # backend's whole point is O(k) state at n = 10^7+.
+        self.types = None
+        if backend == "agent":
+            types = np.empty(n, dtype=np.int64)
+            types[:n_ac] = AgentType.AC
+            types[n_ac:n_ac + n_ad] = AgentType.AD
+            types[n_ac + n_ad:] = AgentType.GTFT
+            self.types = types
 
-        indices = np.zeros(n, dtype=np.int64)
+        k = grid.k
+        gtft_start = np.zeros(n_gtft, dtype=np.int64)
         if isinstance(initial_indices, str):
             if initial_indices != "uniform":
                 raise InvalidParameterError(
                     f"unknown initial_indices spec {initial_indices!r}")
-            indices[self._gtft_slice] = self._rng.integers(
-                0, grid.k, size=n_gtft)
+            gtft_start = self._rng.integers(0, k, size=n_gtft)
         elif np.isscalar(initial_indices):
             start = int(initial_indices)
-            if not 0 <= start < grid.k:
+            if not 0 <= start < k:
                 raise InvalidParameterError(
-                    f"initial index must lie in 0..{grid.k - 1}, got {start}")
-            indices[self._gtft_slice] = start
+                    f"initial index must lie in 0..{k - 1}, got {start}")
+            gtft_start[:] = start
         else:
             explicit = np.asarray(initial_indices, dtype=np.int64)
             if explicit.size != n_gtft:
                 raise InvalidParameterError(
                     f"initial_indices must have length n_gtft={n_gtft}, "
                     f"got {explicit.size}")
-            if explicit.min() < 0 or explicit.max() >= grid.k:
+            if explicit.min() < 0 or explicit.max() >= k:
                 raise InvalidParameterError(
-                    f"initial indices must lie in 0..{grid.k - 1}")
-            indices[self._gtft_slice] = explicit
-        self.indices = indices
-        self._counts = np.bincount(indices[self._gtft_slice],
-                                   minlength=grid.k).astype(np.int64)
+                    f"initial indices must lie in 0..{k - 1}")
+            gtft_start = explicit
+
+        # Engine view: states 0..k-1 are GTFT grid indices, k is AC, k+1
+        # is AD (see repro.engine.adapters.igt_model).
+        counts_full = np.zeros(k + 2, dtype=np.int64)
+        counts_full[:k] = np.bincount(gtft_start, minlength=k)
+        counts_full[k] = n_ac
+        counts_full[k + 1] = n_ad
+
+        self._model = None
+        if mode != "action":
+            self._model = igt_model(k, mode=mode,
+                                    observation_noise=self.observation_noise)
+        self._engine = None
+        if backend == "count":
+            self._agent_states = None
+            self._engine = CountBackend(self._model, counts_full,
+                                        seed=self._rng)
+            self._counts_full = self._engine.counts_live
+        else:
+            states = np.empty(n, dtype=np.int64)
+            states[:n_ac] = k
+            states[n_ac:n_ac + n_ad] = k + 1
+            states[self._gtft_slice] = gtft_start
+            self._agent_states = states
+            self._counts_full = counts_full
+        self._counts = self._counts_full[:k]
 
         self.track_payoffs = bool(track_payoffs)
-        self.total_payoffs = np.zeros(n)
-        self.interactions_played = np.zeros(n, dtype=np.int64)
+        self.total_payoffs = np.zeros(n) if backend == "agent" else None
+        self.interactions_played = (np.zeros(n, dtype=np.int64)
+                                    if backend == "agent" else None)
         self._payoff_matrix = None
-        self._engine = None
+        self._game_engine = None
         if self.track_payoffs or mode == "action":
             if setting is None:
                 raise InvalidParameterError(
@@ -203,8 +255,22 @@ class IGTSimulation:
                 from repro.core.equilibrium import payoff_table
                 self._payoff_matrix = payoff_table(grid, setting)
             if mode == "action":
-                self._engine = RepeatedGameEngine(setting.game, setting.delta)
+                self._game_engine = RepeatedGameEngine(setting.game,
+                                                       setting.delta)
         self.steps_run = 0
+
+    def _ensure_engine(self) -> AgentBackend:
+        """The lazily built agent engine (shares states, counts, and rng)."""
+        if self._engine is None:
+            self._engine = AgentBackend(
+                self._model, self._agent_states,
+                scheduler=RandomScheduler(self.n, seed=self._rng),
+                copy=False)
+            # Adopt the engine's count vector so step() and engine runs
+            # mutate the same storage.
+            self._counts_full = self._engine.counts_live
+            self._counts = self._counts_full[:self.grid.k]
+        return self._engine
 
     # ------------------------------------------------------------------
     # Observables
@@ -222,35 +288,53 @@ class IGTSimulation:
         """Average generosity ``(1/m)·Σ_j g_j z_j`` of the GTFT population."""
         return float(self.grid.values @ self._counts) / self.n_gtft
 
+    def _require_agent_states(self) -> np.ndarray:
+        if self._agent_states is None:
+            raise InvalidParameterError(
+                "per-agent observables are not tracked by backend='count'; "
+                "use backend='agent'")
+        return self._agent_states
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Per-agent grid indices (0 for non-GTFT agents; copy)."""
+        states = self._require_agent_states()
+        masked = states.copy()
+        masked[:self._gtft_slice.start] = 0
+        return masked
+
     def gtft_indices(self) -> np.ndarray:
         """Grid indices of the GTFT agents (copy)."""
-        return self.indices[self._gtft_slice].copy()
+        return self._require_agent_states()[self._gtft_slice].copy()
 
     def _strategy_id(self, agent: int) -> int:
-        """Internal strategy id: grid index for GTFT, k for AC, k+1 for AD."""
-        t = self.types[agent]
-        if t == AgentType.GTFT:
-            return int(self.indices[agent])
-        return self.grid.k if t == AgentType.AC else self.grid.k + 1
+        """Internal strategy id: grid index for GTFT, k for AC, k+1 for AD.
+
+        Identical to the agent's engine state (the engine uses the same
+        ``{g_1..g_k, AC, AD}`` encoding).
+        """
+        return int(self._require_agent_states()[agent])
 
     def strategy_of(self, agent: int) -> MemoryOneStrategy:
         """The concrete memory-one strategy an agent currently plays."""
+        self._require_agent_states()
         t = self.types[agent]
         if t == AgentType.AC:
             return always_cooperate()
         if t == AgentType.AD:
             return always_defect()
         s1 = self.setting.s1 if self.setting is not None else 1.0
-        return generous_tit_for_tat(self.grid.value(int(self.indices[agent])), s1)
+        return generous_tit_for_tat(
+            self.grid.value(int(self._require_agent_states()[agent])), s1)
 
     # ------------------------------------------------------------------
     # Dynamics
     # ------------------------------------------------------------------
     def _classify_by_actions(self, initiator: int, responder: int) -> AgentType:
         """Play a real game and classify the responder from its actions."""
-        record = self._engine.play(self.strategy_of(initiator),
-                                   self.strategy_of(responder),
-                                   seed=self._rng)
+        record = self._game_engine.play(self.strategy_of(initiator),
+                                        self.strategy_of(responder),
+                                        seed=self._rng)
         if self.track_payoffs:
             self.total_payoffs[initiator] += record.first_payoff
             self.total_payoffs[responder] += record.second_payoff
@@ -258,7 +342,8 @@ class IGTSimulation:
                 else AgentType.GTFT)
 
     def step(self) -> None:
-        """Execute a single scheduled interaction."""
+        """Execute a single scheduled interaction (``backend="agent"``)."""
+        self._require_agent_states()
         i = int(self._rng.integers(0, self.n))
         j = int(self._rng.integers(0, self.n - 1))
         if j >= i:
@@ -267,9 +352,10 @@ class IGTSimulation:
         self.steps_run += 1
 
     def _interact(self, i: int, j: int) -> None:
+        states = self._agent_states
         if self.track_payoffs and self._payoff_matrix is not None \
                 and self.mode != "action":
-            si, sj = self._strategy_id(i), self._strategy_id(j)
+            si, sj = int(states[i]), int(states[j])
             self.total_payoffs[i] += self._payoff_matrix[si, sj]
             self.total_payoffs[j] += self._payoff_matrix[sj, si]
             self.interactions_played[i] += 1
@@ -286,10 +372,10 @@ class IGTSimulation:
                     and self._rng.random() < self.observation_noise:
                 observed = (AgentType.GTFT if observed == AgentType.AD
                             else AgentType.AD)
-        old = int(self.indices[i])
+        old = int(states[i])
         new = self.rule.next_index(old, observed)
         if new != old:
-            self.indices[i] = new
+            states[i] = new
             self._counts[old] -= 1
             self._counts[new] += 1
 
@@ -300,23 +386,23 @@ class IGTSimulation:
         (including the initial state) sampled at that cadence; otherwise
         returns ``None``.
 
-        Note on randomness: the fast path draws scheduler randomness in
-        vectorized blocks, so a ``run(n)`` call and ``n`` individual
-        ``step()`` calls consume the generator differently — both sample the
-        same process law, but their trajectories under a shared seed are not
-        bitwise identical.
+        Note on randomness: the engine draws scheduler randomness in
+        vectorized blocks (and the count backend in birthday batches), so a
+        ``run(n)`` call and ``n`` individual ``step()`` calls consume the
+        generator differently — both sample the same process law, but their
+        trajectories under a shared seed are not bitwise identical.
         """
         steps = check_positive_int("steps", steps, minimum=0)
-        recorded = None
-        row = 1
-        if record_every is not None:
-            record_every = check_positive_int("record_every", record_every)
-            recorded = np.empty((steps // record_every + 1, self.grid.k),
-                                dtype=np.int64)
-            recorded[0] = self._counts
-        if self.mode == "action" or self.track_payoffs \
-                or self.observation_noise > 0:
-            # Slow path: per-step bookkeeping dominates anyway.
+        if self.mode == "action" or self.track_payoffs:
+            # Sequential loop: per-step game play / payoff bookkeeping.
+            recorded = None
+            row = 1
+            if record_every is not None:
+                record_every = check_positive_int("record_every",
+                                                  record_every)
+                recorded = np.empty((steps // record_every + 1, self.grid.k),
+                                    dtype=np.int64)
+                recorded[0] = self._counts
             for s in range(steps):
                 self.step()
                 if record_every is not None and (s + 1) % record_every == 0:
@@ -324,47 +410,19 @@ class IGTSimulation:
                     row += 1
             return recorded[:row] if recorded is not None else None
 
-        # Fast path (strategy/strict modes, no payoff tracking).
-        rng = self._rng
-        n = self.n
-        types = self.types
-        indices = self.indices
-        counts = self._counts
-        k = self.grid.k
-        strict = self.rule.strict
-        block = 65536
-        done = 0
-        while done < steps:
-            batch = min(block, steps - done)
-            first = rng.integers(0, n, size=batch)
-            second = rng.integers(0, n - 1, size=batch)
-            second = second + (second >= first)
-            for offset in range(batch):
-                i = first[offset]
-                if types[i] == AgentType.GTFT:
-                    j = second[offset]
-                    partner = types[j]
-                    old = indices[i]
-                    if partner == AgentType.AD:
-                        new = old - 1 if old > 0 else old
-                    elif strict and partner == AgentType.AC:
-                        new = old
-                    else:
-                        new = old + 1 if old < k - 1 else old
-                    if new != old:
-                        indices[i] = new
-                        counts[old] -= 1
-                        counts[new] += 1
-                if record_every is not None \
-                        and (done + offset + 1) % record_every == 0:
-                    recorded[row] = counts
-                    row += 1
-            done += batch
-            self.steps_run += batch
-        return recorded[:row] if recorded is not None else None
+        # Engine path (strategy/strict modes, including observation noise).
+        engine = self._ensure_engine()
+        engine.steps_run = self.steps_run
+        result = engine.run(steps, observe_every=record_every)
+        self.steps_run = result.steps
+        if record_every is None:
+            return None
+        return np.stack([counts[:self.grid.k]
+                         for _, counts in result.observations])
 
     def mean_payoff_per_interaction(self) -> np.ndarray:
         """Average accumulated payoff per played interaction for each agent."""
+        self._require_agent_states()
         with np.errstate(invalid="ignore", divide="ignore"):
             means = np.where(self.interactions_played > 0,
                              self.total_payoffs / np.maximum(self.interactions_played, 1),

@@ -1,0 +1,54 @@
+"""Unified simulation-engine layer.
+
+The architecture is: *models* declare what a pairwise interaction does
+(:mod:`repro.engine.model`, built from domain objects by
+:mod:`repro.engine.adapters`), and interchangeable *backends* execute the
+uniform-scheduler process:
+
+* :class:`AgentBackend` — per-agent sequential semantics, bit-for-bit
+  reproducible against the seed simulator for deterministic models;
+* :class:`CountBackend` — exact count-level simulation (the Section 2.2.1
+  Markov-on-counts view), distribution-identical and ``Θ(√n)``-batched for
+  populations up to ``n = 10^7`` and beyond.
+
+Rule of thumb: use ``backend="agent"`` when per-agent trajectories matter
+or ``n`` is small; use ``backend="count"`` for large-population mixing and
+convergence studies.
+"""
+
+from repro.engine.adapters import igt_model, matrix_game_model, protocol_model
+from repro.engine.agent import AgentBackend
+from repro.engine.base import (
+    BACKENDS,
+    EngineResult,
+    SimulationEngine,
+    check_backend,
+)
+from repro.engine.count import CountBackend
+from repro.engine.sampling import UniformPairSampler, ordered_pair_block
+from repro.engine.model import (
+    ImitationModel,
+    InteractionModel,
+    LogitResponseModel,
+    MixtureTableModel,
+    TableModel,
+)
+
+__all__ = [
+    "BACKENDS",
+    "check_backend",
+    "SimulationEngine",
+    "EngineResult",
+    "AgentBackend",
+    "CountBackend",
+    "InteractionModel",
+    "TableModel",
+    "MixtureTableModel",
+    "LogitResponseModel",
+    "ImitationModel",
+    "protocol_model",
+    "igt_model",
+    "matrix_game_model",
+    "ordered_pair_block",
+    "UniformPairSampler",
+]

@@ -1,0 +1,142 @@
+"""Builders turning the repo's domain objects into interaction models.
+
+The engine layer inverts the seed architecture: protocols and games no
+longer own simulation loops — they declare their transition law once,
+through these factories, and either backend executes it.
+
+* :func:`protocol_model` — any :class:`~repro.population.protocol
+  .PopulationProtocol` via its dense transition table.
+* :func:`igt_model` — the paper's k-IGT dynamics on an ``(α, β, γ)``
+  population, over the ``k + 2`` states ``{g_1..g_k, AC, AD}`` (GTFT
+  agents carry their grid index; AC/AD agents are inert).  Supports the
+  strict variant and the observation-noise extension.
+* :func:`matrix_game_model` — the population game-dynamics rules of
+  :mod:`repro.core.general_games` (imitation / best response / logit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.model import (
+    ImitationModel,
+    InteractionModel,
+    LogitResponseModel,
+    MixtureTableModel,
+    TableModel,
+)
+from repro.utils import check_probability
+from repro.utils.errors import InvalidParameterError
+
+
+def protocol_model(protocol) -> TableModel:
+    """The engine model of a population protocol (its ``δ`` table)."""
+    return TableModel(protocol.transition_table())
+
+
+def _igt_table(k: int, strict: bool, flipped: bool) -> np.ndarray:
+    """k-IGT joint transition table over ``k + 2`` states.
+
+    States ``0..k-1`` are GTFT generosity indices, ``k`` is AC, ``k+1`` is
+    AD.  Only GTFT initiators move; with ``flipped`` the initiator's binary
+    AD / non-AD reading of its partner is inverted (the observation-noise
+    channel).
+    """
+    s = k + 2
+    table = np.empty((s, s, 2), dtype=np.int64)
+    for u in range(s):
+        for v in range(s):
+            new_u = u
+            if u < k:  # GTFT initiator applies the k-IGT rule
+                reads_ad = (v == k + 1) != flipped
+                if reads_ad:
+                    new_u = max(u - 1, 0)
+                elif strict and v == k:
+                    new_u = u  # strict rule: AC partners do not increment
+                else:
+                    new_u = min(u + 1, k - 1)
+            table[u, v, 0] = new_u
+            table[u, v, 1] = v  # one-way protocol: responder never moves
+    return table
+
+
+def igt_model(k: int, mode: str = "strategy",
+              observation_noise: float = 0.0) -> InteractionModel:
+    """Engine model of the k-IGT dynamics (Definition 2.1).
+
+    Parameters
+    ----------
+    k:
+        Generosity-grid size (``>= 2``); the model has ``k + 2`` states.
+    mode:
+        ``"strategy"`` (standard rule) or ``"strict"`` (AC partners do not
+        trigger increments).  The Monte-Carlo ``"action"`` mode plays real
+        games and is only available on the agent-level simulation.
+    observation_noise:
+        Probability of flipping the initiator's AD / non-AD reading
+        (``mode="strategy"`` only, mirroring
+        :class:`~repro.core.population_igt.IGTSimulation`).
+    """
+    if k < 2:
+        raise InvalidParameterError(f"k must be at least 2, got {k}")
+    if mode not in ("strategy", "strict"):
+        raise InvalidParameterError(
+            f"igt_model supports modes 'strategy' and 'strict', got {mode!r}")
+    observation_noise = check_probability("observation_noise",
+                                          observation_noise)
+    strict = mode == "strict"
+    if observation_noise > 0 and strict:
+        raise InvalidParameterError(
+            "observation_noise applies to mode='strategy' only")
+    base = _igt_table(k, strict=strict, flipped=False)
+    if observation_noise == 0:
+        return TableModel(base)
+    flipped = _igt_table(k, strict=False, flipped=True)
+    return MixtureTableModel([base, flipped],
+                             [1.0 - observation_noise, observation_noise])
+
+
+def matrix_game_model(payoffs, rule: str, p_update: float = 0.5,
+                      eta: float = 1.0,
+                      imitation_scale: float | None = None) -> InteractionModel:
+    """Engine model of a population game-dynamics update rule.
+
+    Parameters
+    ----------
+    payoffs:
+        The symmetric game's row-payoff matrix (``S x S``).
+    rule:
+        ``"imitation"``, ``"best_response"``, or ``"logit"`` — the rules of
+        :class:`~repro.core.general_games.PopulationGameSimulation`, with
+        identical laws.
+    p_update:
+        Update probability of the best-response rule.
+    eta:
+        Inverse temperature of the logit rule.
+    imitation_scale:
+        Normalizer of the imitation rule's switch probability (defaults to
+        the payoff span).
+    """
+    payoffs = np.asarray(payoffs, dtype=float)
+    if payoffs.ndim != 2 or payoffs.shape[0] != payoffs.shape[1]:
+        raise InvalidParameterError(
+            f"payoffs must be a square matrix, got shape {payoffs.shape}")
+    s = payoffs.shape[0]
+    if rule == "imitation":
+        return ImitationModel(payoffs, scale=imitation_scale)
+    if rule == "best_response":
+        p_update = check_probability("p_update", p_update)
+        identity = np.empty((s, s, 2), dtype=np.int64)
+        identity[:, :, 0] = np.arange(s)[:, None]
+        identity[:, :, 1] = np.arange(s)[None, :]
+        respond = identity.copy()
+        respond[:, :, 0] = np.argmax(payoffs, axis=0)[None, :]
+        if p_update >= 1.0:
+            return TableModel(respond)
+        return MixtureTableModel([identity, respond],
+                                 [1.0 - p_update, p_update])
+    if rule == "logit":
+        return LogitResponseModel(payoffs, eta=eta)
+    raise InvalidParameterError(
+        f"rule must be 'imitation', 'best_response', or 'logit', "
+        f"got {rule!r}")

@@ -1,0 +1,142 @@
+"""The simulation-engine contract shared by all backends.
+
+A :class:`SimulationEngine` executes interactions of an
+:class:`~repro.engine.model.InteractionModel` under the uniform random
+scheduler and owns everything that is *not* the transition law: step
+accounting, stop predicates, periodic count observations, and result
+packaging.  Two interchangeable backends implement the contract:
+
+* :class:`~repro.engine.agent.AgentBackend` — per-agent sequential
+  semantics (tracks every agent's state; the model's classic view);
+* :class:`~repro.engine.count.CountBackend` — exact count-level simulation
+  (tracks only the state-count vector; distribution-identical to the agent
+  view, orders of magnitude faster at large ``n``).
+
+Both run the same process law; see each backend for its guarantees.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils import check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+#: Interactions per scheduler randomness block (the seed simulator's value;
+#: kept identical so agent-backend trajectories are bit-for-bit stable).
+BLOCK_SIZE = 65536
+
+#: Valid ``backend=`` names, in documentation order.
+BACKENDS = ("agent", "count")
+
+
+def check_backend(backend: str) -> str:
+    """Validate a ``backend=`` knob value and return it."""
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
+
+@dataclass
+class EngineResult:
+    """Outcome of an engine run.
+
+    Attributes
+    ----------
+    counts:
+        Final state-count vector of length ``n_states``.
+    steps:
+        Cumulative interactions executed by the engine (including previous
+        ``run`` calls on the same engine).
+    converged:
+        Whether the stop predicate fired.
+    observations:
+        ``(step, counts)`` snapshots at the requested cadence, if any.
+    states:
+        Final per-agent state array (``None`` for count-level backends).
+    """
+
+    counts: np.ndarray
+    steps: int
+    converged: bool
+    observations: list[tuple[int, np.ndarray]] = field(default_factory=list)
+    states: np.ndarray | None = None
+
+
+class SimulationEngine(ABC):
+    """Common interface of the interchangeable simulation backends.
+
+    Concrete engines expose ``n`` (population size), ``steps_run``
+    (cumulative interaction count, writable so wrappers can re-sync after
+    stepping outside the engine), and the live count vector via
+    :attr:`counts`.
+    """
+
+    n: int
+    steps_run: int
+    _counts: np.ndarray
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Current state-count vector (copy)."""
+        return self._counts.copy()
+
+    @property
+    def counts_live(self) -> np.ndarray:
+        """The live count array, always mutated in place by the engine.
+
+        Façades (the population simulator, the IGT and game simulations)
+        alias this array so their observables track engine runs without
+        copying; engines guarantee they never reallocate it.  Callers must
+        not resize it.
+        """
+        return self._counts
+
+    @property
+    def states(self) -> np.ndarray | None:
+        """Per-agent states (``None`` when the backend tracks only counts)."""
+        return None
+
+    @abstractmethod
+    def run(self, max_steps: int, stop_when=None,
+            observe_every: int | None = None,
+            check_stop_every: int = 1) -> EngineResult:
+        """Execute up to ``max_steps`` interactions.
+
+        Parameters
+        ----------
+        max_steps:
+            Interaction budget for this call.
+        stop_when:
+            Optional predicate ``counts -> bool`` evaluated every
+            ``check_stop_every`` steps of this call; the run stops early
+            when it returns true.  Count-level backends process interactions
+            in batches whose length is capped by the check cadence, so a
+            generous ``check_stop_every`` keeps them fast.
+        observe_every:
+            When given, snapshot ``(step, counts)`` every that many steps of
+            this call, including the entry state.
+        """
+
+    def _prepare_run(self, max_steps, stop_when, observe_every,
+                     check_stop_every):
+        """Shared argument validation + initial observation/stop handling.
+
+        Returns ``(max_steps, observe_every, check_stop_every, observations,
+        stopped)`` where ``stopped`` is true when the predicate already
+        holds on entry (the run then executes zero interactions).
+        """
+        max_steps = check_positive_int("max_steps", max_steps, minimum=0)
+        check_stop_every = check_positive_int("check_stop_every",
+                                              check_stop_every)
+        observations: list[tuple[int, np.ndarray]] = []
+        if observe_every is not None:
+            observe_every = check_positive_int("observe_every", observe_every)
+            observations.append((self.steps_run, self._counts.copy()))
+        stopped = stop_when is not None and bool(stop_when(self._counts))
+        return (max_steps, observe_every, check_stop_every, observations,
+                stopped)

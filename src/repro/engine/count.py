@@ -1,0 +1,331 @@
+"""Exact count-level simulation backend.
+
+Under the uniform scheduler the state-count vector is itself a Markov chain
+(the paper's Section 2.2.1 embedding: transition probabilities depend on
+the sampled agents only through their states), so the dynamics can be
+simulated on counts alone — with *exactly* the same law as the per-agent
+chain — in vectorized batches.  That removes the per-agent memory and the
+Python-per-interaction cost and makes populations of ``n = 10^7`` and
+beyond practical.
+
+The batching scheme ("birthday runs")
+-------------------------------------
+
+Sampling agents uniformly, the first ``j`` interactions of a batch involve
+``slots_per_step·j`` *distinct* agents with probability given by a
+birthday-problem product that depends only on ``n`` — not on the counts.
+The backend therefore repeats:
+
+1. Draw the number ``T`` of leading interactions whose participants are all
+   distinct — one uniform plus a ``searchsorted`` into a precomputed
+   collision-time CDF (cached per ``(n, slots_per_step)``).
+2. Process those ``T`` interactions *in one vectorized shot*: the
+   participants are distinct, hence their states are a without-replacement
+   sample from the count vector (``multivariate_hypergeometric`` + one
+   shuffle), the model outcome is applied per type-pair, and the count
+   vector is updated by four ``bincount`` deltas.  Because the agents are
+   distinct, the interactions commute and the resulting counts equal those
+   of sequential execution.
+3. Resolve the single *collision* interaction that ends the run exactly:
+   its repeated participants' current states are read off the run's
+   recorded outcomes, fresh participants are drawn from the untouched
+   remainder, with the repeat/fresh pattern sampled from its exact
+   conditional law.  Then all bookkeeping is merged and a new run starts.
+
+Every draw above is from the true process law — no approximation is made —
+so trajectories are distribution-identical to the agent backend (property
+tests check this against the exact chains in :mod:`repro.markov`).  The
+expected run length is ``Θ(√n)`` interactions, which is also the speedup
+scale over per-interaction simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.engine.base import EngineResult, SimulationEngine
+from repro.engine.model import InteractionModel
+from repro.utils import as_generator
+from repro.utils.errors import InvalidParameterError
+
+#: Collision-time CDFs keyed by ``(n, slots_per_step)``.
+_CDF_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+#: Truncate the collision-time table once the survival probability of a
+#: longer all-distinct run drops below this (the remainder is handled
+#: exactly by capping runs at the table length).
+_SURVIVAL_FLOOR = 1e-15
+
+
+def _collision_cdf(n: int, slots_per_step: int) -> np.ndarray:
+    """CDF of the first-collision interaction index for population ``n``.
+
+    Entry ``t`` is the probability that the first ``t`` interactions do
+    *not* all involve distinct agents; ``1 − cdf[t]`` is the birthday
+    survival product.  Depends only on ``(n, slots_per_step)`` and is
+    cached.
+    """
+    key = (n, slots_per_step)
+    cached = _CDF_CACHE.get(key)
+    if cached is not None:
+        return cached
+    horizon = int(8.5 * math.sqrt(n) / slots_per_step) + 16
+    horizon = min(horizon, n // slots_per_step + 1)
+    t = np.arange(horizon, dtype=float)
+    d = slots_per_step * t  # distinct agents before interaction t
+    if slots_per_step == 2:
+        factors = (n - d) * (n - d - 1) / (n * (n - 1.0))
+    else:
+        factors = ((n - d) * (n - d - 1) * (n - d - 2) * (n - d - 3)
+                   / (n * (n - 1.0) ** 3))
+    np.clip(factors, 0.0, 1.0, out=factors)
+    survival = np.empty(horizon + 1)
+    survival[0] = 1.0
+    np.cumprod(factors, out=survival[1:])
+    keep = np.nonzero(survival >= _SURVIVAL_FLOOR)[0]
+    last = int(keep[-1]) + 1 if keep.size else 1
+    cdf = 1.0 - survival[:last + 1]
+    _CDF_CACHE[key] = cdf
+    return cdf
+
+
+class CountBackend(SimulationEngine):
+    """Count-level engine for an :class:`InteractionModel`.
+
+    Parameters
+    ----------
+    model:
+        The interaction law (its outcome may depend on the participants'
+        states only — guaranteed by the model contract).
+    initial_counts:
+        Length-``n_states`` non-negative integer count vector summing to
+        the population size ``n >= 2``.
+    seed:
+        Seed or generator.
+    """
+
+    def __init__(self, model: InteractionModel, initial_counts, seed=None):
+        self.model = model
+        counts = np.asarray(initial_counts, dtype=np.int64).copy()
+        if counts.ndim != 1 or counts.size != model.n_states:
+            raise InvalidParameterError(
+                f"initial_counts must be a 1-D vector of length "
+                f"{model.n_states}, got shape {counts.shape}")
+        if counts.min() < 0:
+            raise InvalidParameterError("counts must be non-negative")
+        self.n = int(counts.sum())
+        if self.n < 2:
+            raise InvalidParameterError(
+                f"population must have at least 2 agents, got n={self.n}")
+        self._counts = counts
+        self._rng = as_generator(seed)
+        self._spp = model.slots_per_step
+        if self._spp not in (2, 4):
+            raise InvalidParameterError(
+                f"slots_per_step must be 2 or 4, got {self._spp}")
+        if self._spp == 4 and self.n < 4:
+            raise InvalidParameterError(
+                "models observing extra agents need n >= 4 for an "
+                "all-distinct interaction to exist")
+        self._cdf = _collision_cdf(self.n, self._spp)
+        self._state_ids = np.arange(model.n_states)
+        self.steps_run = 0
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The backend's generator."""
+        return self._rng
+
+    def run(self, max_steps: int, stop_when=None,
+            observe_every: int | None = None,
+            check_stop_every: int = 1) -> EngineResult:
+        (max_steps, observe_every, check_stop_every, observations,
+         stopped) = self._prepare_run(max_steps, stop_when, observe_every,
+                                      check_stop_every)
+        if stopped or max_steps == 0:
+            return EngineResult(counts=self._counts.copy(),
+                                steps=self.steps_run, converged=stopped,
+                                observations=observations)
+        done = 0
+        converged = False
+        while done < max_steps:
+            budget = max_steps - done
+            # Land exactly on the observation / stop-check cadences.
+            if observe_every is not None:
+                budget = min(budget, observe_every - done % observe_every)
+            if stop_when is not None:
+                budget = min(budget,
+                             check_stop_every - done % check_stop_every)
+            done += self._advance(budget)
+            if observe_every is not None and done % observe_every == 0:
+                observations.append(
+                    (self.steps_run + done, self._counts.copy()))
+            if (stop_when is not None and done % check_stop_every == 0
+                    and stop_when(self._counts)):
+                converged = True
+                break
+        self.steps_run += done
+        return EngineResult(counts=self._counts.copy(), steps=self.steps_run,
+                            converged=converged, observations=observations)
+
+    # ------------------------------------------------------------------
+    # Birthday-run batching
+    # ------------------------------------------------------------------
+    def _advance(self, budget: int) -> int:
+        """Execute between 1 and ``budget`` interactions; return how many."""
+        cdf = self._cdf
+        horizon = len(cdf) - 1
+        # One uniform block covers the collision-time draw plus the
+        # collision interaction's repeat/fresh decisions (independent
+        # uniforms; the unused tail is simply discarded).
+        uniforms = self._rng.random(1 + self._spp)
+        first_collision = int(cdf.searchsorted(uniforms[0], side="right")) - 1
+        clean_cap = min(budget, horizon)
+        if first_collision >= clean_cap:
+            # No collision inside the window we may process: the leading
+            # clean_cap interactions are all-distinct — run them and stop
+            # (the collision time beyond the window is re-sampled next
+            # call, which is exact: only the event {T >= clean_cap}, of
+            # probability survival[clean_cap], was consumed).
+            self._run_clean(clean_cap, want_state=False)
+            return clean_cap
+        slots, updated, pool = self._run_clean(first_collision,
+                                               want_state=True)
+        self._run_collision(first_collision, slots, updated, pool,
+                            uniforms)
+        return first_collision + 1
+
+    def _run_clean(self, t: int, want_state: bool):
+        """Execute ``t`` interactions among all-distinct agents, vectorized.
+
+        With ``want_state`` true, returns ``(slots, updated, pool)``:
+        the flat per-slot sampled states, the per-slot post-interaction
+        states, and the count vector of the untouched remainder — the
+        inputs the collision resolution needs.
+        """
+        if t == 0:
+            if want_state:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty, self._counts.copy()
+            return None
+        spp = self._spp
+        n_slots = t * spp
+        counts_before = self._counts
+        sampled = self._rng.multivariate_hypergeometric(counts_before,
+                                                        n_slots)
+        slots = np.repeat(self._state_ids, sampled)
+        self._rng.shuffle(slots)
+        initiators = slots[0::spp]
+        responders = slots[1::spp]
+        observed = None
+        if spp == 4:
+            observed = (slots[2::spp], slots[3::spp])
+        new_u, new_v = self.model.apply(initiators, responders, self._rng,
+                                        observed)
+        s = self.model.n_states
+        # All sampled slots leave, all post-interaction states (updates for
+        # the pair, unchanged states for observed agents) re-enter — one
+        # fused bincount against the already-known sample composition.
+        if spp == 4:
+            entered = np.concatenate([new_u, new_v, observed[0], observed[1]])
+        else:
+            entered = np.concatenate([new_u, new_v])
+        delta = np.bincount(entered, minlength=s) - sampled
+        if want_state:
+            pool = counts_before - sampled
+            updated = slots.copy()
+            updated[0::spp] = new_u
+            updated[1::spp] = new_v
+            self._counts += delta
+            return slots, updated, pool
+        self._counts += delta
+        return None
+
+    def _rest_all_fresh(self, position: int, distinct: int) -> float:
+        """P(slots ``position..spp-1`` all hit unseen agents | ``distinct``)."""
+        probability = 1.0
+        n = self.n
+        for _ in range(position, self._spp):
+            probability *= max(n - distinct, 0) / (n - 1.0)
+            distinct += 1
+        return probability
+
+    def _run_collision(self, t: int, slots, updated, pool, uniforms) -> None:
+        """Resolve the interaction that ends a clean run, exactly.
+
+        ``slots``/``updated`` are the clean run's per-slot pre/post states
+        (each slot is a distinct agent); ``pool`` counts the untouched
+        agents; ``uniforms[1:]`` are pre-drawn repeat/fresh decision
+        variables.  The interaction's slot pattern (which of its
+        participants repeat an already-touched agent) is drawn from its
+        exact conditional law given that at least one repeats; repeated
+        participants read their recorded current state, fresh ones are
+        drawn from ``pool``.
+        """
+        rng = self._rng
+        n = self.n
+        spp = self._spp
+        prefix_slots = t * spp
+        pool = pool.tolist()
+        pool_total = n - prefix_slots
+        # Tokens identify distinct agents: 0..prefix_slots-1 are the clean
+        # run's slots; larger tokens are agents first seen in this very
+        # interaction (their pre-interaction state in fresh_states).
+        fresh_states: list[int] = []
+        slot_states = [0] * spp
+        slot_tokens = [0] * spp
+        # Each slot's "distinct from" constraint: position of the slot
+        # whose agent it may not equal (the shift-trick exclusions).
+        exclusions = (None, 0, 0, 1) if spp == 4 else (None, 0)
+        distinct = prefix_slots
+        need_repeat = True
+        for position in range(spp):
+            denominator = n if position == 0 else n - 1
+            p_fresh = (n - distinct) / denominator
+            if need_repeat:
+                rest = self._rest_all_fresh(position + 1, distinct + 1)
+                p_any = 1.0 - p_fresh * rest
+                is_repeat = (uniforms[position + 1] * max(p_any, 1e-300)
+                             < 1.0 - p_fresh)
+            else:
+                is_repeat = uniforms[position + 1] < 1.0 - p_fresh
+            if is_repeat:
+                need_repeat = False
+                excluded = exclusions[position]
+                if excluded is not None:
+                    barred = slot_tokens[excluded]
+                    token = int(rng.integers(distinct - 1))
+                    if token >= barred:
+                        token += 1
+                else:
+                    token = int(rng.integers(distinct))
+                slot_tokens[position] = token
+                if token < prefix_slots:
+                    slot_states[position] = int(updated[token])
+                else:
+                    slot_states[position] = fresh_states[token - prefix_slots]
+            else:
+                pick = int(rng.integers(pool_total))
+                state = 0
+                acc = pool[0]
+                while acc <= pick:
+                    state += 1
+                    acc += pool[state]
+                pool[state] -= 1
+                pool_total -= 1
+                slot_tokens[position] = distinct
+                fresh_states.append(state)
+                slot_states[position] = state
+                distinct += 1
+        u, v = slot_states[0], slot_states[1]
+        observed = None
+        if spp == 4:
+            observed = (slot_states[2], slot_states[3])
+        new_u, new_v = self.model.apply_scalar(u, v, rng, observed)
+        counts = self._counts
+        counts[u] -= 1
+        counts[v] -= 1
+        counts[new_u] += 1
+        counts[new_v] += 1

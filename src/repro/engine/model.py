@@ -1,0 +1,316 @@
+"""Interaction models: the *what happens when a pair meets* layer.
+
+An :class:`InteractionModel` is the count-level description of a pairwise
+interaction system: a finite per-agent state space of size ``S`` and a
+(possibly stochastic) map from the sampled agents' states to the initiator
+and responder's new states.  Crucially a model depends on the participants
+only through their *states* — never their identities — which is exactly the
+anonymity assumption of the population-protocol model and what makes the
+count vector a Markov chain (the paper's Section 2.2.1 embedding argument).
+
+Protocols and games declare their transition law **once** as a model;
+the engines in :mod:`repro.engine.agent` and :mod:`repro.engine.count`
+then own scheduling, stop predicates, and observation.
+
+Concrete models:
+
+* :class:`TableModel` — a deterministic joint transition table
+  ``(S, S, 2)``, the classic ``δ`` of a population protocol.
+* :class:`MixtureTableModel` — per interaction, one of several tables is
+  applied with fixed probabilities (noisy observation channels, lazy /
+  probabilistic update rules such as best-response-with-probability-p).
+* :class:`LogitResponseModel` — the initiator resamples its strategy from
+  the softmax of the payoffs against the responder (smoothed best response).
+* :class:`ImitationModel` — pairwise-comparison imitation; reads the states
+  of two extra uniformly sampled "opponent" agents per interaction
+  (``slots_per_step = 4``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils import check_probability_vector
+from repro.utils.errors import InvalidParameterError
+
+
+def _check_table(table, n_states=None) -> np.ndarray:
+    """Validate a joint transition table and return it as ``int64``."""
+    table = np.asarray(table, dtype=np.int64)
+    if table.ndim != 3 or table.shape[2] != 2 \
+            or table.shape[0] != table.shape[1]:
+        raise InvalidParameterError(
+            f"transition table must have shape (S, S, 2), got {table.shape}")
+    s = table.shape[0]
+    if n_states is not None and s != n_states:
+        raise InvalidParameterError(
+            f"transition table is over {s} states, expected {n_states}")
+    if s < 1:
+        raise InvalidParameterError("transition table must cover >= 1 state")
+    if table.min() < 0 or table.max() >= s:
+        raise InvalidParameterError(
+            f"table entries must lie in 0..{s - 1}")
+    return table
+
+
+class InteractionModel(ABC):
+    """Abstract pairwise interaction law over a finite state space.
+
+    Subclasses must define :attr:`n_states` and :meth:`apply`.  Models whose
+    law is a (mixture of) deterministic table(s) additionally expose
+    :attr:`component_tables`/:meth:`sample_components` so the agent engine
+    can use its table-lookup fast loop.
+
+    ``slots_per_step`` is the number of agents an interaction involves: 2
+    for ordinary protocols (initiator, responder), 4 for rules that also
+    *read* two extra uniformly sampled agents (see :class:`ImitationModel`).
+    Only the first two agents may change state.
+    """
+
+    #: Number of agents sampled per interaction (2 or 4).
+    slots_per_step: int = 2
+
+    @property
+    @abstractmethod
+    def n_states(self) -> int:
+        """Size of the per-agent state space."""
+
+    @property
+    def component_tables(self):
+        """Deterministic table components, or ``None`` for generic models.
+
+        A list ``[t_0, ..., t_{C-1}]`` of ``(S, S, 2)`` tables such that each
+        interaction applies table ``t_c`` with ``c`` drawn by
+        :meth:`sample_components`.  Engines use this for the fast sequential
+        loop; generic stochastic models return ``None``.
+        """
+        return None
+
+    def sample_components(self, rng, size: int):
+        """Component indices for ``size`` interactions (``None`` if ``C=1``)."""
+        return None
+
+    @abstractmethod
+    def apply(self, initiators, responders, rng, observed=None):
+        """Vectorized outcome of a batch of interactions.
+
+        Parameters
+        ----------
+        initiators, responders:
+            Integer state arrays of equal length (the pair's *states*).
+        rng:
+            Generator for the model's own randomness (one independent draw
+            per interaction; unused by deterministic models).
+        observed:
+            For ``slots_per_step == 4``, the pair of extra observed state
+            arrays ``(obs_i, obs_j)``; ``None`` otherwise.
+
+        Returns
+        -------
+        ``(new_initiators, new_responders)`` state arrays.  Observed agents
+        never change state.
+        """
+
+    def apply_scalar(self, u: int, v: int, rng, observed=None) -> tuple:
+        """Single-interaction outcome on Python ints (sequential engines).
+
+        The default routes through :meth:`apply` with length-1 arrays;
+        models on hot sequential paths may override with a cheaper scalar
+        implementation.  The law must match :meth:`apply` exactly.
+        """
+        obs = None
+        if observed is not None:
+            obs = (np.array([observed[0]]), np.array([observed[1]]))
+        new_u, new_v = self.apply(np.array([u]), np.array([v]), rng, obs)
+        return int(new_u[0]), int(new_v[0])
+
+
+class TableModel(InteractionModel):
+    """A deterministic joint transition table — the protocol ``δ``.
+
+    Parameters
+    ----------
+    table:
+        ``(S, S, 2)`` integer array: ``table[u, v] = (u', v')``.
+    """
+
+    def __init__(self, table):
+        self._table = _check_table(table)
+        self._s = self._table.shape[0]
+        self._flat_u = np.ascontiguousarray(self._table[:, :, 0].ravel())
+        self._flat_v = np.ascontiguousarray(self._table[:, :, 1].ravel())
+
+    @property
+    def n_states(self) -> int:
+        return self._s
+
+    @property
+    def table(self) -> np.ndarray:
+        """The ``(S, S, 2)`` transition table (copy)."""
+        return self._table.copy()
+
+    @property
+    def component_tables(self):
+        return [self._table.copy()]
+
+    def apply(self, initiators, responders, rng, observed=None):
+        idx = initiators * self._s + responders
+        return self._flat_u[idx], self._flat_v[idx]
+
+    def apply_scalar(self, u: int, v: int, rng, observed=None) -> tuple:
+        idx = u * self._s + v
+        return int(self._flat_u[idx]), int(self._flat_v[idx])
+
+
+class MixtureTableModel(InteractionModel):
+    """Applies one of ``C`` deterministic tables per interaction.
+
+    Each interaction independently draws component ``c`` with probability
+    ``probs[c]`` and applies table ``c``.  This captures, e.g., noisy
+    observation channels (with probability ``ε`` apply the
+    flipped-observation table) and probabilistic update rules (with
+    probability ``1 − p`` apply the identity table).
+    """
+
+    def __init__(self, tables, probs):
+        if len(tables) < 1:
+            raise InvalidParameterError("at least one component table needed")
+        first = _check_table(tables[0])
+        self._tables = [first] + [
+            _check_table(t, n_states=first.shape[0]) for t in tables[1:]]
+        self._s = first.shape[0]
+        probs = check_probability_vector("probs", np.asarray(probs, float))
+        if probs.size != len(self._tables):
+            raise InvalidParameterError(
+                f"{probs.size} probabilities for {len(self._tables)} tables")
+        self._probs = probs
+        self._cum = np.cumsum(probs)
+        self._cum[-1] = 1.0
+        # (C, S*S) stacked flat lookups for vectorized mixture application.
+        self._flat_u = np.stack([t[:, :, 0].ravel() for t in self._tables])
+        self._flat_v = np.stack([t[:, :, 1].ravel() for t in self._tables])
+
+    @property
+    def n_states(self) -> int:
+        return self._s
+
+    @property
+    def component_tables(self):
+        return [t.copy() for t in self._tables]
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Component probabilities (copy)."""
+        return self._probs.copy()
+
+    def sample_components(self, rng, size: int):
+        return np.searchsorted(self._cum, rng.random(size), side="right")
+
+    def apply(self, initiators, responders, rng, observed=None):
+        comps = self.sample_components(rng, len(initiators))
+        idx = initiators * self._s + responders
+        return self._flat_u[comps, idx], self._flat_v[comps, idx]
+
+    def apply_scalar(self, u: int, v: int, rng, observed=None) -> tuple:
+        c = int(np.searchsorted(self._cum, rng.random(), side="right"))
+        idx = u * self._s + v
+        return int(self._flat_u[c, idx]), int(self._flat_v[c, idx])
+
+
+class LogitResponseModel(InteractionModel):
+    """Softmax (logit) response to the responder's strategy.
+
+    The initiator resamples its strategy from
+    ``softmax(eta · payoffs[:, v])`` where ``v`` is the responder's current
+    strategy; the responder never changes.  Temperature ``1/eta``; the
+    smoothing keeps the strategy-count chain irreducible.
+    """
+
+    def __init__(self, payoffs, eta: float = 1.0):
+        payoffs = np.asarray(payoffs, dtype=float)
+        if payoffs.ndim != 2 or payoffs.shape[0] != payoffs.shape[1]:
+            raise InvalidParameterError(
+                f"payoffs must be a square matrix, got shape {payoffs.shape}")
+        if eta <= 0:
+            raise InvalidParameterError(f"eta must be positive, got {eta!r}")
+        self._s = payoffs.shape[0]
+        self.eta = float(eta)
+        logits = self.eta * payoffs
+        logits -= logits.max(axis=0, keepdims=True)
+        weights = np.exp(logits)
+        weights /= weights.sum(axis=0, keepdims=True)
+        # _cdf[v] = CDF over the initiator's new strategy given responder v.
+        self._cdf = np.cumsum(weights.T, axis=1)
+        self._cdf[:, -1] = 1.0
+
+    @property
+    def n_states(self) -> int:
+        return self._s
+
+    def apply(self, initiators, responders, rng, observed=None):
+        draws = rng.random(len(initiators))
+        rows = self._cdf[responders]
+        new_u = (rows <= draws[:, None]).sum(axis=1)
+        np.minimum(new_u, self._s - 1, out=new_u)
+        return new_u, responders
+
+    def apply_scalar(self, u: int, v: int, rng, observed=None) -> tuple:
+        draw = rng.random()
+        new_u = int(np.searchsorted(self._cdf[v], draw, side="right"))
+        return min(new_u, self._s - 1), v
+
+
+class ImitationModel(InteractionModel):
+    """Pairwise-comparison imitation (finite-population replicator).
+
+    The initiator (state ``u``) and the responder acting as a model agent
+    (state ``v``) each earn a payoff against an *independently sampled*
+    opponent — the two extra observed agents — and the initiator adopts
+    ``v`` with probability ``max(payoff_v − payoff_u, 0) / scale``.
+    Reads four agents per interaction (``slots_per_step = 4``); only the
+    initiator may change state.
+    """
+
+    slots_per_step = 4
+
+    def __init__(self, payoffs, scale: float | None = None):
+        payoffs = np.asarray(payoffs, dtype=float)
+        if payoffs.ndim != 2 or payoffs.shape[0] != payoffs.shape[1]:
+            raise InvalidParameterError(
+                f"payoffs must be a square matrix, got shape {payoffs.shape}")
+        self._s = payoffs.shape[0]
+        if scale is None:
+            span = float(payoffs.max() - payoffs.min())
+            scale = span if span > 0 else 1.0
+        if scale <= 0:
+            raise InvalidParameterError(f"scale must be positive, got {scale!r}")
+        self.scale = float(scale)
+        self._flat = np.ascontiguousarray(payoffs.ravel())
+
+    @property
+    def n_states(self) -> int:
+        return self._s
+
+    def apply(self, initiators, responders, rng, observed=None):
+        if observed is None:
+            raise InvalidParameterError(
+                "ImitationModel needs the two observed opponent states")
+        obs_i, obs_j = observed
+        payoff_u = self._flat[initiators * self._s + obs_i]
+        payoff_v = self._flat[responders * self._s + obs_j]
+        advantage = payoff_v - payoff_u
+        switch = (advantage > 0) & (rng.random(len(initiators))
+                                    < advantage / self.scale)
+        return np.where(switch, responders, initiators), responders
+
+    def apply_scalar(self, u: int, v: int, rng, observed=None) -> tuple:
+        if observed is None:
+            raise InvalidParameterError(
+                "ImitationModel needs the two observed opponent states")
+        advantage = (self._flat[v * self._s + observed[1]]
+                     - self._flat[u * self._s + observed[0]])
+        if advantage > 0 and rng.random() < advantage / self.scale:
+            return v, v
+        return u, v

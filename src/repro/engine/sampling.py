@@ -1,0 +1,58 @@
+"""Shared ordered-pair sampling primitives.
+
+The single home of the "shift trick": drawing the second member of an
+ordered pair from ``n − 1`` values and bumping ties upward is exactly
+uniform over the agents distinct from the first.  Both engines and the
+population-level :class:`~repro.population.scheduler.RandomScheduler`
+route their pair randomness through :func:`ordered_pair_block`, so a fixed
+seed yields the same interaction schedule everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ordered_pair_block(rng, n: int, size: int, first=None):
+    """Vectorized batch of ``size`` ordered pairs of distinct agents.
+
+    Parameters
+    ----------
+    rng:
+        The generator to draw from.
+    n:
+        Population size (``n >= 2``).
+    size:
+        Number of pairs.
+    first:
+        Optional pre-drawn first indices (e.g. to sample, for each given
+        agent, one uniform *other* agent); drawn uniformly when omitted.
+    """
+    if first is None:
+        first = rng.integers(0, n, size=size)
+    second = rng.integers(0, n - 1, size=size)
+    second = second + (second >= first)
+    return first, second
+
+
+class UniformPairSampler:
+    """Minimal uniform pair scheduler (duck-compatible with the engines).
+
+    Provides the ``n`` / ``rng`` / ``pair_block`` surface the engines need
+    without importing the population package (which would be circular);
+    :class:`~repro.population.scheduler.RandomScheduler` offers the same
+    surface with validation and a scalar API on top.
+    """
+
+    def __init__(self, n: int, rng: np.random.Generator):
+        self.n = int(n)
+        self._rng = rng
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The underlying generator (shared with the simulation)."""
+        return self._rng
+
+    def pair_block(self, size: int):
+        """``size`` ordered pairs of distinct agents."""
+        return ordered_pair_block(self._rng, self.n, size)

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
 from repro.analysis.tables import format_table
+from repro.engine import check_backend
 from repro.utils.errors import InvalidParameterError
 
 
@@ -114,7 +116,27 @@ def get_experiment(experiment_id: str):
 
 
 def run_experiment(experiment_id: str, fast: bool = True,
-                   seed=12345) -> ExperimentReport:
-    """Run one experiment and return its report."""
+                   seed=12345, backend: str | None = None) -> ExperimentReport:
+    """Run one experiment and return its report.
+
+    Parameters
+    ----------
+    experiment_id:
+        The DESIGN.md id, e.g. ``"E7"``.
+    fast:
+        Reduced-size parameters (the default); ``False`` for the full run.
+    seed:
+        Random seed forwarded to the runner.
+    backend:
+        Optional simulation-engine selection (``"agent"`` or ``"count"``)
+        for experiments that simulate populations; runners that do not
+        accept a ``backend`` parameter (exact-computation experiments)
+        ignore it.
+    """
     runner = get_experiment(experiment_id)
-    return runner(fast=fast, seed=seed)
+    kwargs = {"fast": fast, "seed": seed}
+    if backend is not None:
+        check_backend(backend)
+        if "backend" in inspect.signature(runner).parameters:
+            kwargs["backend"] = backend
+    return runner(**kwargs)

@@ -10,8 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.sampling import ordered_pair_block
 from repro.utils import as_generator, check_positive_int
 from repro.utils.errors import InvalidParameterError
+
+__all__ = ["ordered_pair_block", "RandomScheduler", "WeightedScheduler"]
 
 
 class RandomScheduler:
@@ -45,15 +48,11 @@ class RandomScheduler:
     def pair_block(self, size: int) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized batch of ``size`` ordered pairs of distinct agents.
 
-        Uses the shift trick: draw ``j`` from ``n − 1`` values and bump
-        ``j >= i`` by one, which is exactly uniform over ordered distinct
-        pairs.
+        Delegates to :func:`ordered_pair_block` (the shared shift-trick
+        sampler) so every consumer draws pairs identically.
         """
         size = check_positive_int("size", size)
-        initiators = self._rng.integers(0, self.n, size=size)
-        responders = self._rng.integers(0, self.n - 1, size=size)
-        responders = responders + (responders >= initiators)
-        return initiators, responders
+        return ordered_pair_block(self._rng, self.n, size)
 
 
 class WeightedScheduler:

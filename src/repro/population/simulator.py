@@ -1,9 +1,19 @@
 """Sequential population-protocol simulator.
 
-Executes a protocol under the uniform random scheduler with a fast
-table-lookup inner loop, periodic observers, and convergence predicates.
-Interactions are processed strictly sequentially (the model's semantics);
-randomness is drawn in vectorized blocks for speed.
+A thin per-agent façade over the engine layer (:mod:`repro.engine`): the
+protocol's transition table becomes a
+:class:`~repro.engine.model.TableModel` and an
+:class:`~repro.engine.agent.AgentBackend` owns the uniform-scheduler loop,
+stop predicates, and observations.  A full run from a fresh simulator is
+bit-for-bit identical to the pre-engine simulator under a fixed seed
+(same block-sampled randomness, same sequential semantics); the one
+deliberate change is that observation/stop cadences now count from the
+start of each ``run`` call rather than from the simulator's cumulative
+step total, so chunked ``run`` calls snapshot on a per-call grid.
+
+For count-level simulation of a protocol at large ``n`` — exact in
+distribution but orders of magnitude faster — use
+:func:`simulate_protocol_counts`.
 """
 
 from __future__ import annotations
@@ -12,10 +22,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine import AgentBackend, CountBackend, protocol_model
 from repro.population.protocol import PopulationProtocol
-from repro.population.scheduler import RandomScheduler
-from repro.utils import as_generator, check_positive_int
-from repro.utils.errors import InvalidParameterError
+from repro.utils import as_generator
 
 
 @dataclass
@@ -59,19 +68,18 @@ class Simulator:
 
     def __init__(self, protocol: PopulationProtocol, initial_states, seed=None):
         self.protocol = protocol
-        states = np.asarray(initial_states, dtype=np.int64).copy()
-        if states.ndim != 1 or states.size < 2:
-            raise InvalidParameterError(
-                "initial_states must be a 1-D array of at least 2 agents")
-        if states.min() < 0 or states.max() >= protocol.n_states:
-            raise InvalidParameterError(
-                f"initial states must lie in 0..{protocol.n_states - 1}")
-        self.states = states
-        self.n = states.size
-        self._table = protocol.transition_table()
-        self._scheduler = RandomScheduler(self.n, seed=as_generator(seed))
-        self._counts = np.bincount(states, minlength=protocol.n_states).astype(np.int64)
-        self.steps_run = 0
+        self._backend = AgentBackend(protocol_model(protocol), initial_states,
+                                     seed=as_generator(seed))
+        self.states = self._backend.states_live
+        self.n = self._backend.n
+        self._counts = self._backend.counts_live
+        self._scheduler = self._backend.scheduler
+        self._output_map = None
+
+    @property
+    def steps_run(self) -> int:
+        """Total interactions executed so far."""
+        return self._backend.steps_run
 
     @property
     def counts(self) -> np.ndarray:
@@ -94,62 +102,59 @@ class Simulator:
         stop_when:
             Optional predicate ``counts -> bool`` evaluated every
             ``check_stop_every`` steps; the run stops early when it returns
-            true.
+            true.  Predicates must read the ``counts`` argument they are
+            handed (or :attr:`counts`): on the engine's fast path the
+            per-agent :attr:`states` array is written back only when the
+            run returns, so mid-run reads of it see entry-of-run values.
         observe_every:
             When given, snapshot ``(step, counts)`` every that many steps
-            (including step 0).
+            of this call (including its entry state).
         """
-        max_steps = check_positive_int("max_steps", max_steps, minimum=0)
-        check_stop_every = check_positive_int("check_stop_every", check_stop_every)
-        observations: list[tuple[int, np.ndarray]] = []
-        if observe_every is not None:
-            observe_every = check_positive_int("observe_every", observe_every)
-            observations.append((self.steps_run, self.counts))
-        converged = False
-        if stop_when is not None and stop_when(self._counts):
-            converged = True
-            max_steps = 0
-
-        table = self._table
-        states = self.states
-        counts = self._counts
-        block = 65536
-        done = 0
-        while done < max_steps:
-            batch = min(block, max_steps - done)
-            initiators, responders = self._scheduler.pair_block(batch)
-            for offset in range(batch):
-                i = initiators[offset]
-                j = responders[offset]
-                u = states[i]
-                v = states[j]
-                new_u = table[u, v, 0]
-                new_v = table[u, v, 1]
-                if new_u != u:
-                    states[i] = new_u
-                    counts[u] -= 1
-                    counts[new_u] += 1
-                if new_v != v:
-                    states[j] = new_v
-                    counts[v] -= 1
-                    counts[new_v] += 1
-                step_number = self.steps_run + offset + 1
-                if observe_every is not None and step_number % observe_every == 0:
-                    observations.append((step_number, counts.copy()))
-                if (stop_when is not None
-                        and step_number % check_stop_every == 0
-                        and stop_when(counts)):
-                    self.steps_run = step_number
-                    return SimulationResult(
-                        states=states.copy(), counts=counts.copy(),
-                        steps=self.steps_run, converged=True,
-                        observations=observations)
-            done += batch
-            self.steps_run += batch
-        return SimulationResult(states=states.copy(), counts=counts.copy(),
-                                steps=self.steps_run, converged=converged,
-                                observations=observations)
+        result = self._backend.run(max_steps, stop_when=stop_when,
+                                   observe_every=observe_every,
+                                   check_stop_every=check_stop_every)
+        return SimulationResult(states=result.states, counts=result.counts,
+                                steps=result.steps,
+                                converged=result.converged,
+                                observations=result.observations)
 
     def outputs(self) -> list:
-        """Current per-agent outputs under the protocol's output map."""
-        return [self.protocol.output(int(s)) for s in self.states]
+        """Current per-agent outputs under the protocol's output map.
+
+        Vectorized through a precomputed state -> output lookup array
+        (one ``take`` instead of ``n`` Python-level calls).
+        """
+        if self._output_map is None:
+            values = [self.protocol.output(s)
+                      for s in range(self.protocol.n_states)]
+            if all(type(v) is int for v in values):
+                self._output_map = np.array(values, dtype=np.int64)
+            else:
+                self._output_map = np.empty(len(values), dtype=object)
+                self._output_map[:] = values
+        return self._output_map[self.states].tolist()
+
+
+def simulate_protocol_counts(protocol: PopulationProtocol, initial_counts,
+                             max_steps: int, seed=None, stop_when=None,
+                             observe_every: int | None = None,
+                             check_stop_every: int | None = None):
+    """Count-level protocol simulation at scale (exact in distribution).
+
+    Runs the protocol on the :class:`~repro.engine.count.CountBackend`:
+    only the state-count vector is tracked, which lifts the practical
+    population limit to ``n = 10^7`` and beyond.  Returns the backend's
+    :class:`~repro.engine.base.EngineResult` (``states`` is ``None``).
+
+    ``check_stop_every`` defaults to ``~sqrt(n)`` — the backend's natural
+    batch scale — because per-interaction stop checks would cap every
+    batch at one interaction and forfeit the count engine's speedup; pass
+    ``1`` explicitly when the stop step must be exact to the interaction.
+    """
+    backend = CountBackend(protocol_model(protocol), initial_counts,
+                           seed=seed)
+    if check_stop_every is None:
+        check_stop_every = max(1, int(backend.n ** 0.5))
+    return backend.run(max_steps, stop_when=stop_when,
+                       observe_every=observe_every,
+                       check_stop_every=check_stop_every)
