@@ -1,0 +1,86 @@
+"""Gate count-backend throughput against a committed benchmark baseline.
+
+Compares a freshly generated ``BENCH_engine.json`` (typically from
+``benchmarks/bench_engine.py --smoke`` in CI) against the baseline file
+committed at the repo root.  Cases are matched on
+``(workload, backend, n)`` and only ``backend == "count"`` entries are
+gated — they carry the engine's performance claims; seed-loop and
+per-step entries are baselines by construction, and agent-loop timing is
+too host-sensitive for a hard gate.  A case fails when its throughput
+drops below ``baseline / factor``; the default factor 2 absorbs the gap
+between CI runners and the machine that committed the baseline while
+still catching real regressions (the batching work this guards delivered
+5x-100x).
+
+Usage::
+
+    python scripts/check_bench_regression.py CURRENT BASELINE [--factor F]
+
+Exits 1 on any regression (or when the files share no comparable cases,
+which would make the gate vacuous).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+GATED_BACKENDS = ("count",)
+
+
+def load_cases(path: pathlib.Path) -> dict:
+    """Map ``(workload, backend, n) -> interactions_per_sec`` of a file."""
+    payload = json.loads(path.read_text())
+    return {
+        (case["workload"], case["backend"], case["n"]): case[
+            "interactions_per_sec"
+        ]
+        for case in payload["cases"]
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="allowed slowdown factor before failing (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_cases(args.current)
+    baseline = load_cases(args.baseline)
+    compared = 0
+    regressions = 0
+    for key in sorted(current):
+        workload, backend, n = key
+        if backend not in GATED_BACKENDS or key not in baseline:
+            continue
+        compared += 1
+        floor = baseline[key] / args.factor
+        verdict = "ok"
+        if current[key] < floor:
+            verdict = f"REGRESSION (floor {floor:,.0f}/s)"
+            regressions += 1
+        print(
+            f"{workload:>14} {backend:>8} n={n:<10} "
+            f"baseline {baseline[key]:>12,}/s  current "
+            f"{current[key]:>12,}/s  {verdict}"
+        )
+    if compared == 0:
+        print("no comparable count-backend cases; the gate would be vacuous")
+        return 1
+    if regressions:
+        print(f"{regressions}/{compared} gated case(s) regressed")
+        return 1
+    print(f"all {compared} gated case(s) within {args.factor}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

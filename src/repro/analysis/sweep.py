@@ -41,20 +41,42 @@ class SweepResult:
         return out
 
 
-def parameter_sweep(fn, **param_lists) -> SweepResult:
+def _apply_point(job) -> dict:
+    """Evaluate one grid point; module-level so process pools can pickle it."""
+    fn, point = job
+    return fn(**point)
+
+
+def parameter_sweep(fn, *, jobs: int = 1, **param_lists) -> SweepResult:
     """Run ``fn(**point)`` over the cartesian product of the parameter lists.
 
     ``fn`` must return a dict of measured values; each record in the result
     merges the parameter point with that dict (measured values win on key
     collisions, which are rejected to avoid silent shadowing).
+
+    With ``jobs > 1`` the grid points are fanned out across worker
+    processes through :func:`repro.runner.parallel_map` — ``fn`` must then
+    be picklable (a module-level function, not a closure), and any
+    randomness it uses must be derived from its parameters (e.g. a swept
+    ``seed``) for the records to be reproducible.  Records are collected
+    in grid order either way, so the result is identical for every
+    ``jobs`` value.  (``jobs`` is keyword-only and therefore not usable as
+    a swept parameter name.)
     """
     if not param_lists:
         raise InvalidParameterError("at least one parameter list is required")
     names = tuple(param_lists.keys())
     result = SweepResult(parameter_names=names)
-    for values in itertools.product(*param_lists.values()):
-        point = dict(zip(names, values))
-        measured = fn(**point)
+    points = [dict(zip(names, values))
+              for values in itertools.product(*param_lists.values())]
+    if jobs > 1:
+        from repro.runner.executor import parallel_map
+        measured_values = parallel_map(_apply_point,
+                                       [(fn, point) for point in points],
+                                       jobs=jobs)
+    else:
+        measured_values = [fn(**point) for point in points]
+    for point, measured in zip(points, measured_values):
         if not isinstance(measured, dict):
             raise InvalidParameterError(
                 f"sweep callable must return a dict, got {type(measured)!r}")

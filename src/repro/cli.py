@@ -4,17 +4,42 @@ Usage::
 
     python -m repro list
     python -m repro run E7
-    python -m repro run all
+    python -m repro run all --jobs 4
     python -m repro run E5 --full --seed 7
+    python -m repro run-all --jobs 4 --cache .repro-cache
+    python -m repro sweep E13 --replicates 8 --jobs 4 --backends count,agent
+
+``run``/``run-all``/``sweep`` all execute through the run orchestrator
+(:mod:`repro.runner`): ``--jobs N`` fans tasks out across worker
+processes (records are identical for every ``N``), and ``--cache DIR``
+makes re-runs incremental through the on-disk result cache.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from repro.experiments import all_experiments, run_experiment
+from repro.experiments import all_experiments, get_experiment
+
+
+def _add_orchestration_arguments(parser) -> None:
+    """The runner knobs shared by ``run``, ``run-all``, and ``sweep``."""
+    parser.add_argument(
+        "--full", action="store_true",
+        help="full-size parameters (slower, tighter tolerances)")
+    parser.add_argument(
+        "--seed", type=int, default=12345,
+        help="random seed (default 12345)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=("worker processes to fan tasks out across (default 1; "
+              "results are identical for any value)"))
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help=("directory of the on-disk result cache, keyed by "
+              "(experiment, params, seed, backend, code-version); "
+              "re-runs become incremental"))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -31,17 +56,35 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "experiment",
         help="experiment id (E1..E16) or 'all'")
-    run_parser.add_argument(
-        "--full", action="store_true",
-        help="full-size parameters (slower, tighter tolerances)")
-    run_parser.add_argument(
-        "--seed", type=int, default=12345,
-        help="random seed (default 12345)")
+    _add_orchestration_arguments(run_parser)
     run_parser.add_argument(
         "--backend", choices=["agent", "count"], default=None,
         help=("simulation engine for population experiments: per-agent "
               "('agent') or exact count-level ('count'); experiments that "
               "do not simulate populations ignore it"))
+
+    runall_parser = subparsers.add_parser(
+        "run-all",
+        help="run every experiment, optionally across worker processes")
+    _add_orchestration_arguments(runall_parser)
+    runall_parser.add_argument(
+        "--backend", choices=["agent", "count"], default=None,
+        help="simulation engine for population experiments")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help=("run independent replicates of one experiment over a "
+              "backends grid with per-replicate seed streams"))
+    sweep_parser.add_argument("experiment", help="experiment id (E1..E16)")
+    sweep_parser.add_argument(
+        "--replicates", type=int, default=4, metavar="R",
+        help=("independent replicates per backend (default 4); replicate "
+              "i runs with the deterministic seed task_seed(seed, i)"))
+    sweep_parser.add_argument(
+        "--backends", default=None, metavar="B1,B2",
+        help=("comma-separated engine grid, e.g. 'count,agent' or "
+              "'default' for the experiment's own choice (the default)"))
+    _add_orchestration_arguments(sweep_parser)
 
     sim_parser = subparsers.add_parser(
         "simulate", help="run one k-IGT simulation and report vs theory")
@@ -99,6 +142,72 @@ def _run_simulate(args) -> int:
     return 0
 
 
+def _render_result(result) -> None:
+    print(result.report.render())
+    cached = " (cached)" if result.from_cache else ""
+    print(f"({result.seconds:.1f}s){cached}")
+    print()
+
+
+def _run_plan_and_render(ids, args) -> int:
+    """Execute experiments through the orchestrator and render each report.
+
+    With ``--jobs 1`` each experiment is executed (and its report printed)
+    as soon as it finishes — long serial runs stream progress exactly like
+    the pre-orchestrator CLI.  With parallel jobs the plan executes as one
+    batch and the reports print afterwards, in task order.
+    """
+    from repro.runner import execute, experiments_plan
+
+    for experiment_id in ids:
+        get_experiment(experiment_id)  # fail fast on unknown ids
+    if args.jobs == 1:
+        all_pass = True
+        for experiment_id in ids:
+            plan = experiments_plan([experiment_id], fast=not args.full,
+                                    seed=args.seed, backend=args.backend,
+                                    cache_dir=args.cache)
+            result = execute(plan).results[0]
+            _render_result(result)
+            all_pass = all_pass and result.report.all_checks_pass
+        return 0 if all_pass else 1
+    plan = experiments_plan(ids, fast=not args.full, seed=args.seed,
+                            backend=args.backend, jobs=args.jobs,
+                            cache_dir=args.cache)
+    report = execute(plan)
+    for result in report.results:
+        _render_result(result)
+    return 0 if report.all_checks_pass else 1
+
+
+def _run_sweep(args) -> int:
+    from repro.analysis.tables import format_table
+    from repro.runner import execute, replicate_plan
+
+    get_experiment(args.experiment)  # fail fast on unknown ids
+    backends = (None,)
+    if args.backends:
+        from repro.engine import check_backend
+        names = [name.strip() for name in args.backends.split(",")]
+        backends = tuple(None if name in ("default", "")
+                         else check_backend(name) for name in names)
+    plan = replicate_plan(args.experiment, replicates=args.replicates,
+                          base_seed=args.seed, fast=not args.full,
+                          backends=backends, jobs=args.jobs,
+                          cache_dir=args.cache)
+    report = execute(plan)
+    headers, rows = report.summary_table()
+    print(f"{args.experiment}: {args.replicates} replicate(s) x "
+          f"{len(backends)} backend(s), jobs={args.jobs}")
+    print(format_table(headers, rows))
+    print()
+    for name, (passed, total) in report.check_pass_rates().items():
+        print(f"[{passed}/{total}] {name}")
+    if args.cache is not None:
+        print(f"cache hits: {report.cache_hits}/{len(report.results)}")
+    return 0 if report.all_checks_pass else 1
+
+
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -108,20 +217,16 @@ def main(argv=None) -> int:
         return 0
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
 
-    ids = [eid for eid, _ in all_experiments()] \
-        if args.experiment.lower() == "all" else [args.experiment]
-    any_failed = False
-    for experiment_id in ids:
-        start = time.perf_counter()
-        report = run_experiment(experiment_id, fast=not args.full,
-                                seed=args.seed, backend=args.backend)
-        elapsed = time.perf_counter() - start
-        print(report.render())
-        print(f"({elapsed:.1f}s)")
-        print()
-        any_failed = any_failed or not report.all_checks_pass
-    return 1 if any_failed else 0
+    all_ids = [eid for eid, _ in all_experiments()]
+    if args.command == "run-all":
+        ids = all_ids
+    else:
+        ids = all_ids if args.experiment.lower() == "all" \
+            else [args.experiment]
+    return _run_plan_and_render(ids, args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -420,6 +420,41 @@ class IGTSimulation:
         return np.stack([counts[:self.grid.k]
                          for _, counts in result.observations])
 
+    def run_until(self, max_steps: int, stop_when,
+                  check_stop_every: int | None = None) -> bool:
+        """Run until ``stop_when(z)`` holds on the generosity count vector.
+
+        ``stop_when`` receives the length-``k`` count vector over the
+        generosity indices (the :attr:`counts` view) and is evaluated
+        every ``check_stop_every`` interactions (default ``~sqrt(n)``;
+        the engines batch *across* check boundaries, so the cadence only
+        sets how often the Python predicate runs).  Returns whether the
+        predicate fired within ``max_steps``; :attr:`steps_run` advances
+        to the firing check point (a multiple of the cadence) or by
+        ``max_steps``.
+        """
+        steps = check_positive_int("max_steps", max_steps, minimum=0)
+        if check_stop_every is None:
+            check_stop_every = max(1, int(self.n ** 0.5))
+        else:
+            check_stop_every = check_positive_int("check_stop_every",
+                                                  check_stop_every)
+        if self.mode == "action" or self.track_payoffs:
+            for s in range(steps):
+                self.step()
+                if (s + 1) % check_stop_every == 0 \
+                        and stop_when(self._counts):
+                    return True
+            return False
+        k = self.grid.k
+        engine = self._ensure_engine()
+        engine.steps_run = self.steps_run
+        result = engine.run(steps,
+                            stop_when=lambda full: stop_when(full[:k]),
+                            check_stop_every=check_stop_every)
+        self.steps_run = result.steps
+        return result.converged
+
     def mean_payoff_per_interaction(self) -> np.ndarray:
         """Average accumulated payoff per played interaction for each agent."""
         self._require_agent_states()

@@ -114,9 +114,10 @@ class SimulationEngine(ABC):
         stop_when:
             Optional predicate ``counts -> bool`` evaluated every
             ``check_stop_every`` steps of this call; the run stops early
-            when it returns true.  Count-level backends process interactions
-            in batches whose length is capped by the check cadence, so a
-            generous ``check_stop_every`` keeps them fast.
+            when it returns true.  Backends batch *across* check
+            boundaries (interior counts are materialized exactly), so the
+            cadence only controls how often the Python predicate runs —
+            not the batch size.
         observe_every:
             When given, snapshot ``(step, counts)`` every that many steps of
             this call, including the entry state.

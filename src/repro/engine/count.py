@@ -37,6 +37,17 @@ so trajectories are distribution-identical to the agent backend (property
 tests check this against the exact chains in :mod:`repro.markov`).  The
 expected run length is ``Θ(√n)`` interactions, which is also the speedup
 scale over per-interaction simulation.
+
+Observation / stop-check boundaries do **not** split batches: a clean run
+records every participant's pre- and post-interaction state, so the exact
+count vector at any interior step is a prefix sum over those slots.
+Snapshots for ``observe_every`` and predicate evaluations for
+``check_stop_every`` are materialized from those prefix sums mid-batch,
+and an early stop rewinds the counts to the firing checkpoint and discards
+the batch remainder (exact: the next batch re-samples the discarded future
+from the process law, which is Markov in the counts).  Observed or
+stop-checked runs therefore keep near-unobserved throughput even at
+``check_stop_every=1``, which previously forced one-interaction batches.
 """
 
 from __future__ import annotations
@@ -89,6 +100,19 @@ def _collision_cdf(n: int, slots_per_step: int) -> np.ndarray:
     cdf = 1.0 - survival[:last + 1]
     _CDF_CACHE[key] = cdf
     return cdf
+
+
+def _cadence_offsets(done, every, limit) -> range:
+    """Offsets ``j`` in ``[1, limit]`` with ``(done + j) % every == 0``.
+
+    ``done`` counts interactions already executed by the enclosing ``run``
+    call, so the returned offsets are the points inside the next ``limit``
+    interactions that land on the run-relative cadence grid.
+    """
+    if every is None:
+        return range(0)
+    first = every - done % every
+    return range(first, limit + 1, every)
 
 
 class CountBackend(SimulationEngine):
@@ -144,37 +168,35 @@ class CountBackend(SimulationEngine):
         (max_steps, observe_every, check_stop_every, observations,
          stopped) = self._prepare_run(max_steps, stop_when, observe_every,
                                       check_stop_every)
-        if stopped or max_steps == 0:
-            return EngineResult(counts=self._counts.copy(),
-                                steps=self.steps_run, converged=stopped,
-                                observations=observations)
         done = 0
-        converged = False
-        while done < max_steps:
-            budget = max_steps - done
-            # Land exactly on the observation / stop-check cadences.
-            if observe_every is not None:
-                budget = min(budget, observe_every - done % observe_every)
-            if stop_when is not None:
-                budget = min(budget,
-                             check_stop_every - done % check_stop_every)
-            done += self._advance(budget)
-            if observe_every is not None and done % observe_every == 0:
-                observations.append(
-                    (self.steps_run + done, self._counts.copy()))
-            if (stop_when is not None and done % check_stop_every == 0
-                    and stop_when(self._counts)):
-                converged = True
-                break
-        self.steps_run += done
+        converged = stopped
+        if not stopped:
+            while done < max_steps:
+                executed, converged = self._advance(
+                    max_steps - done, done, stop_when, observe_every,
+                    check_stop_every, observations)
+                done += executed
+                if converged:
+                    break
+            self.steps_run += done
         return EngineResult(counts=self._counts.copy(), steps=self.steps_run,
                             converged=converged, observations=observations)
 
     # ------------------------------------------------------------------
     # Birthday-run batching
     # ------------------------------------------------------------------
-    def _advance(self, budget: int) -> int:
-        """Execute between 1 and ``budget`` interactions; return how many."""
+    def _advance(self, budget: int, done: int, stop_when, observe_every,
+                 check_stop_every, observations) -> tuple[int, bool]:
+        """Execute one birthday-run batch of between 1 and ``budget`` steps.
+
+        ``done`` is the number of interactions the enclosing ``run`` call
+        already executed; observation snapshots and stop checks whose
+        run-relative cadence points fall inside the batch are materialized
+        from the batch's recorded per-slot states without splitting it.
+        Returns ``(executed, converged)``; on an early stop the counts are
+        rewound to the firing checkpoint and the sampled remainder of the
+        batch is discarded.
+        """
         cdf = self._cdf
         horizon = len(cdf) - 1
         # One uniform block covers the collision-time draw plus the
@@ -183,19 +205,72 @@ class CountBackend(SimulationEngine):
         uniforms = self._rng.random(1 + self._spp)
         first_collision = int(cdf.searchsorted(uniforms[0], side="right")) - 1
         clean_cap = min(budget, horizon)
-        if first_collision >= clean_cap:
+        collides = first_collision < clean_cap
+        # Clean-run length, and batch length including the collision
+        # interaction when it lands inside the window.
+        t = first_collision if collides else clean_cap
+        executed = t + 1 if collides else t
+        obs_at = _cadence_offsets(done, observe_every, executed)
+        stop_at = (_cadence_offsets(done, check_stop_every, executed)
+                   if stop_when is not None else range(0))
+        if obs_at or stop_at:
+            return self._run_with_checkpoints(t, collides, uniforms, done,
+                                              stop_when, obs_at, stop_at,
+                                              observations)
+        if not collides:
             # No collision inside the window we may process: the leading
             # clean_cap interactions are all-distinct — run them and stop
             # (the collision time beyond the window is re-sampled next
             # call, which is exact: only the event {T >= clean_cap}, of
             # probability survival[clean_cap], was consumed).
-            self._run_clean(clean_cap, want_state=False)
-            return clean_cap
-        slots, updated, pool = self._run_clean(first_collision,
-                                               want_state=True)
-        self._run_collision(first_collision, slots, updated, pool,
-                            uniforms)
-        return first_collision + 1
+            self._run_clean(t, want_state=False)
+            return executed, False
+        slots, updated, pool = self._run_clean(t, want_state=True)
+        self._run_collision(t, slots, updated, pool, uniforms)
+        return executed, False
+
+    def _run_with_checkpoints(self, t, collides, uniforms, done, stop_when,
+                              obs_at, stop_at, observations):
+        """Run one batch whose window contains observation/stop checkpoints.
+
+        The clean run's per-slot pre/post states (``slots``/``updated``)
+        give the exact count vector at every interior step as a prefix sum,
+        so the batch is *not* split at the checkpoints — the splitting is
+        what made ``check_stop_every=1`` collapse to one-interaction
+        batches before.  Interior snapshots are segment sums between
+        consecutive checkpoints; a firing stop predicate rewinds the live
+        counts to its checkpoint and discards the batch remainder (the
+        chain is Markov in the counts, so re-sampling the future from the
+        current state is exact).
+        """
+        spp = self._spp
+        s = self.model.n_states
+        base = self.steps_run + done
+        before = self._counts.copy()
+        slots, updated, pool = self._run_clean(t, want_state=True)
+        executed = t + 1 if collides else t
+        current = before
+        prev = 0
+        for offset in sorted(set(obs_at) | set(stop_at)):
+            if offset > t:
+                break
+            current += np.bincount(updated[prev * spp:offset * spp],
+                                   minlength=s)
+            current -= np.bincount(slots[prev * spp:offset * spp],
+                                   minlength=s)
+            prev = offset
+            if offset in obs_at:
+                observations.append((base + offset, current.copy()))
+            if offset in stop_at and stop_when(current):
+                self._counts[:] = current
+                return offset, True
+        if collides:
+            self._run_collision(t, slots, updated, pool, uniforms)
+            if executed in obs_at:
+                observations.append((base + executed, self._counts.copy()))
+            if executed in stop_at and stop_when(self._counts):
+                return executed, True
+        return executed, False
 
     def _run_clean(self, t: int, want_state: bool):
         """Execute ``t`` interactions among all-distinct agents, vectorized.

@@ -5,9 +5,28 @@ from __future__ import annotations
 import inspect
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.analysis.tables import format_table
 from repro.engine import check_backend
 from repro.utils.errors import InvalidParameterError
+
+
+def _jsonable(value):
+    """``value`` coerced to plain JSON types (row cells may be numpy)."""
+    if isinstance(value, (np.bool_, bool)):
+        return bool(value)
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if value is None or isinstance(value, str):
+        return value
+    return str(value)
 
 
 @dataclass
@@ -81,6 +100,38 @@ class ExperimentReport:
             lines.append(f"- *note:* {note}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """The report as plain JSON types (the cache / worker wire form).
+
+        Row cells are coerced with :func:`_jsonable`, so a report that
+        round-trips through ``from_dict(to_dict())`` is stable: a second
+        round-trip is the identity.  The runner serializes *every* report
+        — fresh, pooled, or cached — so records compare equal bytewise
+        regardless of where they were computed.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "headers": list(self.headers),
+            "rows": [[_jsonable(cell) for cell in row] for row in self.rows],
+            "checks": {name: bool(ok) for name, ok in self.checks.items()},
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentReport":
+        """Rebuild a report from its :meth:`to_dict` form."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            claim=payload["claim"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            checks=dict(payload["checks"]),
+            notes=list(payload["notes"]),
+        )
+
 
 _REGISTRY: dict[str, dict] = {}
 
@@ -116,7 +167,8 @@ def get_experiment(experiment_id: str):
 
 
 def run_experiment(experiment_id: str, fast: bool = True,
-                   seed=12345, backend: str | None = None) -> ExperimentReport:
+                   seed=12345, backend: str | None = None,
+                   cache=None) -> ExperimentReport:
     """Run one experiment and return its report.
 
     Parameters
@@ -132,6 +184,13 @@ def run_experiment(experiment_id: str, fast: bool = True,
         for experiments that simulate populations; runners that do not
         accept a ``backend`` parameter (exact-computation experiments)
         ignore it.
+    cache:
+        Optional :class:`repro.runner.ResultCache` (or a cache directory
+        path): the report is served from / stored into it under the key
+        ``(experiment, params, seed, backend, code-version)``.  Requires
+        an int/str seed — generator objects have no stable cache identity.
+        Cached and fresh reports are identical records (both round-trip
+        through the JSON wire form).
     """
     runner = get_experiment(experiment_id)
     kwargs = {"fast": fast, "seed": seed}
@@ -139,4 +198,17 @@ def run_experiment(experiment_id: str, fast: bool = True,
         check_backend(backend)
         if "backend" in inspect.signature(runner).parameters:
             kwargs["backend"] = backend
-    return runner(**kwargs)
+    if cache is None:
+        return runner(**kwargs)
+
+    # Cached runs delegate to the plan executor — the one implementation
+    # of the lookup/run/store flow — so entries written here are served to
+    # `execute()` plans and vice versa by construction.
+    from repro.runner.cache import ResultCache
+    from repro.runner.executor import execute
+    from repro.runner.plan import RunPlan, RunTask
+    cache_dir = str(cache.root) if isinstance(cache, ResultCache) else str(cache)
+    task = RunTask(experiment_id=experiment_id, fast=fast, seed=seed,
+                   backend=backend)
+    plan = RunPlan(tasks=(task,), cache_dir=cache_dir)
+    return execute(plan).results[0].report

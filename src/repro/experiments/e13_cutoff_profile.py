@@ -20,8 +20,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.analysis.tables import sparkline
 from repro.core.igt import GenerosityGrid
 from repro.core.population_igt import IGTSimulation, PopulationShares
@@ -51,15 +49,31 @@ def _mean_coalescence(n: int, seed, backend: str, delta: float = 0.02):
     m = top.n_gtft
     predicted = m * math.log(1.0 / delta) / (process.a + process.b)
     chunk = max(10_000, int(predicted) // 40)
-    meeting = 0
-    gap = 1.0
-    while meeting < 4 * predicted and gap > delta:
-        top.run(chunk)
-        bottom.run(chunk)
-        meeting += chunk
-        gap = abs(int(top.counts[1]) - int(bottom.counts[1])) / m
+    horizon = chunk * int(math.ceil(4 * predicted / chunk))
+    # Observed engine runs in multi-probe blocks: the count backend
+    # batches across the observation cadence, so probing every `chunk`
+    # interactions costs the same as running blind, while the blockwise
+    # loop stops soon after the chains meet instead of overshooting to
+    # the full 4x-predicted horizon.
+    block = 8 * chunk
+    met_state = None
+    rows = 0
+    meeting = horizon
+    while rows * chunk < horizon and met_state is None:
+        advance = min(block, horizon - rows * chunk)
+        top_rows = top.run(advance, record_every=chunk)[1:]
+        bottom_rows = bottom.run(advance, record_every=chunk)[1:]
+        for top_row, bottom_row in zip(top_rows, bottom_rows):
+            rows += 1
+            gap = abs(int(top_row[1]) - int(bottom_row[1])) / m
+            if gap <= delta:
+                met_state = top_row
+                meeting = rows * chunk
+                break
+    if met_state is None:
+        met_state = top_rows[-1]
     stationary_top = process.a / (process.a + process.b)
-    final_deviation = abs(int(top.counts[1]) / m - stationary_top)
+    final_deviation = abs(int(met_state[1]) / m - stationary_top)
     return meeting, predicted, final_deviation
 
 

@@ -147,9 +147,11 @@ def simulate_protocol_counts(protocol: PopulationProtocol, initial_counts,
     :class:`~repro.engine.base.EngineResult` (``states`` is ``None``).
 
     ``check_stop_every`` defaults to ``~sqrt(n)`` — the backend's natural
-    batch scale — because per-interaction stop checks would cap every
-    batch at one interaction and forfeit the count engine's speedup; pass
-    ``1`` explicitly when the stop step must be exact to the interaction.
+    batch scale.  Batches span check boundaries (the backend materializes
+    interior counts exactly), so even ``check_stop_every=1`` keeps the
+    vectorized batching; the default simply avoids calling the Python
+    predicate once per interaction.  Pass ``1`` explicitly when the stop
+    step must be exact to the interaction.
     """
     backend = CountBackend(protocol_model(protocol), initial_counts,
                            seed=seed)

@@ -1,0 +1,188 @@
+"""On-disk result cache keyed by (experiment, params, seed, backend, code).
+
+Replicate sweeps re-run the same (experiment, parameters, seed, backend)
+points over and over while iterating on analysis code; caching their
+reports makes re-runs incremental.  Correctness hinges on the key: two
+runs may share a cached result only if they would execute identical code
+on identical inputs, so the key digests the full task coordinates *plus*
+a fingerprint of the installed ``repro`` source tree.  Any source edit
+changes :func:`code_version` and silently invalidates every prior entry
+(stale files are just never read again; ``clear`` removes them).
+
+Entries are one JSON file per key, fanned into two-level subdirectories,
+written atomically (temp file + ``os.replace``) so concurrent writers —
+several ``repro sweep`` invocations sharing a cache directory — can never
+expose a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.utils.errors import InvalidParameterError
+
+#: Process-wide memo of the source-tree fingerprint (hashing ~100 files
+#: once per process is cheap; once per task is not).
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Fingerprint of the installed ``repro`` source tree (memoized).
+
+    A short digest over every ``*.py`` file's path and contents under the
+    imported package root.  Editing any library source therefore changes
+    the fingerprint and invalidates all cached results.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def cache_key(
+    experiment_id: str,
+    params: dict,
+    seed,
+    backend: str | None,
+    version: str | None = None,
+) -> str:
+    """Digest of one task's full coordinates.
+
+    ``params`` must be JSON-serializable and ``seed`` an int / str / None
+    (generator objects have no stable serialization — run those uncached).
+    ``version`` defaults to the live :func:`code_version`.
+    """
+    if not isinstance(seed, (int, str)) and seed is not None:
+        raise InvalidParameterError(
+            "cacheable runs need an int/str/None seed, got "
+            f"{type(seed).__name__}"
+        )
+    payload = {
+        "experiment": str(experiment_id).upper(),
+        "params": params,
+        "seed": seed,
+        "backend": backend,
+        "code_version": code_version() if version is None else version,
+    }
+    try:
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except TypeError as error:
+        message = f"cache params must be JSON-serializable: {error}"
+        raise InvalidParameterError(message) from error
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def experiment_cache_key(
+    experiment_id: str,
+    fast: bool,
+    seed,
+    backend: str | None,
+) -> str:
+    """The canonical cache key of one experiment run.
+
+    The single key-construction path shared by ``run_experiment(cache=)``
+    and the plan executor — entries written by either are served to both.
+    ``backend`` is normalized to ``None`` for experiments whose runners do
+    not accept a ``backend`` parameter: they ignore the knob, so it must
+    not split the cache into duplicate entries.
+    """
+    if backend is not None:
+        import inspect
+
+        from repro.experiments.base import get_experiment
+
+        runner = get_experiment(experiment_id)
+        if "backend" not in inspect.signature(runner).parameters:
+            backend = None
+    return cache_key(experiment_id, {"fast": bool(fast)}, seed, backend)
+
+
+def pack_entry(report_payload: dict, seconds: float | None) -> dict:
+    """The on-disk entry for a report payload (shared wire format)."""
+    if seconds is not None:
+        seconds = round(seconds, 4)
+    return {"report": report_payload, "seconds": seconds}
+
+
+def unpack_entry(entry: dict) -> tuple[dict, float]:
+    """``(report payload, seconds)`` of an on-disk entry."""
+    return entry["report"], float(entry.get("seconds") or 0.0)
+
+
+class ResultCache:
+    """A directory of atomically written JSON result payloads.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on first write.
+    """
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The payload stored under ``key``, or ``None``.
+
+        Unreadable or torn entries count as misses rather than errors, so
+        a corrupted cache degrades to recomputation.
+        """
+        try:
+            with open(self._path(key), encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        """Number of stored entries."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.root.glob("*/*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

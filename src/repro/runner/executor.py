@@ -1,0 +1,122 @@
+"""Plan execution: in-process, or fanned out across worker processes.
+
+The executor owns the side-effecting half of the orchestrator: it checks
+the on-disk cache, ships cache misses to a ``spawn``-context process pool
+(``spawn`` re-imports the library in each worker, so execution never
+depends on inherited parent state), stores fresh results back, and
+reassembles everything **in task order**.  Workers return plain JSON
+payloads — the same form the cache stores — and every report is
+reconstructed from that payload, which is what makes ``jobs=1``,
+``jobs=N``, and cache-hit results byte-identical records.
+
+:func:`parallel_map` exposes the same pool for generic order-preserving
+fan-out; :func:`repro.analysis.sweep.parameter_sweep` uses it for grid
+points.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+from repro.runner.cache import (
+    ResultCache,
+    experiment_cache_key,
+    pack_entry,
+    unpack_entry,
+)
+from repro.runner.plan import RunPlan, RunReport, RunTask, TaskResult
+from repro.utils import check_positive_int
+
+
+def run_task(task: RunTask) -> tuple[dict, float]:
+    """Execute one task; returns ``(report payload, seconds)``.
+
+    Module-level so the ``spawn`` pool can import it by reference; the
+    experiment registry is imported lazily to keep worker start-up (and
+    the ``repro.runner`` import graph) light.
+    """
+    from repro.experiments.base import run_experiment
+
+    start = time.perf_counter()
+    report = run_experiment(
+        task.experiment_id,
+        fast=task.fast,
+        seed=task.seed,
+        backend=task.backend,
+    )
+    return report.to_dict(), time.perf_counter() - start
+
+
+def _task_cache_key(task: RunTask) -> str:
+    return experiment_cache_key(task.experiment_id, task.fast, task.seed, task.backend)
+
+
+def execute(plan: RunPlan) -> RunReport:
+    """Execute a :class:`RunPlan` and return its :class:`RunReport`.
+
+    Cache hits are served without touching the pool; misses run in-process
+    for ``jobs=1`` (or a single pending task) and on a ``spawn`` process
+    pool otherwise.  Results are always reported in task order, so the
+    report is identical for every ``jobs`` value.
+    """
+    from repro.experiments.base import ExperimentReport
+
+    tasks = list(plan.tasks)
+    results: list = [None] * len(tasks)
+    cache = ResultCache(plan.cache_dir) if plan.cache_dir is not None else None
+    keys: list = [None] * len(tasks)
+    pending = []
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            keys[index] = _task_cache_key(task)
+            entry = cache.get(keys[index])
+            if entry is not None:
+                report_payload, seconds = unpack_entry(entry)
+                results[index] = TaskResult(
+                    task=task,
+                    report=ExperimentReport.from_dict(report_payload),
+                    seconds=seconds,
+                    from_cache=True,
+                )
+                continue
+        pending.append(index)
+
+    if pending:
+        if plan.jobs > 1 and len(pending) > 1:
+            context = get_context("spawn")
+            workers = min(plan.jobs, len(pending))
+            batch = [tasks[index] for index in pending]
+            with ProcessPoolExecutor(workers, mp_context=context) as pool:
+                outcomes = list(pool.map(run_task, batch))
+        else:
+            outcomes = [run_task(tasks[index]) for index in pending]
+        for index, (payload, seconds) in zip(pending, outcomes):
+            results[index] = TaskResult(
+                task=tasks[index],
+                report=ExperimentReport.from_dict(payload),
+                seconds=seconds,
+                from_cache=False,
+            )
+            if cache is not None:
+                cache.put(keys[index], pack_entry(payload, seconds))
+    return RunReport(results=results)
+
+
+def parallel_map(fn, items, jobs: int = 1) -> list:
+    """Order-preserving ``[fn(item) for item in items]``, possibly pooled.
+
+    With ``jobs > 1`` the calls run on a ``spawn`` process pool, so ``fn``
+    and the items must be picklable (module-level functions and plain data
+    qualify; closures do not).  Results are returned in input order either
+    way — parallelism never reorders records.
+    """
+    check_positive_int("jobs", jobs)
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    context = get_context("spawn")
+    workers = min(jobs, len(items))
+    with ProcessPoolExecutor(workers, mp_context=context) as pool:
+        return list(pool.map(fn, items))

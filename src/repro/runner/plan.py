@@ -1,0 +1,224 @@
+"""Run plans and reports: the declarative layer of the orchestrator.
+
+A :class:`RunPlan` is a frozen description of *what* to run — a tuple of
+:class:`RunTask` coordinates plus execution knobs (worker count, cache
+directory).  Executing a plan (:func:`repro.runner.execute`) yields a
+:class:`RunReport`: one :class:`TaskResult` per task, **in task order**,
+regardless of which worker finished first or which results came from the
+cache.  Identical plans therefore produce identical reports for any
+``jobs`` value — the determinism contract the property tests pin down.
+
+Plans for the common shapes are built by :func:`replicate_plan`
+(replicates × backends of one experiment, with per-replicate seeds from
+:func:`repro.runner.seeds.task_seed`) and :func:`experiments_plan` (one
+task per registered experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import check_backend
+from repro.runner.seeds import task_seed
+from repro.utils import check_positive_int
+from repro.utils.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """Coordinates of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        The registered id, e.g. ``"E13"``.
+    fast:
+        Reduced-size parameters (the default) or the full run.
+    seed:
+        Integer seed forwarded to the experiment runner.
+    backend:
+        Optional simulation-engine selection (``"agent"`` / ``"count"``).
+    label:
+        Free-form tag (e.g. ``"r3"`` for replicate 3) carried through to
+        the report.
+    """
+
+    experiment_id: str
+    fast: bool = True
+    seed: int = 12345
+    backend: str | None = None
+    label: str | None = None
+
+    def __post_init__(self):
+        if not self.experiment_id:
+            raise InvalidParameterError("experiment_id must be non-empty")
+        if self.backend is not None:
+            check_backend(self.backend)
+
+    def params(self) -> dict:
+        """The cache-key parameter dict (everything but seed/backend)."""
+        return {"fast": bool(self.fast)}
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """A deterministic batch of tasks plus execution knobs.
+
+    Attributes
+    ----------
+    tasks:
+        The tasks, in the order their results will be reported.
+    jobs:
+        Worker processes to fan out across (1 = run in-process).
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables caching.
+    """
+
+    tasks: tuple[RunTask, ...]
+    jobs: int = 1
+    cache_dir: str | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        for task in self.tasks:
+            if not isinstance(task, RunTask):
+                raise InvalidParameterError(
+                    f"plan tasks must be RunTask instances, got {task!r}"
+                )
+        check_positive_int("jobs", self.jobs)
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One executed (or cache-served) task.
+
+    Attributes
+    ----------
+    task:
+        The coordinates that produced this result.
+    report:
+        The reconstructed :class:`~repro.experiments.base.ExperimentReport`.
+        Reports always round-trip through their JSON form — fresh, pooled,
+        and cached results are byte-identical records.
+    seconds:
+        Wall-clock runtime of the original execution.
+    from_cache:
+        Whether the result was served from the on-disk cache.
+    """
+
+    task: RunTask
+    report: object
+    seconds: float
+    from_cache: bool = False
+
+
+@dataclass
+class RunReport:
+    """Results of an executed plan, in task order."""
+
+    results: list[TaskResult] = field(default_factory=list)
+
+    @property
+    def reports(self) -> list:
+        """The experiment reports, in task order."""
+        return [result.report for result in self.results]
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every check of every report passed."""
+        return all(result.report.all_checks_pass for result in self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        """How many results were served from the cache."""
+        return sum(1 for result in self.results if result.from_cache)
+
+    def check_pass_rates(self) -> dict:
+        """Aggregate ``check name -> (passed, total)`` across all reports.
+
+        The replicate-sweep view: a check that holds in 7 of 8 replicates
+        shows up as ``(7, 8)``.
+        """
+        rates: dict = {}
+        for result in self.results:
+            for name, passed in result.report.checks.items():
+                done, total = rates.get(name, (0, 0))
+                rates[name] = (done + int(bool(passed)), total + 1)
+        return rates
+
+    def summary_table(self) -> tuple[list, list]:
+        """``(headers, rows)`` summarizing each task for tabular display."""
+        headers = [
+            "experiment",
+            "label",
+            "seed",
+            "backend",
+            "checks",
+            "seconds",
+            "cached",
+        ]
+        rows = []
+        for result in self.results:
+            task = result.task
+            checks = result.report.checks
+            rows.append(
+                [
+                    task.experiment_id,
+                    task.label or "-",
+                    task.seed,
+                    task.backend or "-",
+                    f"{sum(map(bool, checks.values()))}/{len(checks)}",
+                    f"{result.seconds:.1f}",
+                    "yes" if result.from_cache else "no",
+                ]
+            )
+        return headers, rows
+
+
+def replicate_plan(
+    experiment_id: str,
+    replicates: int,
+    base_seed: int = 12345,
+    fast: bool = True,
+    backends=(None,),
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> RunPlan:
+    """A replicates × backends grid over one experiment.
+
+    Replicate ``i`` gets seed ``task_seed(base_seed, i)`` on *every*
+    backend, so backends are compared on identical seed streams; the grid
+    is laid out backend-major, replicate-minor.
+    """
+    check_positive_int("replicates", replicates)
+    tasks = []
+    for backend in backends:
+        for index in range(replicates):
+            tasks.append(
+                RunTask(
+                    experiment_id=experiment_id,
+                    fast=fast,
+                    seed=task_seed(base_seed, index),
+                    backend=backend,
+                    label=f"r{index}",
+                )
+            )
+    return RunPlan(tasks=tuple(tasks), jobs=jobs, cache_dir=cache_dir)
+
+
+def experiments_plan(
+    experiment_ids,
+    fast: bool = True,
+    seed: int = 12345,
+    backend: str | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> RunPlan:
+    """One task per experiment id, all with the same seed and backend."""
+    tasks = tuple(
+        RunTask(experiment_id=eid, fast=fast, seed=seed, backend=backend)
+        for eid in experiment_ids
+    )
+    if not tasks:
+        raise InvalidParameterError("at least one experiment id is required")
+    return RunPlan(tasks=tasks, jobs=jobs, cache_dir=cache_dir)

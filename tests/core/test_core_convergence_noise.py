@@ -12,7 +12,7 @@ from repro.core.convergence import (
 from repro.core.igt import GenerosityGrid
 from repro.core.population_igt import IGTSimulation, PopulationShares
 from repro.core.stationary import noisy_igt_lambda
-from repro.core.theory import igt_mixing_lower_bound, igt_mixing_upper_bound
+from repro.core.theory import igt_mixing_upper_bound
 from repro.utils import ConvergenceError, InvalidParameterError
 
 

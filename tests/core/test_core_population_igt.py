@@ -125,6 +125,34 @@ class TestDynamics:
         sim2.run(3000)
         assert np.array_equal(sim1.counts, sim2.counts)
 
+    @pytest.mark.parametrize("backend", ["agent", "count"])
+    def test_run_until_stops_on_cadence(self, shares, grid, backend):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=3,
+                            initial_indices=0, backend=backend)
+        target = sim.n_gtft  # total index mass reachable from the corner
+        converged = sim.run_until(
+            200_000, lambda z: int(np.arange(grid.k) @ z) >= target,
+            check_stop_every=50)
+        assert converged
+        assert sim.steps_run % 50 == 0
+        assert int(np.arange(grid.k) @ sim.counts) >= target
+
+    @pytest.mark.parametrize("backend", ["agent", "count"])
+    def test_run_until_budget_exhausted(self, shares, grid, backend):
+        sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=3,
+                            backend=backend)
+        converged = sim.run_until(300, lambda z: False, check_stop_every=10)
+        assert not converged
+        assert sim.steps_run == 300
+
+    def test_run_until_action_mode(self, shares, grid, small_setting):
+        sim = IGTSimulation(n=30, shares=shares, grid=grid, seed=5,
+                            mode="action", setting=small_setting)
+        converged = sim.run_until(400, lambda z: z.sum() > 0,
+                                  check_stop_every=10)
+        assert converged
+        assert sim.steps_run == 10
+
     def test_step_and_run_sample_same_law(self, shares, grid):
         """step() and run() agree in distribution (not bitwise — the fast
         path consumes randomness in blocks)."""

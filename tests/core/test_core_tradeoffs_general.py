@@ -9,7 +9,6 @@ from repro.core.general_games import (
     hawk_dove_equilibrium_mixture,
     hawk_dove_game,
 )
-from repro.core.regimes import default_theorem_2_9_setting
 from repro.core.tradeoffs import TradeoffRow, tradeoff_table
 from repro.games.base import MatrixGame
 from repro.utils import InvalidParameterError

@@ -6,7 +6,6 @@ import pytest
 from repro.engine import (
     AgentBackend,
     CountBackend,
-    TableModel,
     igt_model,
     matrix_game_model,
     protocol_model,
@@ -191,6 +190,83 @@ class TestCountBackend:
         imitation = matrix_game_model(np.eye(2), "imitation")
         with pytest.raises(InvalidParameterError):
             CountBackend(imitation, np.array([2, 1]))  # n < 4 with 4 slots
+
+
+class TestCountBackendCheckpointBatching:
+    """Observation / stop cadences no longer split birthday batches; the
+    interior counts they see are materialized from per-slot prefix sums."""
+
+    def test_dense_observation_cadence_inside_batches(self, epidemic, rng):
+        # observe_every=3 at n=3000 lands many checkpoints inside every
+        # birthday run (expected length ~sqrt(n)/2).
+        start = np.array([2800, 150, 50])
+        backend = CountBackend(epidemic, start, seed=rng)
+        result = backend.run(900, observe_every=3)
+        assert [s for s, _ in result.observations] == list(range(0, 901, 3))
+        assert all(c.sum() == 3000 for _, c in result.observations)
+        # The one-way epidemic only grows state 2: interior snapshots must
+        # be monotone, which a mis-ordered prefix sum would violate.
+        twos = [int(c[2]) for _, c in result.observations]
+        assert all(a <= b for a, b in zip(twos, twos[1:]))
+        assert np.array_equal(result.observations[-1][1], result.counts)
+
+    def test_observation_steps_continue_across_runs(self, epidemic, rng):
+        backend = CountBackend(epidemic, np.array([500, 0, 10]), seed=rng)
+        backend.run(130)
+        result = backend.run(100, observe_every=40)
+        assert [s for s, _ in result.observations] == [130, 170, 210]
+
+    def test_early_stop_rewinds_to_check_point(self, epidemic, rng):
+        # Per-interaction checks: the stop step must be exact even though
+        # the batch that contains it ran further ahead.
+        start = np.array([995, 0, 5])
+        backend = CountBackend(epidemic, start, seed=rng)
+        result = backend.run(100_000, stop_when=lambda c: c[2] >= 50,
+                             check_stop_every=1)
+        assert result.converged
+        # Counts are rewound to the very first step where the predicate
+        # held; one interaction infects at most one agent.
+        assert result.counts[2] == 50
+        assert result.steps == backend.steps_run
+        final = backend.run(0).counts
+        assert np.array_equal(final, result.counts)
+
+    def test_stop_step_is_cadence_multiple(self, epidemic, rng):
+        backend = CountBackend(epidemic, np.array([995, 0, 5]), seed=rng)
+        result = backend.run(100_000, stop_when=lambda c: c[2] >= 50,
+                             check_stop_every=7)
+        assert result.converged
+        assert result.steps % 7 == 0
+
+    def test_observations_truncate_at_stop(self, epidemic, rng):
+        backend = CountBackend(epidemic, np.array([995, 0, 5]), seed=rng)
+        result = backend.run(100_000, stop_when=lambda c: c[2] >= 30,
+                             observe_every=5, check_stop_every=5)
+        assert result.converged
+        assert [s for s, _ in result.observations] == \
+            list(range(0, result.steps + 1, 5))
+        assert int(result.observations[-1][1][2]) >= 30
+        assert all(int(c[2]) < 30 for _, c in result.observations[:-1])
+
+    def test_observed_run_matches_unobserved_endpoint_law(self, epidemic):
+        # Same seed: observations change how the rng stream is consumed
+        # only through batch sizes, never through extra draws inside a
+        # batch — a run without checkpoints must be reproducible.
+        start = np.array([300, 30, 10])
+        plain = CountBackend(epidemic, start, seed=5).run(2000)
+        observed = CountBackend(epidemic, start, seed=5).run(
+            2000, observe_every=2000)
+        assert np.array_equal(plain.counts, observed.counts)
+
+    def test_four_slot_model_with_checkpoints(self, rng):
+        game = np.array([[1.0, 0.2], [0.8, 0.5]])
+        imitation = matrix_game_model(game, rule="imitation")
+        backend = CountBackend(imitation, np.array([30, 30]), seed=rng)
+        result = backend.run(500, observe_every=7, check_stop_every=3,
+                             stop_when=lambda c: c[0] == 0)
+        assert result.counts.sum() == 60
+        for step, counts in result.observations:
+            assert counts.sum() == 60
 
 
 class TestCollisionCdf:

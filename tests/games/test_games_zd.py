@@ -1,6 +1,5 @@
 """Tests for zero-determinant strategies and limit-of-means payoffs."""
 
-import numpy as np
 import pytest
 
 from repro.games.donation import DonationGame

@@ -6,7 +6,6 @@ machinery validating agent simulations, and reports rendering end to end.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.igt import GenerosityGrid
 from repro.core.population_igt import IGTSimulation, PopulationShares

@@ -17,7 +17,7 @@ from repro.markov.distributions import (
     total_variation,
 )
 from repro.markov.state_space import CompositionSpace
-from repro.utils import InvalidDistributionError, InvalidParameterError
+from repro.utils import InvalidParameterError
 
 
 class TestLogMultinomialCoefficient:

@@ -10,7 +10,6 @@ from repro.markov.hitting import (
     expected_hitting_times,
     expected_return_time,
 )
-from repro.markov.random_walks import BiasedWalkSpec
 from repro.utils import InvalidParameterError
 
 

@@ -9,7 +9,6 @@ from repro.population.metrics import (
     convergence_step,
 )
 from repro.population.protocol import (
-    PopulationProtocol,
     TransitionFunctionProtocol,
 )
 from repro.population.scheduler import RandomScheduler

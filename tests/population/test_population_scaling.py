@@ -7,7 +7,7 @@ import pytest
 
 from repro.population.protocols.leader import LeaderElectionProtocol
 from repro.population.protocols.rumor import RumorSpreadingProtocol
-from repro.population.scaling import ScalingStudy, measure_convergence_scaling
+from repro.population.scaling import measure_convergence_scaling
 from repro.utils import ConvergenceError, InvalidParameterError
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.population.scheduler import RandomScheduler, WeightedScheduler
+from repro.population.scheduler import WeightedScheduler
 from repro.utils import InvalidParameterError
 
 

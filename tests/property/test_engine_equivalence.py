@@ -13,6 +13,8 @@ Two guarantees are pinned down here:
   agent-level law for the general-game rules.
 """
 
+import math
+
 import numpy as np
 import pytest
 
@@ -210,6 +212,73 @@ class TestCountBackendExactLaw:
         exact = initial @ np.linalg.matrix_power(matrix, steps)
         tv = 0.5 * np.abs(histogram - exact).sum()
         assert tv < 0.07, f"TV to exact chain {tv:.4f}"
+
+
+class TestCountBackendCheckpointLaw:
+    """Mid-batch checkpoints must not perturb the process law.
+
+    Observation boundaries no longer split birthday batches: interior
+    counts come from prefix sums over the batch's recorded slots, and an
+    early stop truncates a faithfully sampled trajectory.  Both the
+    interior-snapshot marginal and the stopped-by-T probability are
+    compared against the exact chains from :mod:`repro.markov`.
+    """
+
+    def test_interior_snapshot_matches_exact_chain(self):
+        n, n_ac, n_ad, k = 8, 1, 2, 2
+        m = n - n_ac - n_ad
+        beta_hat = n_ad / (n - 1)
+        process = EhrenfestProcess(k=k, a=(m / n) * (1 - beta_hat),
+                                   b=(m / n) * beta_hat, m=m)
+        space = process.space()
+        matrix = process.exact_chain(space).dense()
+        model = igt_model(k)
+        start = np.array([m, 0, n_ac, n_ad], dtype=np.int64)
+        # Snapshot step 7 of a 40-step run: with the ~sqrt(n) batch scale
+        # the checkpoint lands strictly inside a batch, not at its end.
+        snapshot_at, steps, runs = 7, 40, 5000
+        rng = np.random.default_rng(20240726)
+        histogram = np.zeros(len(space))
+        for _ in range(runs):
+            backend = CountBackend(model, start, seed=rng)
+            result = backend.run(steps, observe_every=snapshot_at)
+            interior = dict(result.observations)[snapshot_at]
+            histogram[space.index(tuple(interior[:k]))] += 1
+        histogram /= runs
+        initial = np.zeros(len(space))
+        initial[space.index((m, 0))] = 1.0
+        exact = initial @ np.linalg.matrix_power(matrix, snapshot_at)
+        tv = 0.5 * np.abs(histogram - exact).sum()
+        assert tv < 0.05, f"TV of interior snapshot to exact chain {tv:.4f}"
+
+    def test_per_step_stop_probability_matches_absorbing_chain(self):
+        n, n_ac, n_ad, k = 8, 1, 2, 2
+        m = n - n_ac - n_ad
+        beta_hat = n_ad / (n - 1)
+        process = EhrenfestProcess(k=k, a=(m / n) * (1 - beta_hat),
+                                   b=(m / n) * beta_hat, m=m)
+        space = process.space()
+        matrix = process.exact_chain(space).dense()
+        model = igt_model(k)
+        start = np.array([m, 0, n_ac, n_ad], dtype=np.int64)
+        horizon, runs = 15, 4000
+        target = space.index((0, m))
+        rng = np.random.default_rng(77)
+        stopped = 0
+        for _ in range(runs):
+            backend = CountBackend(model, start, seed=rng)
+            result = backend.run(horizon, stop_when=lambda c: c[0] == 0,
+                                 check_stop_every=1)
+            stopped += result.converged
+        absorbing = matrix.copy()
+        absorbing[target] = 0.0
+        absorbing[target, target] = 1.0
+        initial = np.zeros(len(space))
+        initial[space.index((m, 0))] = 1.0
+        exact = (initial @ np.linalg.matrix_power(absorbing, horizon))[target]
+        standard_error = math.sqrt(exact * (1 - exact) / runs)
+        assert abs(stopped / runs - exact) < 5 * standard_error, \
+            f"stop rate {stopped / runs:.4f} vs exact {exact:.4f}"
 
 
 class TestGameBackendsAgree:

@@ -1,0 +1,144 @@
+"""Cache keys (and their invalidation) plus the on-disk result store."""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    ResultCache,
+    cache_key,
+    code_version,
+    experiment_cache_key,
+)
+from repro.utils import InvalidParameterError
+
+BASE = dict(
+    experiment_id="E5",
+    params={"fast": True},
+    seed=7,
+    backend="count",
+    version="abc123",
+)
+
+
+def key_with(**overrides) -> str:
+    coordinates = {**BASE, **overrides}
+    return cache_key(
+        coordinates["experiment_id"],
+        coordinates["params"],
+        coordinates["seed"],
+        coordinates["backend"],
+        coordinates["version"],
+    )
+
+
+class TestCacheKeyInvalidation:
+    def test_stable_for_identical_coordinates(self):
+        assert key_with() == key_with()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("experiment_id", "E6"),
+            ("params", {"fast": False}),
+            ("seed", 8),
+            ("backend", "agent"),
+            ("backend", None),
+            ("version", "def456"),
+        ],
+    )
+    def test_any_coordinate_change_invalidates(self, field, value):
+        assert key_with(**{field: value}) != key_with()
+
+    def test_experiment_id_case_insensitive(self):
+        assert key_with(experiment_id="e5") == key_with(experiment_id="E5")
+
+    def test_params_order_irrelevant(self):
+        left = cache_key("E1", {"a": 1, "b": 2}, 0, None, "v")
+        right = cache_key("E1", {"b": 2, "a": 1}, 0, None, "v")
+        assert left == right
+
+    def test_defaults_to_live_code_version(self):
+        live = cache_key("E1", {}, 0, None)
+        pinned = cache_key("E1", {}, 0, None, code_version())
+        assert live == pinned
+        assert live != cache_key("E1", {}, 0, None, "not-the-live-version")
+
+    def test_rejects_generator_seeds(self):
+        import numpy as np
+
+        with pytest.raises(InvalidParameterError, match="seed"):
+            cache_key("E1", {}, np.random.default_rng(0), None, "v")
+
+    def test_rejects_unserializable_params(self):
+        with pytest.raises(InvalidParameterError, match="JSON"):
+            cache_key("E1", {"fn": object()}, 0, None, "v")
+
+
+class TestExperimentCacheKey:
+    def test_backend_ignored_by_backendless_runners(self):
+        # E1 is exact computation: its runner has no backend parameter,
+        # so the knob must not split the cache into duplicate entries.
+        with_backend = experiment_cache_key("E1", True, 7, "count")
+        without = experiment_cache_key("E1", True, 7, None)
+        assert with_backend == without
+
+    def test_backend_distinguishes_backend_aware_runners(self):
+        # E4 simulates populations and accepts backend=.
+        count_key = experiment_cache_key("E4", True, 7, "count")
+        agent_key = experiment_cache_key("E4", True, 7, "agent")
+        default_key = experiment_cache_key("E4", True, 7, None)
+        assert len({count_key, agent_key, default_key}) == 3
+
+    def test_seed_and_fast_still_split(self):
+        base = experiment_cache_key("E1", True, 7, None)
+        assert experiment_cache_key("E1", False, 7, None) != base
+        assert experiment_cache_key("E1", True, 8, None) != base
+
+
+class TestCodeVersion:
+    def test_stable_within_process(self):
+        assert code_version() == code_version()
+
+    def test_short_hex(self):
+        version = code_version()
+        assert len(version) == 16
+        int(version, 16)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = key_with()
+        assert cache.get(key) is None
+        cache.put(key, {"report": {"x": 1}})
+        assert cache.get(key) == {"report": {"x": 1}}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        for index in range(3):
+            cache.put(key_with(seed=index), {"seed": index})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_with()
+        cache.put(key, {"ok": True})
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_write_is_atomic(self, tmp_path):
+        # No temp files are left behind and the entry parses as JSON.
+        cache = ResultCache(tmp_path)
+        key = key_with()
+        cache.put(key, {"payload": list(range(100))})
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+        stored = json.loads((tmp_path / key[:2] / f"{key}.json").read_text())
+        assert stored["payload"][:3] == [0, 1, 2]

@@ -1,0 +1,80 @@
+"""The sweep / run-all CLI commands and their orchestration knobs."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.base import _REGISTRY, ExperimentReport, register
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture
+def failing_experiment():
+    """Temporarily register an experiment whose single check fails."""
+
+    def runner(fast=True, seed=None):
+        return ExperimentReport(
+            experiment_id="E99X",
+            title="always fails",
+            claim="test fixture",
+            headers=["x"],
+            rows=[[1]],
+            checks={"never true": False},
+        )
+
+    register("E99X", "always fails")(runner)
+    yield "E99X"
+    del _REGISTRY["E99X"]
+
+
+class TestSweepCommand:
+    def test_sweep_passes_and_prints_rates(self, capsys):
+        code = main(["sweep", "E1", "--replicates", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 replicate(s)" in out
+        assert "[2/2]" in out
+
+    def test_sweep_with_cache_reports_hits(self, capsys, tmp_path):
+        arguments = [
+            "sweep",
+            "E1",
+            "--replicates",
+            "2",
+            "--cache",
+            str(tmp_path),
+        ]
+        assert main(arguments) == 0
+        assert "cache hits: 0/2" in capsys.readouterr().out
+        assert main(arguments) == 0
+        assert "cache hits: 2/2" in capsys.readouterr().out
+
+    def test_sweep_backends_grid(self, capsys):
+        code = main(["sweep", "E2", "--replicates", "1", "--backends", "default"])
+        assert code == 0
+        assert "1 backend(s)" in capsys.readouterr().out
+
+    def test_sweep_failing_experiment_exits_nonzero(
+        self, capsys, failing_experiment
+    ):
+        assert main(["sweep", failing_experiment, "--replicates", "2"]) == 1
+        assert "[0/2] never true" in capsys.readouterr().out
+
+    def test_sweep_unknown_experiment_fails_fast(self):
+        with pytest.raises(InvalidParameterError, match="unknown"):
+            main(["sweep", "E404"])
+
+
+class TestRunCommand:
+    def test_run_with_cache_marks_cached(self, capsys, tmp_path):
+        arguments = ["run", "E1", "--cache", str(tmp_path)]
+        assert main(arguments) == 0
+        assert "(cached)" not in capsys.readouterr().out
+        assert main(arguments) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_run_failing_experiment_exits_nonzero(self, failing_experiment):
+        assert main(["run", failing_experiment]) == 1
+
+    def test_run_unknown_experiment_fails_fast(self):
+        with pytest.raises(InvalidParameterError, match="unknown"):
+            main(["run", "E404"])

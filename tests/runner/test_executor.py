@@ -1,0 +1,130 @@
+"""Plan execution: ordering, caching, round-tripping, and fan-out."""
+
+import pytest
+
+from repro.experiments.base import ExperimentReport
+from repro.runner import (
+    RunPlan,
+    RunTask,
+    execute,
+    experiments_plan,
+    parallel_map,
+    replicate_plan,
+    task_seed,
+)
+from repro.utils import InvalidParameterError
+
+
+def square(value: int) -> int:
+    # Module-level so process pools can pickle it.
+    return value * value
+
+
+class TestPlanConstruction:
+    def test_replicate_plan_seeds_and_labels(self):
+        plan = replicate_plan(
+            "E5", replicates=3, base_seed=42, backends=("count", "agent")
+        )
+        assert len(plan.tasks) == 6
+        for backend_index, backend in enumerate(("count", "agent")):
+            for replicate in range(3):
+                task = plan.tasks[backend_index * 3 + replicate]
+                assert task.backend == backend
+                assert task.label == f"r{replicate}"
+                # Same replicate seed on every backend.
+                assert task.seed == task_seed(42, replicate)
+
+    def test_experiments_plan(self):
+        plan = experiments_plan(["E1", "E2"], seed=3, backend="count")
+        assert [task.experiment_id for task in plan.tasks] == ["E1", "E2"]
+        assert all(task.seed == 3 for task in plan.tasks)
+
+    def test_empty_experiments_plan_rejected(self):
+        with pytest.raises(InvalidParameterError, match="at least one"):
+            experiments_plan([])
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            RunTask(experiment_id="E1", backend="gpu")
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(InvalidParameterError, match="jobs"):
+            RunPlan(tasks=(RunTask(experiment_id="E1"),), jobs=0)
+
+    def test_non_task_rejected(self):
+        with pytest.raises(InvalidParameterError, match="RunTask"):
+            RunPlan(tasks=("E1",))
+
+
+class TestExecute:
+    def test_reports_in_task_order(self):
+        plan = experiments_plan(["E2", "E1"])
+        report = execute(plan)
+        ids = [result.report.experiment_id for result in report.results]
+        assert ids == ["E2", "E1"]
+        assert report.all_checks_pass
+
+    def test_reports_round_trip_through_json(self):
+        report = execute(experiments_plan(["E1"])).results[0].report
+        assert isinstance(report, ExperimentReport)
+        payload = report.to_dict()
+        assert ExperimentReport.from_dict(payload).to_dict() == payload
+
+    def test_cache_hits_on_second_execution(self, tmp_path):
+        plan = replicate_plan("E1", replicates=2, base_seed=5, cache_dir=str(tmp_path))
+        first = execute(plan)
+        second = execute(plan)
+        assert first.cache_hits == 0
+        assert second.cache_hits == 2
+        first_payloads = [r.report.to_dict() for r in first.results]
+        second_payloads = [r.report.to_dict() for r in second.results]
+        assert first_payloads == second_payloads
+
+    def test_run_experiment_cache_interoperates_with_executor(self, tmp_path):
+        # An entry written by run_experiment(cache=...) is served to
+        # executor plans with the same coordinates, and vice versa.
+        from repro.experiments import run_experiment
+
+        direct = run_experiment("E1", seed=task_seed(5, 0), cache=str(tmp_path))
+        plan = replicate_plan("E1", 1, base_seed=5, cache_dir=str(tmp_path))
+        planned = execute(plan)
+        assert planned.cache_hits == 1
+        assert planned.results[0].report.to_dict() == direct.to_dict()
+        again = run_experiment("E1", seed=task_seed(5, 0), cache=str(tmp_path))
+        assert again.to_dict() == direct.to_dict()
+
+    def test_seed_change_misses_cache(self, tmp_path):
+        cache_dir = str(tmp_path)
+        execute(replicate_plan("E1", 1, base_seed=5, cache_dir=cache_dir))
+        rerun = execute(replicate_plan("E1", 1, base_seed=6, cache_dir=cache_dir))
+        assert rerun.cache_hits == 0
+
+    def test_empty_plan(self):
+        report = execute(RunPlan(tasks=()))
+        assert report.results == []
+        assert report.all_checks_pass
+
+    def test_summary_and_pass_rates(self):
+        report = execute(replicate_plan("E1", replicates=2, base_seed=1))
+        headers, rows = report.summary_table()
+        assert "experiment" in headers
+        assert len(rows) == 2
+        rates = report.check_pass_rates()
+        assert rates
+        assert all(total == 2 for _, total in rates.values())
+
+
+class TestParallelMap:
+    def test_inline_order(self):
+        assert parallel_map(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_pooled_order(self):
+        values = list(range(12))
+        assert parallel_map(square, values, jobs=3) == [v * v for v in values]
+
+    def test_empty(self):
+        assert parallel_map(square, [], jobs=4) == []
+
+    def test_bad_jobs(self):
+        with pytest.raises(InvalidParameterError, match="jobs"):
+            parallel_map(square, [1], jobs=0)
