@@ -12,7 +12,7 @@ from repro.analysis.stats import (
     fit_power_law,
     mean_confidence_interval,
 )
-from repro.analysis.sweep import SweepResult, parameter_sweep
+from repro.analysis.sweep import SweepResult, grid_sweep, parameter_sweep
 from repro.analysis.tables import format_table, sparkline
 from repro.analysis.timeseries import (
     first_time_below,
@@ -30,6 +30,7 @@ __all__ = [
     "chi_square_goodness_of_fit",
     "fit_power_law",
     "parameter_sweep",
+    "grid_sweep",
     "SweepResult",
     "format_table",
     "sparkline",

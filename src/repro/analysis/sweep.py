@@ -1,8 +1,13 @@
-"""A small parameter-sweep harness.
+"""Parameter-sweep harnesses: generic callables and experiment grids.
 
-Benchmarks sweep over grids of ``(k, m, a−b, β, ...)``; this harness runs a
-callable over the cartesian product of named parameter lists and collects
-one record per point, keeping the experiment modules declarative.
+Benchmarks sweep over grids of ``(k, m, a−b, β, ...)``;
+:func:`parameter_sweep` runs a callable over the cartesian product of
+named parameter lists and collects one record per point, keeping the
+experiment modules declarative.  :func:`grid_sweep` is the typed-schema
+counterpart: it sweeps a *registered experiment* over a grid of its
+declared :class:`~repro.params.ParamSpace` knobs through the run
+orchestrator, so grid points validate, cache, and parallelize exactly
+like single runs.
 """
 
 from __future__ import annotations
@@ -86,4 +91,55 @@ def parameter_sweep(fn, *, jobs: int = 1, **param_lists) -> SweepResult:
                 f"measured keys shadow parameters: {sorted(collisions)}")
         record = {**point, **measured}
         result.records.append(record)
+    return result
+
+
+def grid_sweep(experiment_id: str, grid: dict, *, profile: str = "fast",
+               params: dict | None = None, seed: int = 12345,
+               backend: str | None = None, jobs: int = 1,
+               cache_dir: str | None = None) -> SweepResult:
+    """Sweep one experiment over a grid of its declared parameters.
+
+    ``grid`` maps parameter names (validated against the experiment's
+    :class:`~repro.params.ParamSpace`) to value lists; the cartesian
+    product runs through the plan executor, so ``jobs > 1`` fans points
+    out across worker processes and ``cache_dir`` makes re-sweeps
+    incremental.  Every point runs with the same ``seed`` — sweep a
+    ``seed`` axis via :func:`parameter_sweep` or replicate plans when
+    you want seed variation.
+
+    Each record merges the grid point with the executed report's wire
+    form: ``{"<param>": value, ..., "checks": {...},
+    "all_checks_pass": bool, "report": report.to_dict()}``.  Records are
+    derived *only* from reports (never wall-clock), so a sweep's records
+    are byte-identical for every ``jobs`` value — the same determinism
+    contract as single runs.
+    """
+    from repro.experiments.base import get_spec
+    from repro.runner.executor import execute
+    from repro.runner.plan import grid_plan
+
+    spec = get_spec(experiment_id)
+    coerced_grid = {
+        name: [spec.params.coerce_value(name, value) for value in values]
+        for name, values in dict(grid).items()
+    }
+    plan = grid_plan(spec.experiment_id, coerced_grid, base_params=params,
+                     seed=seed, backend=backend, jobs=jobs,
+                     cache_dir=cache_dir, profile=profile)
+    report = execute(plan)
+    result = SweepResult(parameter_names=tuple(coerced_grid))
+    for task_result in report.results:
+        # Each task carries its own grid point (base overrides + point);
+        # reading it back keeps records correct whatever order grid_plan
+        # enumerates in.
+        task_params = task_result.task.params_dict()
+        point = {name: task_params[name] for name in coerced_grid}
+        task_report = task_result.report
+        result.records.append({
+            **point,
+            "checks": dict(task_report.checks),
+            "all_checks_pass": task_report.all_checks_pass,
+            "report": task_report.to_dict(),
+        })
     return result

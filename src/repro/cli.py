@@ -1,33 +1,109 @@
-"""Command-line interface: list and run the paper's experiments.
+"""Command-line interface: list, inspect, run, and sweep experiments.
 
 Usage::
 
     python -m repro list
+    python -m repro params E4
     python -m repro run E7
-    python -m repro run all --jobs 4
-    python -m repro run E5 --full --seed 7
+    python -m repro run E4 --set n=100000 --set eps=0.02 --backend count
+    python -m repro run E5 --profile full --seed 7
     python -m repro run-all --jobs 4 --cache .repro-cache
     python -m repro sweep E13 --replicates 8 --jobs 4 --backends count,agent
+    python -m repro sweep E4 --grid n=1e4,1e5 --grid eps=0.01:0.05:5 --jobs 4
+    python -m repro cache prune --cache .repro-cache --max-age 7d --max-size 100M
 
-``run``/``run-all``/``sweep`` all execute through the run orchestrator
-(:mod:`repro.runner`): ``--jobs N`` fans tasks out across worker
-processes (records are identical for every ``N``), and ``--cache DIR``
-makes re-runs incremental through the on-disk result cache.
+Every experiment declares a typed :class:`~repro.params.ParamSpace`
+(``repro params <id>`` prints it): ``--profile`` picks a named override
+set (``fast``/``full``), ``--set name=value`` overrides single knobs,
+and ``sweep --grid name=v1,v2`` / ``name=start:stop:count`` runs the
+cartesian product of grid axes.  ``run``/``run-all``/``sweep`` all
+execute through the run orchestrator (:mod:`repro.runner`): ``--jobs N``
+fans tasks out across worker processes (records are identical for every
+``N``), and ``--cache DIR`` makes re-runs incremental through the
+on-disk result cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
-from repro.experiments import all_experiments, get_experiment
+from repro.experiments import all_experiments, get_spec
+from repro.utils.errors import InvalidParameterError
+
+#: Unit multipliers for the ``--max-age`` spelling (seconds).
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+#: Unit multipliers for the ``--max-size`` spelling (bytes).
+_SIZE_UNITS = {"b": 1, "k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_age(spec: str) -> float:
+    """``"7d"`` / ``"12h"`` / ``"3600"`` -> seconds."""
+    text = str(spec).strip().lower()
+    unit = 1.0
+    if text and text[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError as error:
+        raise InvalidParameterError(
+            f"malformed age {spec!r}: expected NUMBER[s|m|h|d|w]") from error
+    if not math.isfinite(value) or value < 0:
+        raise InvalidParameterError(
+            f"age must be finite and >= 0, got {spec!r}")
+    return value * unit
+
+
+def parse_size(spec: str) -> int:
+    """``"100M"`` / ``"2G"`` / ``"4096"`` -> bytes."""
+    text = str(spec).strip().lower()
+    unit = 1
+    if text and text[-1] in _SIZE_UNITS:
+        unit = _SIZE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError as error:
+        raise InvalidParameterError(
+            f"malformed size {spec!r}: expected NUMBER[K|M|G]") from error
+    if not math.isfinite(value) or value < 0:
+        raise InvalidParameterError(
+            f"size must be finite and >= 0, got {spec!r}")
+    return int(value * unit)
+
+
+def _profile_of(args) -> str:
+    """The profile named by the ``--profile`` / legacy ``--full`` flags."""
+    if args.profile is not None:
+        return args.profile
+    return "full" if args.full else "fast"
+
+
+def _overrides_of(args, experiment_id: str) -> dict:
+    """The ``--set`` overrides validated against one experiment's schema."""
+    from repro.params import parse_sets
+
+    return parse_sets(getattr(args, "set", None),
+                      get_spec(experiment_id).params)
 
 
 def _add_orchestration_arguments(parser) -> None:
     """The runner knobs shared by ``run``, ``run-all``, and ``sweep``."""
     parser.add_argument(
         "--full", action="store_true",
-        help="full-size parameters (slower, tighter tolerances)")
+        help="shorthand for --profile full (slower, tighter tolerances)")
+    parser.add_argument(
+        "--profile", default=None, metavar="NAME",
+        help=("named parameter profile to resolve ('fast' is the "
+              "default; experiments may declare more)"))
+    parser.add_argument(
+        "--set", action="append", default=None, metavar="NAME=VALUE",
+        help=("override one declared parameter (repeatable), e.g. "
+              "--set n=100000 --set eps=0.02; see 'repro params <id>' "
+              "for an experiment's schema"))
     parser.add_argument(
         "--seed", type=int, default=12345,
         help="random seed (default 12345)")
@@ -52,6 +128,36 @@ def _build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list all experiments")
 
+    params_parser = subparsers.add_parser(
+        "params",
+        help="print an experiment's declared parameter schema")
+    params_parser.add_argument("experiment", help="experiment id (E1..E16)")
+    params_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the schema as JSON instead of a table")
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect and evict the on-disk result cache")
+    cache_subparsers = cache_parser.add_subparsers(
+        dest="cache_command", required=True)
+    prune_parser = cache_subparsers.add_parser(
+        "prune", help="evict entries by age and/or total size")
+    prune_parser.add_argument(
+        "--cache", required=True, metavar="DIR",
+        help="cache directory to prune")
+    prune_parser.add_argument(
+        "--max-age", default=None, metavar="AGE",
+        help="evict entries older than AGE (e.g. 3600, 12h, 7d)")
+    prune_parser.add_argument(
+        "--max-size", default=None, metavar="SIZE",
+        help=("evict oldest entries until the cache fits SIZE "
+              "(e.g. 4096, 100M, 2G)"))
+    info_parser = cache_subparsers.add_parser(
+        "info", help="print entry count and total size")
+    info_parser.add_argument(
+        "--cache", required=True, metavar="DIR",
+        help="cache directory to inspect")
+
     run_parser = subparsers.add_parser("run", help="run experiment(s)")
     run_parser.add_argument(
         "experiment",
@@ -73,17 +179,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep_parser = subparsers.add_parser(
         "sweep",
-        help=("run independent replicates of one experiment over a "
-              "backends grid with per-replicate seed streams"))
+        help=("sweep one experiment: replicates over a backends grid, "
+              "or a --grid over its declared parameters"))
     sweep_parser.add_argument("experiment", help="experiment id (E1..E16)")
     sweep_parser.add_argument(
         "--replicates", type=int, default=4, metavar="R",
         help=("independent replicates per backend (default 4); replicate "
-              "i runs with the deterministic seed task_seed(seed, i)"))
+              "i runs with the deterministic seed task_seed(seed, i); "
+              "ignored when --grid is given"))
     sweep_parser.add_argument(
         "--backends", default=None, metavar="B1,B2",
         help=("comma-separated engine grid, e.g. 'count,agent' or "
               "'default' for the experiment's own choice (the default)"))
+    sweep_parser.add_argument(
+        "--grid", action="append", default=None, metavar="NAME=SPEC",
+        help=("sweep a declared parameter over a value grid "
+              "(repeatable; axes combine as a cartesian product): "
+              "NAME=v1,v2,... lists values, NAME=start:stop:count is "
+              "count evenly spaced values, e.g. --grid n=1e4,1e5 "
+              "--grid eps=0.01:0.05:5"))
     _add_orchestration_arguments(sweep_parser)
 
     sim_parser = subparsers.add_parser(
@@ -159,62 +273,169 @@ def _run_plan_and_render(ids, args) -> int:
     """
     from repro.runner import execute, experiments_plan
 
+    profile = _profile_of(args)
+    if getattr(args, "set", None) and len(ids) > 1:
+        raise InvalidParameterError(
+            "--set applies to a single experiment; run ids one at a time "
+            "or use per-experiment profiles")
+    # Fail fast on unknown ids / params before any work is scheduled.
+    overrides = {}
     for experiment_id in ids:
-        get_experiment(experiment_id)  # fail fast on unknown ids
+        overrides = _overrides_of(args, experiment_id)
+        get_spec(experiment_id).resolve(profile, overrides)
     if args.jobs == 1:
         all_pass = True
         for experiment_id in ids:
-            plan = experiments_plan([experiment_id], fast=not args.full,
-                                    seed=args.seed, backend=args.backend,
+            plan = experiments_plan([experiment_id], profile=profile,
+                                    params=overrides, seed=args.seed,
+                                    backend=args.backend,
                                     cache_dir=args.cache)
             result = execute(plan).results[0]
             _render_result(result)
             all_pass = all_pass and result.report.all_checks_pass
         return 0 if all_pass else 1
-    plan = experiments_plan(ids, fast=not args.full, seed=args.seed,
-                            backend=args.backend, jobs=args.jobs,
-                            cache_dir=args.cache)
+    plan = experiments_plan(ids, profile=profile, params=overrides,
+                            seed=args.seed, backend=args.backend,
+                            jobs=args.jobs, cache_dir=args.cache)
     report = execute(plan)
     for result in report.results:
         _render_result(result)
     return 0 if report.all_checks_pass else 1
 
 
+def _print_pass_rates(report, cache_dir) -> None:
+    for name, (passed, total) in report.check_pass_rates().items():
+        print(f"[{passed}/{total}] {name}")
+    if cache_dir is not None:
+        print(f"cache hits: {report.cache_hits}/{len(report.results)}")
+
+
 def _run_sweep(args) -> int:
     from repro.analysis.tables import format_table
-    from repro.runner import execute, replicate_plan
+    from repro.runner import execute, grid_plan, replicate_plan
 
-    get_experiment(args.experiment)  # fail fast on unknown ids
+    spec = get_spec(args.experiment)  # fail fast on unknown ids
+    profile = _profile_of(args)
+    overrides = _overrides_of(args, args.experiment)
+
+    if args.grid:
+        from repro.params import parse_grid
+
+        grid = parse_grid(args.grid, spec.params)
+        backend = None
+        if args.backends:
+            names = [name.strip() for name in args.backends.split(",")]
+            if len(names) > 1:
+                raise InvalidParameterError(
+                    "--grid sweeps take a single --backends value; sweep "
+                    "backends via replicate mode instead")
+            if names and names[0] not in ("", "default"):
+                from repro.engine import check_backend
+                backend = check_backend(names[0])
+        plan = grid_plan(spec.experiment_id, grid, base_params=overrides,
+                         seed=args.seed, backend=backend, jobs=args.jobs,
+                         cache_dir=args.cache, profile=profile)
+        report = execute(plan)
+        headers, rows = report.summary_table()
+        axes = " x ".join(f"{name}[{len(values)}]"
+                          for name, values in grid.items())
+        print(f"{spec.experiment_id}: grid {axes} = {len(plan.tasks)} "
+              f"point(s), profile={profile}, jobs={args.jobs}")
+        print(format_table(headers, rows))
+        print()
+        _print_pass_rates(report, args.cache)
+        return 0 if report.all_checks_pass else 1
+
     backends = (None,)
     if args.backends:
         from repro.engine import check_backend
         names = [name.strip() for name in args.backends.split(",")]
         backends = tuple(None if name in ("default", "")
                          else check_backend(name) for name in names)
-    plan = replicate_plan(args.experiment, replicates=args.replicates,
-                          base_seed=args.seed, fast=not args.full,
-                          backends=backends, jobs=args.jobs,
-                          cache_dir=args.cache)
+    plan = replicate_plan(spec.experiment_id, replicates=args.replicates,
+                          base_seed=args.seed, profile=profile,
+                          params=overrides, backends=backends,
+                          jobs=args.jobs, cache_dir=args.cache)
     report = execute(plan)
     headers, rows = report.summary_table()
-    print(f"{args.experiment}: {args.replicates} replicate(s) x "
-          f"{len(backends)} backend(s), jobs={args.jobs}")
+    print(f"{spec.experiment_id}: {args.replicates} replicate(s) x "
+          f"{len(backends)} backend(s), profile={profile}, jobs={args.jobs}")
     print(format_table(headers, rows))
     print()
-    for name, (passed, total) in report.check_pass_rates().items():
-        print(f"[{passed}/{total}] {name}")
-    if args.cache is not None:
-        print(f"cache hits: {report.cache_hits}/{len(report.results)}")
+    _print_pass_rates(report, args.cache)
     return 0 if report.all_checks_pass else 1
 
 
+def _run_params(args) -> int:
+    """Print one experiment's declared parameter schema."""
+    spec = get_spec(args.experiment)
+    if args.json:
+        import json
+
+        print(json.dumps(spec.params.to_dict(), indent=2, sort_keys=True))
+        return 0
+    from repro.analysis.tables import format_table
+
+    print(f"{spec.experiment_id}: {spec.title}")
+    if len(spec.params) == 0:
+        print("(no declared parameters; profiles fast/full are identical)")
+        return 0
+    headers, rows = spec.params.describe_table()
+    print(format_table(headers, rows))
+    extras = [name for name in spec.params.profiles
+              if name not in ("fast", "full")]
+    if extras:
+        print(f"extra profiles: {', '.join(extras)}")
+    return 0
+
+
+def _run_cache(args) -> int:
+    """The ``repro cache`` subcommands (prune / info)."""
+    from repro.runner import ResultCache
+
+    cache = ResultCache(args.cache)
+    if args.cache_command == "info":
+        stats = cache.stats()
+        print(f"{cache.root}: {stats['entries']} entries, "
+              f"{stats['bytes']} bytes")
+        return 0
+    max_age = parse_age(args.max_age) if args.max_age is not None else None
+    max_size = parse_size(args.max_size) if args.max_size is not None \
+        else None
+    if max_age is None and max_size is None:
+        raise InvalidParameterError(
+            "cache prune needs --max-age and/or --max-size")
+    stats = cache.prune(max_age=max_age, max_size=max_size)
+    print(f"{cache.root}: evicted {stats['removed']} entries, kept "
+          f"{stats['kept']} ({stats['bytes']} bytes)")
+    return 0
+
+
 def main(argv=None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Domain errors (unknown experiment ids, bad ``--set`` / ``--grid``
+    input, out-of-range parameters) print a schema-aware message to
+    stderr and exit with code 2 — they are user input problems, not
+    crashes.
+    """
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except InvalidParameterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         for experiment_id, title in all_experiments():
             print(f"{experiment_id:>4}  {title}")
         return 0
+    if args.command == "params":
+        return _run_params(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "simulate":
         return _run_simulate(args)
     if args.command == "sweep":

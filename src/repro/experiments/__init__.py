@@ -14,8 +14,11 @@ or through the pytest-benchmark harness in ``benchmarks/``.
 
 from repro.experiments.base import (
     ExperimentReport,
+    ExperimentSpec,
     all_experiments,
+    experiment_params,
     get_experiment,
+    get_spec,
     run_experiment,
 )
 
@@ -41,7 +44,10 @@ from repro.experiments import (  # noqa: F401  (imported for side effects)
 
 __all__ = [
     "ExperimentReport",
+    "ExperimentSpec",
     "all_experiments",
+    "experiment_params",
     "get_experiment",
+    "get_spec",
     "run_experiment",
 ]

@@ -1,25 +1,41 @@
-"""Experiment registry and report structure."""
+"""Experiment registry, typed parameter specs, and report structure."""
 
 from __future__ import annotations
 
 import inspect
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.engine import check_backend
+from repro.params import ParamSpace, ResolvedParams, resolve_profile
 from repro.utils.errors import InvalidParameterError
+
+#: Wire spellings of the non-finite floats strict JSON cannot carry.
+_NONFINITE_WIRE = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
 
 
 def _jsonable(value):
-    """``value`` coerced to plain JSON types (row cells may be numpy)."""
+    """``value`` coerced to *strict* JSON types (row cells may be numpy).
+
+    Non-finite floats are not valid strict JSON (``json.dumps`` would
+    emit the non-portable ``NaN``/``Infinity`` literals), so they are
+    encoded as ``{"$float": "nan" | "inf" | "-inf"}`` markers;
+    :func:`_from_wire` decodes them back to floats on the way in.
+    """
     if isinstance(value, (np.bool_, bool)):
         return bool(value)
     if isinstance(value, (np.integer, int)):
         return int(value)
     if isinstance(value, (np.floating, float)):
-        return float(value)
+        value = float(value)
+        if not math.isfinite(value):
+            if math.isnan(value):
+                return {"$float": "nan"}
+            return {"$float": "inf" if value > 0 else "-inf"}
+        return value
     if isinstance(value, np.ndarray):
         return [_jsonable(item) for item in value.tolist()]
     if isinstance(value, (list, tuple)):
@@ -27,6 +43,16 @@ def _jsonable(value):
     if value is None or isinstance(value, str):
         return value
     return str(value)
+
+
+def _from_wire(value):
+    """Inverse of :func:`_jsonable` on decoded JSON payloads."""
+    if isinstance(value, dict) and set(value) == {"$float"} \
+            and value["$float"] in _NONFINITE_WIRE:
+        return _NONFINITE_WIRE[value["$float"]]
+    if isinstance(value, list):
+        return [_from_wire(item) for item in value]
+    return value
 
 
 @dataclass
@@ -127,48 +153,120 @@ class ExperimentReport:
             title=payload["title"],
             claim=payload["claim"],
             headers=list(payload["headers"]),
-            rows=[list(row) for row in payload["rows"]],
+            rows=[[_from_wire(cell) for cell in row]
+                  for row in payload["rows"]],
             checks=dict(payload["checks"]),
             notes=list(payload["notes"]),
         )
 
 
-_REGISTRY: dict[str, dict] = {}
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: id, title, runner, parameter schema."""
+
+    experiment_id: str
+    title: str
+    runner: object
+    params: ParamSpace
+
+    def resolve(self, profile: str = "fast",
+                overrides: dict | None = None) -> ResolvedParams:
+        """Resolve ``overrides`` against this experiment's schema."""
+        try:
+            return self.params.resolve(profile, overrides)
+        except InvalidParameterError as error:
+            raise InvalidParameterError(
+                f"{self.experiment_id}: {error}") from error
 
 
-def register(experiment_id: str, title: str):
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def normalize_experiment_id(experiment_id: str) -> str:
+    """The canonical (uppercased, stripped) form of an experiment id.
+
+    ``register`` and ``get_experiment`` share this normalization, so an
+    experiment registered as ``"e17x"`` is stored — and looked up — as
+    ``"E17X"`` rather than silently shadowing its uppercase twin.
+    """
+    key = str(experiment_id).strip().upper()
+    if not key:
+        raise InvalidParameterError("experiment_id must be non-empty")
+    return key
+
+
+def register(experiment_id: str, title: str,
+             params: ParamSpace | None = None):
     """Decorator registering an experiment runner.
 
-    The runner must accept ``(fast: bool, seed)`` keyword arguments and
-    return an :class:`ExperimentReport`.
+    The runner must accept ``(params: ResolvedParams, seed)`` keyword
+    arguments (plus an optional ``backend``) and return an
+    :class:`ExperimentReport`.  ``params`` declares the experiment's
+    typed knob schema; omitting it registers an empty schema whose only
+    knobs are the ``fast``/``full`` profile choice itself.
     """
     def decorator(fn):
-        if experiment_id in _REGISTRY:
+        key = normalize_experiment_id(experiment_id)
+        if key in _REGISTRY:
             raise InvalidParameterError(
-                f"experiment {experiment_id!r} registered twice")
-        _REGISTRY[experiment_id] = {"runner": fn, "title": title}
+                f"experiment {key!r} registered twice")
+        _REGISTRY[key] = ExperimentSpec(
+            experiment_id=key,
+            title=title,
+            runner=fn,
+            params=params if params is not None else ParamSpace(),
+        )
         return fn
     return decorator
 
 
 def all_experiments() -> list[tuple[str, str]]:
     """All registered ``(id, title)`` pairs, sorted by id."""
-    return sorted((eid, meta["title"]) for eid, meta in _REGISTRY.items())
+    return sorted((eid, spec.title) for eid, spec in _REGISTRY.items())
 
 
-def get_experiment(experiment_id: str):
-    """The runner registered under ``experiment_id``."""
-    key = experiment_id.upper()
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """The full :class:`ExperimentSpec` registered under ``experiment_id``."""
+    key = normalize_experiment_id(experiment_id)
     if key not in _REGISTRY:
         known = ", ".join(sorted(_REGISTRY))
         raise InvalidParameterError(
             f"unknown experiment {experiment_id!r}; known: {known}")
-    return _REGISTRY[key]["runner"]
+    return _REGISTRY[key]
 
 
-def run_experiment(experiment_id: str, fast: bool = True,
+def get_experiment(experiment_id: str):
+    """The runner registered under ``experiment_id``."""
+    return get_spec(experiment_id).runner
+
+
+def experiment_params(experiment_id: str) -> ParamSpace:
+    """The declared :class:`ParamSpace` of one experiment."""
+    return get_spec(experiment_id).params
+
+
+def _call_runner(spec: ExperimentSpec, resolved: ResolvedParams,
+                 seed, backend: str | None) -> ExperimentReport:
+    """Invoke a runner with the calling convention it declares.
+
+    New-style runners take ``params=``; the shim keeps any old-style
+    ``fast=`` runner (e.g. an external registration) working by mapping
+    the profile back onto the boolean.
+    """
+    parameters = inspect.signature(spec.runner).parameters
+    if "params" in parameters:
+        kwargs = {"params": resolved, "seed": seed}
+    else:
+        kwargs = {"fast": resolved.profile != "full", "seed": seed}
+    if backend is not None and "backend" in parameters:
+        kwargs["backend"] = backend
+    return spec.runner(**kwargs)
+
+
+def run_experiment(experiment_id: str, fast: bool | None = None,
                    seed=12345, backend: str | None = None,
-                   cache=None) -> ExperimentReport:
+                   cache=None, params: dict | None = None,
+                   profile: str | None = None) -> ExperimentReport:
     """Run one experiment and return its report.
 
     Parameters
@@ -176,7 +274,9 @@ def run_experiment(experiment_id: str, fast: bool = True,
     experiment_id:
         The DESIGN.md id, e.g. ``"E7"``.
     fast:
-        Reduced-size parameters (the default); ``False`` for the full run.
+        Legacy profile selector: ``True`` (the default) resolves the
+        ``"fast"`` profile, ``False`` the ``"full"`` one.  ``profile``
+        supersedes it.
     seed:
         Random seed forwarded to the runner.
     backend:
@@ -191,15 +291,22 @@ def run_experiment(experiment_id: str, fast: bool = True,
         an int/str seed — generator objects have no stable cache identity.
         Cached and fresh reports are identical records (both round-trip
         through the JSON wire form).
+    params:
+        Optional ``name -> value`` overrides, validated and coerced
+        against the experiment's declared :class:`ParamSpace` — unknown
+        names and out-of-domain values raise
+        :class:`InvalidParameterError` listing the valid knobs.
+    profile:
+        Named profile to resolve overrides on top of (``"fast"``,
+        ``"full"``, or any profile the experiment declares).
     """
-    runner = get_experiment(experiment_id)
-    kwargs = {"fast": fast, "seed": seed}
+    spec = get_spec(experiment_id)
+    profile = resolve_profile(fast, profile)
+    resolved = spec.resolve(profile, params)
     if backend is not None:
         check_backend(backend)
-        if "backend" in inspect.signature(runner).parameters:
-            kwargs["backend"] = backend
     if cache is None:
-        return runner(**kwargs)
+        return _call_runner(spec, resolved, seed, backend)
 
     # Cached runs delegate to the plan executor — the one implementation
     # of the lookup/run/store flow — so entries written here are served to
@@ -208,7 +315,7 @@ def run_experiment(experiment_id: str, fast: bool = True,
     from repro.runner.executor import execute
     from repro.runner.plan import RunPlan, RunTask
     cache_dir = str(cache.root) if isinstance(cache, ResultCache) else str(cache)
-    task = RunTask(experiment_id=experiment_id, fast=fast, seed=seed,
-                   backend=backend)
+    task = RunTask(experiment_id=spec.experiment_id, profile=profile,
+                   params=params, seed=seed, backend=backend)
     plan = RunPlan(tasks=(task,), cache_dir=cache_dir)
     return execute(plan).results[0].report

@@ -11,12 +11,21 @@ from __future__ import annotations
 
 from repro.core.igt import AgentType, GenerosityGrid, IGTRule
 from repro.experiments.base import ExperimentReport, register
+from repro.params import Param, ParamSpace
+
+PARAMS = ParamSpace(
+    Param("k", "int", 6, minimum=2, maximum=100_000,
+          help="generosity grid size (the figure uses k = 6)"),
+    Param("g_max", "float", 1.0, minimum=1e-9, maximum=1.0,
+          help="maximum generosity value g_k"),
+)
 
 
-@register("E1", "Figure 1 — k-IGT update rule (k = 6)")
-def run(fast: bool = True, seed=None) -> ExperimentReport:
-    """Tabulate the k = 6 update rule and check the figure's three cases."""
-    grid = GenerosityGrid(k=6, g_max=1.0)
+@register("E1", "Figure 1 — k-IGT update rule (k = 6)", params=PARAMS)
+def run(params=None, seed=None) -> ExperimentReport:
+    """Tabulate the figure's update rule and check its three cases."""
+    params = PARAMS.resolve() if params is None else params
+    grid = GenerosityGrid(k=params["k"], g_max=params["g_max"])
     rule = IGTRule(grid)
     rows = []
     for entry in rule.transition_diagram():
@@ -38,7 +47,7 @@ def run(fast: bool = True, seed=None) -> ExperimentReport:
             rule.next_index(j, AgentType.AD) == j - 1
             for j in range(1, grid.k)),
         "decrement truncates at g_1": rule.next_index(0, AgentType.AD) == 0,
-        "increment truncates at g_6": (
+        f"increment truncates at g_{grid.k}": (
             rule.next_index(grid.k - 1, AgentType.AC) == grid.k - 1
             and rule.next_index(grid.k - 1, AgentType.GTFT) == grid.k - 1),
         "grid is the equidistant discretization of [0, g_max]": all(

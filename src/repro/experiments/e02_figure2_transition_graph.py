@@ -12,12 +12,28 @@ from repro.experiments.base import ExperimentReport, register
 from repro.markov.distributions import total_variation
 from repro.markov.ehrenfest import EhrenfestProcess
 from repro.markov.state_space import num_compositions
+from repro.params import Param, ParamSpace
+
+PARAMS = ParamSpace(
+    Param("k", "int", 3, minimum=2, maximum=8,
+          help="number of urns (the figure uses k = 3)"),
+    Param("a", "float", 0.3, minimum=1e-9, maximum=0.5,
+          help="forward (increment) rate"),
+    Param("b", "float", 0.2, minimum=1e-9, maximum=0.5,
+          help="backward (decrement) rate"),
+    Param("m", "int", 3, minimum=1, maximum=64,
+          help="number of balls (the figure uses m = 3; the exact chain "
+               "enumerates all C(m+k-1, k-1) states)"),
+)
 
 
-@register("E2", "Figure 2 — (3,a,b,m)-Ehrenfest transition graph (m = 3)")
-def run(fast: bool = True, seed=None) -> ExperimentReport:
-    """Enumerate the k = 3, m = 3 transition structure and verify it."""
-    process = EhrenfestProcess(k=3, a=0.3, b=0.2, m=3)
+@register("E2", "Figure 2 — (3,a,b,m)-Ehrenfest transition graph (m = 3)",
+          params=PARAMS)
+def run(params=None, seed=None) -> ExperimentReport:
+    """Enumerate the declared (k, a, b, m) transition structure and verify it."""
+    params = PARAMS.resolve() if params is None else params
+    process = EhrenfestProcess(k=params["k"], a=params["a"], b=params["b"],
+                               m=params["m"])
     space = process.space()
     rows = []
     a_edges = 0
@@ -47,9 +63,10 @@ def run(fast: bool = True, seed=None) -> ExperimentReport:
     low_moves = list(process.transitions_from(low))
     high_moves = list(process.transitions_from(high))
 
+    expected_vertices = num_compositions(process.m, process.k)
     checks = {
-        "state space has C(m+k-1, k-1) = 10 vertices":
-            len(space) == num_compositions(3, 3) == 10,
+        f"state space has C(m+k-1, k-1) = {expected_vertices} vertices":
+            len(space) == expected_vertices,
         "all-low corner has a single outgoing a-edge":
             len(low_moves) == 1 and low_moves[0].coefficient == "a",
         "all-high corner has a single outgoing b-edge":

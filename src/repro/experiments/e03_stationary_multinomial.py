@@ -18,7 +18,28 @@ from repro.markov.distributions import (
 )
 from repro.markov.ehrenfest import EhrenfestProcess
 from repro.markov.mixing import projected_marginal_tv
+from repro.params import Param, ParamSpace
 from repro.utils import as_generator
+
+#: The (k, a, b, m) instance grids the sweep can run over.
+_INSTANCE_GRIDS = {
+    "small": [(2, 0.5, 0.5, 10), (2, 0.6, 0.2, 12), (3, 0.3, 0.2, 8),
+              (4, 0.25, 0.25, 6), (5, 0.4, 0.1, 5)],
+    "large": [(2, 0.5, 0.5, 30), (2, 0.6, 0.2, 30), (3, 0.3, 0.2, 15),
+              (3, 0.45, 0.15, 15), (4, 0.25, 0.25, 10),
+              (4, 0.5, 0.125, 10), (5, 0.4, 0.1, 8), (6, 0.3, 0.15, 6)],
+}
+
+PARAMS = ParamSpace(
+    Param("instances", "str", "small", choices=("small", "large"),
+          help="(k, a, b, m) instance grid to validate"),
+    Param("n_samples", "int", 300, minimum=10,
+          help="independent replicas per instance for the marginal test"),
+    Param("tol", "float", 0.12, minimum=1e-6, maximum=1.0,
+          help="TV tolerance for the simulated marginals"),
+    profiles={"full": {"instances": "large", "n_samples": 1500,
+                       "tol": 0.06}},
+)
 
 
 def _simulated_marginal_tv(process: EhrenfestProcess, rng,
@@ -37,20 +58,14 @@ def _simulated_marginal_tv(process: EhrenfestProcess, rng,
     return worst
 
 
-@register("E3", "Theorem 2.4 — multinomial stationary distributions")
-def run(fast: bool = True, seed=12345) -> ExperimentReport:
+@register("E3", "Theorem 2.4 — multinomial stationary distributions",
+          params=PARAMS)
+def run(params=None, seed=12345) -> ExperimentReport:
     """Validate the stationary characterization over a (k, a, b, m) sweep."""
+    params = PARAMS.resolve() if params is None else params
     rng = as_generator(seed)
-    if fast:
-        instances = [(2, 0.5, 0.5, 10), (2, 0.6, 0.2, 12), (3, 0.3, 0.2, 8),
-                     (4, 0.25, 0.25, 6), (5, 0.4, 0.1, 5)]
-        n_samples = 300
-    else:
-        instances = [(2, 0.5, 0.5, 30), (2, 0.6, 0.2, 30), (3, 0.3, 0.2, 15),
-                     (3, 0.45, 0.15, 15), (4, 0.25, 0.25, 10),
-                     (4, 0.5, 0.125, 10), (5, 0.4, 0.1, 8),
-                     (6, 0.3, 0.15, 6)]
-        n_samples = 1500
+    instances = _INSTANCE_GRIDS[params["instances"]]
+    n_samples = params["n_samples"]
 
     rows = []
     worst_tv_exact = 0.0
@@ -71,7 +86,7 @@ def run(fast: bool = True, seed=12345) -> ExperimentReport:
         rows.append([k, a, b, m, len(space), f"{tv_exact:.2e}", balanced,
                      f"{sim_tv:.4f}"])
 
-    tolerance = 0.12 if fast else 0.06
+    tolerance = params["tol"]
     checks = {
         "formula matches linear solve (max TV < 1e-8)": worst_tv_exact < 1e-8,
         "detailed balance holds on every instance": all_balanced,

@@ -35,6 +35,24 @@ from repro.core.population_igt import IGTSimulation, PopulationShares
 from repro.experiments.base import ExperimentReport, register
 from repro.markov.ehrenfest import EhrenfestProcess
 from repro.markov.mixing import exact_mixing_time
+from repro.params import Param, ParamSpace
+
+PARAMS = ParamSpace(
+    Param("n", "int", 200_000, minimum=100,
+          help="population size of the engine-simulated relaxation series"),
+    Param("eps", "float", 0.05, minimum=1e-6, maximum=0.5,
+          help="relaxation tolerance: stop at (1-eps) of the stationary "
+               "mean generosity"),
+    Param("m", "int", 8, minimum=2, maximum=64,
+          help="balls per urn in the exact k-sweep series (the exact "
+               "chain enumerates all C(m+k-1, k-1) states)"),
+    Param("k_max", "int", 5, minimum=3, maximum=8,
+          help="largest k of the exact k-sweep (k runs 2..k_max)"),
+    Param("m_urn", "int", 40, minimum=8, maximum=2000,
+          help="largest m of the classic two-urn m-log-m series "
+               "(runs m_urn/4, m_urn/2, m_urn)"),
+    profiles={"full": {"n": 1_000_000, "k_max": 6, "m": 12, "m_urn": 160}},
+)
 
 
 def _exact_tmix(process: EhrenfestProcess, t_max: int = 500_000) -> int:
@@ -48,13 +66,13 @@ def _exact_tmix(process: EhrenfestProcess, t_max: int = 500_000) -> int:
                                           space.index(high)])
 
 
-def _simulated_relaxation(n: int, seed, backend: str):
+def _simulated_relaxation(n: int, eps: float, seed, backend: str):
     """Corner-start relaxation of the k-IGT count chain at population scale.
 
     Returns ``(n, m, crossing, lower, upper)``: interactions until the mean
-    generosity index first reaches 95% of its stationary value, with the
-    drift-based lower bound ``m·target/(2a)`` and the Theorem 2.5 coupling
-    upper bound ``2Φ·log(4m)``.
+    generosity index first reaches ``(1-eps)`` of its stationary value, with
+    the drift-based lower bound ``m·target/(2a)`` and the Theorem 2.5
+    coupling upper bound ``2Φ·log(4m)``.
     """
     shares = PopulationShares(alpha=0.3, beta=0.2, gamma=0.5)
     grid = GenerosityGrid(k=6, g_max=0.6)
@@ -62,7 +80,7 @@ def _simulated_relaxation(n: int, seed, backend: str):
                         initial_indices=0, backend=backend)
     process = sim.equivalent_ehrenfest(exact=True)
     weights = process.stationary_weights()
-    target = 0.95 * float(np.arange(grid.k) @ weights)
+    target = (1.0 - eps) * float(np.arange(grid.k) @ weights)
     upper = process.mixing_time_upper_bound()
     # Per interaction the total index rises by at most one ball with
     # probability a, so reaching m*target needs >= m*target/a steps in
@@ -82,12 +100,13 @@ def _simulated_relaxation(n: int, seed, backend: str):
     return n, grid.k, process, crossing, lower, upper
 
 
-@register("E4", "Theorem 2.5 — Ehrenfest mixing-time scaling")
-def run(fast: bool = True, seed=None, backend: str = "count") -> ExperimentReport:
+@register("E4", "Theorem 2.5 — Ehrenfest mixing-time scaling", params=PARAMS)
+def run(params=None, seed=None, backend: str = "count") -> ExperimentReport:
     """Regenerate the mixing-time scaling series of Theorem 2.5."""
+    params = PARAMS.resolve() if params is None else params
     rows = []
-    m_k = 8 if fast else 12
-    ks = [2, 3, 4, 5] if fast else [2, 3, 4, 5, 6]
+    m_k = params["m"]
+    ks = list(range(2, params["k_max"] + 1))
 
     def k_sweep(label, a, b):
         times = []
@@ -106,7 +125,7 @@ def run(fast: bool = True, seed=None, backend: str = "count") -> ExperimentRepor
     strong_exponent, _ = fit_power_law(ks, strong_times)
 
     # Series C: classic two-urn m log m dependence.
-    ms = [10, 20, 40] if fast else [20, 40, 80, 160]
+    ms = [params["m_urn"] // 4, params["m_urn"] // 2, params["m_urn"]]
     normalized = []
     for m in ms:
         process = EhrenfestProcess(k=2, a=0.5, b=0.5, m=m)
@@ -120,7 +139,7 @@ def run(fast: bool = True, seed=None, backend: str = "count") -> ExperimentRepor
 
     # Series D: engine-simulated relaxation at population scale.
     sim_n, sim_k, sim_process, crossing, sim_lower, sim_upper = \
-        _simulated_relaxation(200_000 if fast else 1_000_000, seed, backend)
+        _simulated_relaxation(params["n"], params["eps"], seed, backend)
     sim_m = sim_process.m
     rows.append([f"simulated k-IGT ({backend} engine)", sim_k,
                  round(sim_process.a, 4), round(sim_process.b, 4), sim_m,
@@ -156,6 +175,6 @@ def run(fast: bool = True, seed=None, backend: str = "count") -> ExperimentRepor
                "exact t_mix computed from the two corner states",
                f"series D simulates the count chain at n={sim_n} "
                f"(m={sim_m} GTFT agents) on the '{backend}' engine: time "
-               "to 95% of the stationary mean generosity from the corner "
-               "start, in interactions"],
+               f"to {1.0 - params['eps']:.0%} of the stationary mean "
+               "generosity from the corner start, in interactions"],
     )

@@ -20,7 +20,29 @@ from repro.core.population_igt import IGTSimulation, PopulationShares
 from repro.core.theory import igt_mixing_upper_bound
 from repro.experiments.base import ExperimentReport, register
 from repro.markov.distributions import total_variation
+from repro.params import Param, ParamSpace
 from repro.utils import as_generator, spawn_generators
+
+#: The (n, beta, k) case grids the validation can run over.
+_CASE_GRIDS = {
+    "small": [(200, 0.2, 3), (200, 0.35, 4)],
+    "large": [(400, 0.2, 3), (400, 0.35, 4), (600, 0.45, 5), (400, 0.1, 6)],
+}
+
+PARAMS = ParamSpace(
+    Param("cases", "str", "small", choices=("small", "large"),
+          help="(n, beta, k) case grid to validate"),
+    Param("replicates", "int", 24, minimum=2,
+          help="independent agent-level replicas per case"),
+    Param("budget", "float", 2.0, minimum=0.5, maximum=20.0,
+          help="run length as a multiple of the Thm 2.7 mixing bound"),
+    Param("g_max", "float", 0.5, minimum=1e-9, maximum=1.0,
+          help="maximum generosity value"),
+    Param("tol", "float", 0.08, minimum=1e-6, maximum=1.0,
+          help="TV / relative-error tolerance for the checks"),
+    profiles={"full": {"cases": "large", "replicates": 60, "budget": 3.0,
+                       "tol": 0.04}},
+)
 
 
 def _replica_counts(n, shares, grid, steps, seeds) -> np.ndarray:
@@ -33,19 +55,14 @@ def _replica_counts(n, shares, grid, steps, seeds) -> np.ndarray:
     return out
 
 
-@register("E5", "Theorem 2.7 — k-IGT stationary distribution")
-def run(fast: bool = True, seed=12345) -> ExperimentReport:
+@register("E5", "Theorem 2.7 — k-IGT stationary distribution", params=PARAMS)
+def run(params=None, seed=12345) -> ExperimentReport:
     """Validate the k-IGT stationary characterization at agent level."""
+    params = PARAMS.resolve() if params is None else params
     rng = as_generator(seed)
-    if fast:
-        cases = [(200, 0.2, 3), (200, 0.35, 4)]
-        replicas = 24
-        budget_multiplier = 2.0
-    else:
-        cases = [(400, 0.2, 3), (400, 0.35, 4), (600, 0.45, 5),
-                 (400, 0.1, 6)]
-        replicas = 60
-        budget_multiplier = 3.0
+    cases = _CASE_GRIDS[params["cases"]]
+    replicas = params["replicates"]
+    budget_multiplier = params["budget"]
 
     rows = []
     worst_mu_tv = 0.0
@@ -54,7 +71,7 @@ def run(fast: bool = True, seed=12345) -> ExperimentReport:
         alpha = (1.0 - beta) / 2.0
         gamma = 1.0 - alpha - beta
         shares = PopulationShares(alpha=alpha, beta=beta, gamma=gamma)
-        grid = GenerosityGrid(k=k, g_max=0.5)
+        grid = GenerosityGrid(k=k, g_max=params["g_max"])
         steps = int(budget_multiplier
                     * igt_mixing_upper_bound(k, shares, n))
         seeds = spawn_generators(rng, replicas)
@@ -79,8 +96,8 @@ def run(fast: bool = True, seed=12345) -> ExperimentReport:
                      np.round(mean_counts, 2).tolist(),
                      f"{mu_tv:.4f}", f"{mean_err:.4f}"])
 
-    tol_tv = 0.08 if fast else 0.04
-    tol_mean = 0.08 if fast else 0.04
+    tol_tv = params["tol"]
+    tol_mean = params["tol"]
     checks = {
         f"pooled strategy distribution within TV {tol_tv} of p":
             worst_mu_tv < tol_tv,

@@ -18,7 +18,27 @@ from repro.core.igt import GenerosityGrid
 from repro.core.population_igt import IGTSimulation, PopulationShares
 from repro.core.theory import igt_mixing_upper_bound
 from repro.experiments.base import ExperimentReport, register
+from repro.params import Param, ParamSpace
 from repro.utils import as_generator
+
+#: The (n, beta, k) case grids of the sweep.
+_CASE_GRIDS = {
+    "small": [(200, 0.2, 3), (200, 0.5, 4), (200, 0.7, 3)],
+    "large": [(400, 0.1, 4), (400, 0.2, 6), (400, 0.35, 8), (400, 0.5, 4),
+              (400, 0.65, 6), (400, 0.8, 4)],
+}
+
+PARAMS = ParamSpace(
+    Param("cases", "str", "small", choices=("small", "large"),
+          help="(n, beta, k) case grid to validate"),
+    Param("samples", "int", 150, minimum=10,
+          help="ergodic-average samples per case after burn-in"),
+    Param("g_max", "float", 0.5, minimum=1e-9, maximum=1.0,
+          help="maximum generosity value"),
+    Param("tol", "float", 0.03, minimum=1e-6, maximum=1.0,
+          help="tolerance for |simulated - theory|"),
+    profiles={"full": {"cases": "large", "samples": 400, "tol": 0.02}},
+)
 
 
 def _simulated_generosity(n, beta, k, g_max, seed, budget_multiplier=2.0,
@@ -39,18 +59,15 @@ def _simulated_generosity(n, beta, k, g_max, seed, budget_multiplier=2.0,
     return float(values.mean())
 
 
-@register("E6", "Proposition 2.8 — average stationary generosity")
-def run(fast: bool = True, seed=12345) -> ExperimentReport:
+@register("E6", "Proposition 2.8 — average stationary generosity",
+          params=PARAMS)
+def run(params=None, seed=12345) -> ExperimentReport:
     """Closed form vs direct expectation vs agent-level simulation."""
+    params = PARAMS.resolve() if params is None else params
     rng = as_generator(seed)
-    g_max = 0.5
-    if fast:
-        cases = [(200, 0.2, 3), (200, 0.5, 4), (200, 0.7, 3)]
-        samples = 150
-    else:
-        cases = [(400, 0.1, 4), (400, 0.2, 6), (400, 0.35, 8),
-                 (400, 0.5, 4), (400, 0.65, 6), (400, 0.8, 4)]
-        samples = 400
+    g_max = params["g_max"]
+    cases = _CASE_GRIDS[params["cases"]]
+    samples = params["samples"]
 
     rows = []
     worst_formula_gap = 0.0
@@ -67,7 +84,7 @@ def run(fast: bool = True, seed=12345) -> ExperimentReport:
         rows.append([n, beta, k, f"{closed:.5f}", f"{direct:.5f}",
                      f"{simulated:.5f}", f"{abs(simulated - direct):.5f}"])
 
-    tol = 0.03 if fast else 0.02
+    tol = params["tol"]
     checks = {
         "closed form equals direct expectation (<1e-10)":
             worst_formula_gap < 1e-10,

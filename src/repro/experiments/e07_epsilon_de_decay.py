@@ -26,7 +26,18 @@ from repro.core.regimes import (
 )
 from repro.core.theory import igt_mixing_upper_bound
 from repro.experiments.base import ExperimentReport, register
+from repro.params import Param, ParamSpace
 from repro.utils import as_generator
+
+PARAMS = ParamSpace(
+    Param("k_max", "int", 32, minimum=4, maximum=4096,
+          help="largest k of the Psi(k) sweep (k doubles from 2 to k_max)"),
+    Param("empirical_k_max", "int", 8, minimum=0,
+          help="largest k whose gap is also measured from simulation"),
+    Param("n", "int", 300, minimum=10,
+          help="population size of the empirical-gap simulations"),
+    profiles={"full": {"k_max": 128, "empirical_k_max": 16}},
+)
 
 
 def _empirical_gap(setting, shares, g_max, k, seed, n=300,
@@ -46,15 +57,21 @@ def _empirical_gap(setting, shares, g_max, k, seed, n=300,
     return de_gap(mu_avg, grid, setting, shares)
 
 
-@register("E7", "Theorem 2.9 — epsilon-DE with epsilon = O(1/k)")
-def run(fast: bool = True, seed=12345) -> ExperimentReport:
+@register("E7", "Theorem 2.9 — epsilon-DE with epsilon = O(1/k)",
+          params=PARAMS)
+def run(params=None, seed=12345) -> ExperimentReport:
     """Regenerate the Psi(k) decay table in both regimes."""
+    params = PARAMS.resolve() if params is None else params
     rng = as_generator(seed)
     setting_eff, shares_eff, g_max_eff = default_theorem_2_9_setting()
     setting_lit, shares_lit, g_max_lit = literal_only_theorem_2_9_setting()
 
-    ks = [2, 4, 8, 16, 32] if fast else [2, 4, 8, 16, 32, 64, 128]
-    empirical_ks = {4, 8} if fast else {4, 8, 16}
+    ks = []
+    k = 2
+    while k <= params["k_max"]:
+        ks.append(k)
+        k *= 2
+    empirical_ks = {k for k in ks[1:] if k <= params["empirical_k_max"]}
 
     rows = []
     psi_eff_values = []
@@ -72,7 +89,7 @@ def run(fast: bool = True, seed=12345) -> ExperimentReport:
         empirical = None
         if k in empirical_ks:
             empirical = _empirical_gap(setting_eff, shares_eff, g_max_eff,
-                                       k, seed=rng)
+                                       k, seed=rng, n=params["n"])
             # The empirical mixture's gap should sit near the exact one.
             empirical_ok = empirical_ok and abs(empirical - psi_eff) < 0.1
         rows.append([k, f"{psi_eff:.6f}", f"{psi_eff * k:.4f}",

@@ -24,6 +24,15 @@ from repro.games.closed_forms import (
     payoff_gtft_vs_gtft,
     proposition_2_2_conditions,
 )
+from repro.params import Param, ParamSpace
+
+PARAMS = ParamSpace(
+    Param("points", "int", 8, minimum=3,
+          help="grid resolution of the (g, g') monotonicity scan"),
+    Param("deriv_points", "int", 5, minimum=2,
+          help="grid resolution of the eq. 47 derivative check"),
+    profiles={"full": {"points": 16, "deriv_points": 10}},
+)
 
 
 def _count_violations(b, c, delta, s1, g_max, points):
@@ -65,10 +74,12 @@ def _derivative_check(b, c, delta, s1, g_max, points) -> float:
     return worst
 
 
-@register("E8", "Proposition 2.2 — local optimality of the IGT rule")
-def run(fast: bool = True, seed=None) -> ExperimentReport:
+@register("E8", "Proposition 2.2 — local optimality of the IGT rule",
+          params=PARAMS)
+def run(params=None, seed=None) -> ExperimentReport:
     """Verify payoff monotonicity in the regime and its failure outside."""
-    points = 8 if fast else 16
+    params = PARAMS.resolve() if params is None else params
+    points = params["points"]
     regimes = [
         # (b, c, delta, s1, g_max, expected-in-regime)
         (4.0, 1.0, 0.7, 0.5, 0.6, True),
@@ -92,7 +103,8 @@ def run(fast: bool = True, seed=None) -> ExperimentReport:
         rows.append([b, c, delta, s1, g_max, conditions.all_hold, pairs,
                      v1, v2, v3])
 
-    deriv_err = _derivative_check(4.0, 1.0, 0.7, 0.5, 0.6, 5 if fast else 10)
+    deriv_err = _derivative_check(4.0, 1.0, 0.7, 0.5, 0.6,
+                                  params["deriv_points"])
     # Derivative positivity inside the regime (what makes Inc locally optimal).
     grid = np.linspace(0.0, 0.6, points)
     derivative_positive = all(

@@ -13,22 +13,34 @@ from repro.analysis.stats import fit_power_law
 from repro.core.regimes import default_theorem_2_9_setting
 from repro.core.tradeoffs import tradeoff_table
 from repro.experiments.base import ExperimentReport, register
+from repro.params import Param, ParamSpace
 from repro.utils import as_generator
 
+PARAMS = ParamSpace(
+    Param("k_max", "int", 8, minimum=4, maximum=64,
+          help="largest k of the trade-off sweep (k doubles from 2)"),
+    Param("n", "int", 160, minimum=10,
+          help="population size of the measured-convergence runs"),
+    Param("coupling_samples", "int", 4, minimum=1,
+          help="coupling samples behind each measured convergence time"),
+    profiles={"full": {"k_max": 16, "n": 400, "coupling_samples": 10}},
+)
 
-@register("E9", "Trade-off table — time vs space vs approximation")
-def run(fast: bool = True, seed=12345) -> ExperimentReport:
+
+@register("E9", "Trade-off table — time vs space vs approximation",
+          params=PARAMS)
+def run(params=None, seed=12345) -> ExperimentReport:
     """Regenerate the k-sweep trade-off table with measured convergence."""
+    params = PARAMS.resolve() if params is None else params
     rng = as_generator(seed)
     setting, shares, g_max = default_theorem_2_9_setting()
-    if fast:
-        ks = [2, 4, 8]
-        n = 160
-        coupling_samples = 4
-    else:
-        ks = [2, 4, 8, 16]
-        n = 400
-        coupling_samples = 10
+    ks = []
+    k = 2
+    while k <= params["k_max"]:
+        ks.append(k)
+        k *= 2
+    n = params["n"]
+    coupling_samples = params["coupling_samples"]
 
     table = tradeoff_table(ks, setting, shares, g_max, n=n, measure=True,
                            coupling_samples=coupling_samples, seed=rng)

@@ -24,18 +24,35 @@ from repro.games.strategies import (
     always_defect,
     generous_tit_for_tat,
 )
+from repro.params import Param, ParamSpace
 from repro.utils import as_generator
 
+PARAMS = ParamSpace(
+    Param("b", "float", 4.0, minimum=1e-9,
+          help="donation-game benefit"),
+    Param("c", "float", 1.0, minimum=1e-9,
+          help="donation-game cost"),
+    Param("delta", "float", 0.7, minimum=1e-9, maximum=1 - 1e-9,
+          help="continuation probability of the repeated game"),
+    Param("s1", "float", 0.5, minimum=0.0, maximum=1.0,
+          help="first-round cooperation probability of GTFT"),
+    Param("n_games", "int", 3000, minimum=100,
+          help="Monte Carlo games per payoff case"),
+    profiles={"full": {"n_games": 20000}},
+)
 
-@register("E10", "Eqs. 44-46 — expected RD payoff formulas")
-def run(fast: bool = True, seed=12345) -> ExperimentReport:
+
+@register("E10", "Eqs. 44-46 — expected RD payoff formulas", params=PARAMS)
+def run(params=None, seed=12345) -> ExperimentReport:
     """Closed forms vs resolvent vs Monte Carlo play."""
+    params = PARAMS.resolve() if params is None else params
     rng = as_generator(seed)
-    b, c, delta, s1 = 4.0, 1.0, 0.7, 0.5
+    b, c, delta, s1 = (params["b"], params["c"], params["delta"],
+                       params["s1"])
     game = DonationGame(b, c)
     v = game.reward_vector
     engine = RepeatedGameEngine(game, delta)
-    n_games = 3000 if fast else 20000
+    n_games = params["n_games"]
 
     cases = [
         ("f(g=0.2, AC)", generous_tit_for_tat(0.2, s1), always_cooperate(),

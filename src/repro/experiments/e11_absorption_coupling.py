@@ -26,7 +26,29 @@ from repro.markov.random_walks import (
     simulate_absorption_time,
     symmetric_interval_win_probability,
 )
+from repro.params import Param, ParamSpace
 from repro.utils import as_generator
+
+#: The (k, a, b, m) coupling instance grids of part two.
+_COUPLING_GRIDS = {
+    "small": [(3, 0.35, 0.15, 20), (4, 0.3, 0.3, 12)],
+    "large": [(3, 0.35, 0.15, 40), (4, 0.3, 0.3, 30), (5, 0.45, 0.1, 30)],
+}
+
+PARAMS = ParamSpace(
+    Param("n", "int", 200_000, minimum=100,
+          help="population size of the engine-simulated drift series"),
+    Param("n_walks", "int", 300, minimum=10,
+          help="absorption walks simulated per closed-form case"),
+    Param("n_couplings", "int", 20, minimum=4,
+          help="coordinate couplings sampled per Lemma A.8 case"),
+    Param("couplings", "str", "small", choices=("small", "large"),
+          help="(k, a, b, m) coupling instance grid"),
+    Param("tol", "float", 0.2, minimum=1e-6, maximum=1.0,
+          help="relative tolerance for simulated vs closed-form E[tau]"),
+    profiles={"full": {"n": 1_000_000, "n_walks": 2000, "n_couplings": 60,
+                       "couplings": "large", "tol": 0.08}},
+)
 
 
 def _population_drift_time(n: int, seed, backend: str):
@@ -55,11 +77,13 @@ def _population_drift_time(n: int, seed, backend: str):
     return crossing, predicted
 
 
-@register("E11", "Prop. A.7 / Lemma A.8 — absorption and coupling times")
-def run(fast: bool = True, seed=12345, backend: str = "count") -> ExperimentReport:
+@register("E11", "Prop. A.7 / Lemma A.8 — absorption and coupling times",
+          params=PARAMS)
+def run(params=None, seed=12345, backend: str = "count") -> ExperimentReport:
     """Validate the random-walk closed forms and the coupling tail bound."""
+    params = PARAMS.resolve() if params is None else params
     rng = as_generator(seed)
-    n_walks = 300 if fast else 2000
+    n_walks = params["n_walks"]
     walk_cases = [(4, 0.4, 0.2), (4, 0.3, 0.3), (6, 0.45, 0.15),
                   (8, 0.25, 0.2)]
 
@@ -87,9 +111,8 @@ def run(fast: bool = True, seed=12345, backend: str = "count") -> ExperimentRepo
                      f"{paper_absorption_bound(k, a, b):.1f}"])
 
     # Coupling tail bound (Lemma A.8).
-    coupling_cases = [(3, 0.35, 0.15, 20), (4, 0.3, 0.3, 12)] if fast else \
-        [(3, 0.35, 0.15, 40), (4, 0.3, 0.3, 30), (5, 0.45, 0.1, 30)]
-    n_couplings = 20 if fast else 60
+    coupling_cases = _COUPLING_GRIDS[params["couplings"]]
+    n_couplings = params["n_couplings"]
     tail_ok = True
     for k, a, b, m in coupling_cases:
         process = EhrenfestProcess(k=k, a=a, b=b, m=m)
@@ -105,14 +128,14 @@ def run(fast: bool = True, seed=12345, backend: str = "count") -> ExperimentRepo
                      "-", f"{fraction_within:.2f}", "-"])
 
     # Population-scale drift time on the count engine.
-    pop_n = 200_000 if fast else 1_000_000
+    pop_n = params["n"]
     crossing, predicted = _population_drift_time(pop_n, rng, backend)
     drift_ratio = crossing / predicted
     rows.append([f"population drift n={pop_n} ({backend} engine)", "-", "-",
                  f"{predicted:.0f}", f"{crossing}", "-",
                  f"{drift_ratio:.2f}", "-"])
 
-    time_tol = 0.2 if fast else 0.08
+    time_tol = params["tol"]
     checks = {
         f"simulated E[tau] within {time_tol:.0%} of the martingale formula":
             worst_time_err < time_tol,

@@ -13,14 +13,28 @@ from repro.core.generosity import (
     generosity_lower_bound,
 )
 from repro.experiments.base import ExperimentReport, register
+from repro.params import Param, ParamSpace
+
+PARAMS = ParamSpace(
+    Param("g_max", "float", 0.8, minimum=1e-9, maximum=1.0,
+          help="maximum generosity value"),
+    Param("k_max", "int", 16, minimum=4, maximum=65_536,
+          help="largest k of the (beta, k) grid (k doubles from 2)"),
+    profiles={"full": {"k_max": 64}},
+)
 
 
-@register("E12", "Corollary C.1 — generosity lower bound")
-def run(fast: bool = True, seed=None) -> ExperimentReport:
+@register("E12", "Corollary C.1 — generosity lower bound", params=PARAMS)
+def run(params=None, seed=None) -> ExperimentReport:
     """Check the Corollary C.1 bound across a (beta, k) grid."""
-    g_max = 0.8
+    params = PARAMS.resolve() if params is None else params
+    g_max = params["g_max"]
     betas = [0.05, 0.1, 0.2, 0.3]  # lambda = 19, 9, 4, 7/3 — all > 1
-    ks = [2, 4, 8, 16] if fast else [2, 4, 8, 16, 32, 64]
+    ks = []
+    k = 2
+    while k <= params["k_max"]:
+        ks.append(k)
+        k *= 2
 
     rows = []
     bound_holds = True

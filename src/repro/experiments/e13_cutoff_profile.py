@@ -26,10 +26,25 @@ from repro.core.population_igt import IGTSimulation, PopulationShares
 from repro.experiments.base import ExperimentReport, register
 from repro.markov.cutoff import cutoff_profile
 from repro.markov.ehrenfest import EhrenfestProcess, classic_two_urn_process
+from repro.params import Param, ParamSpace
 from repro.utils import as_generator
 
+PARAMS = ParamSpace(
+    Param("n", "int", 200_000, minimum=100,
+          help="population size of the engine-simulated coalescence series"),
+    Param("eps", "float", 0.02, minimum=1e-6, maximum=0.5,
+          help="coalescence tolerance on the top-urn fraction gap"),
+    Param("m_urn", "int", 80, minimum=8, maximum=2000,
+          help="largest m of the exact two-urn profile series "
+               "(runs m_urn/4, m_urn/2, m_urn)"),
+    Param("m3", "int", 10, minimum=3, maximum=64,
+          help="balls of the exploratory k = 3 profile (the exact chain "
+               "has O(m3^2) states)"),
+    profiles={"full": {"n": 1_000_000, "m_urn": 320, "m3": 20}},
+)
 
-def _mean_coalescence(n: int, seed, backend: str, delta: float = 0.02):
+
+def _mean_coalescence(n: int, seed, backend: str, delta: float):
     """Opposite-corner mean-trajectory meeting time at population scale.
 
     Returns ``(meeting, predicted, final_deviation)`` where ``meeting`` is
@@ -77,10 +92,12 @@ def _mean_coalescence(n: int, seed, backend: str, delta: float = 0.02):
     return meeting, predicted, final_deviation
 
 
-@register("E13", "Remark 2.6 — cutoff profiles of Ehrenfest processes")
-def run(fast: bool = True, seed=None, backend: str = "count") -> ExperimentReport:
+@register("E13", "Remark 2.6 — cutoff profiles of Ehrenfest processes",
+          params=PARAMS)
+def run(params=None, seed=None, backend: str = "count") -> ExperimentReport:
     """Measure exact d(t) profiles and their cutoff diagnostics."""
-    ms = [20, 40, 80] if fast else [40, 80, 160, 320]
+    params = PARAMS.resolve() if params is None else params
+    ms = [params["m_urn"] // 4, params["m_urn"] // 2, params["m_urn"]]
     rows = []
     normalized = []
     relative_windows = []
@@ -98,7 +115,7 @@ def run(fast: bool = True, seed=None, backend: str = "count") -> ExperimentRepor
                      sparkline(profile.curve[::stride])])
 
     # Exploratory k = 3 profile (open question in the paper).
-    k3 = EhrenfestProcess(k=3, a=0.3, b=0.2, m=10 if fast else 20)
+    k3 = EhrenfestProcess(k=3, a=0.3, b=0.2, m=params["m3"])
     profile3 = cutoff_profile(k3)
     stride = max(len(profile3.curve) // 40, 1)
     rows.append([f"k=3 m={k3.m} (a=0.3,b=0.2)", profile3.mixing_time,
@@ -107,9 +124,9 @@ def run(fast: bool = True, seed=None, backend: str = "count") -> ExperimentRepor
                  sparkline(profile3.curve[::stride])])
 
     # Population-scale mean coalescence on the count engine.
-    pop_n = 200_000 if fast else 1_000_000
-    meeting, predicted, final_deviation = _mean_coalescence(pop_n, seed,
-                                                            backend)
+    pop_n = params["n"]
+    meeting, predicted, final_deviation = _mean_coalescence(
+        pop_n, seed, backend, params["eps"])
     meet_ratio = meeting / predicted
     rows.append([f"simulated coalescence n={pop_n} ({backend} engine)",
                  meeting, f"{meet_ratio:.3f}", f"{predicted:.0f}",

@@ -40,7 +40,32 @@ from repro.games.strategies import (
     tit_for_tat,
     with_execution_noise,
 )
+from repro.params import Param, ParamSpace
 from repro.utils import as_generator
+
+#: The delta grids of study (i); both contain delta = 0.9.
+_DELTA_GRIDS = {
+    "coarse": [0.5, 0.9],
+    "fine": [0.3, 0.6, 0.9, 0.97],
+}
+
+PARAMS = ParamSpace(
+    Param("n_action", "int", 60, minimum=10,
+          help="population size of the action-vs-strategy study"),
+    Param("samples", "int", 60, minimum=10,
+          help="ergodic-average samples per stationary measurement"),
+    Param("deltas", "str", "coarse", choices=("coarse", "fine"),
+          help="continuation-probability grid of study (i)"),
+    Param("n_strict", "int", 200, minimum=10,
+          help="population size of the strict-variant study"),
+    Param("n_hd", "int", 150, minimum=20,
+          help="population size of the hawk-dove imitation study"),
+    Param("hd_sweeps", "int", 40, minimum=5,
+          help="hawk-dove burn-in length in population sweeps (n_hd "
+               "interactions each)"),
+    profiles={"full": {"n_action": 120, "samples": 150, "deltas": "fine",
+                       "n_strict": 500, "n_hd": 400, "hd_sweeps": 150}},
+)
 
 
 def _stationary_generosity(sim: IGTSimulation, shares, n, k,
@@ -54,22 +79,24 @@ def _stationary_generosity(sim: IGTSimulation, shares, n, k,
     return total / samples
 
 
-@register("E14", "Ablations — action rule, strict rule, noise, other games")
-def run(fast: bool = True, seed=12345) -> ExperimentReport:
+@register("E14", "Ablations — action rule, strict rule, noise, other games",
+          params=PARAMS)
+def run(params=None, seed=12345) -> ExperimentReport:
     """Run the four ablation studies."""
+    params = PARAMS.resolve() if params is None else params
     rng = as_generator(seed)
     rows = []
 
     # ---------------------------------------------------------------
     # (i) action-observed vs strategy-observed
     # ---------------------------------------------------------------
-    n_small = 60 if fast else 120
+    n_small = params["n_action"]
     k = 3
-    samples = 60 if fast else 150
+    samples = params["samples"]
     shares = PopulationShares(alpha=0.3, beta=0.2, gamma=0.5)
     grid = GenerosityGrid(k=k, g_max=0.5)
     gaps = []
-    deltas = [0.5, 0.9] if fast else [0.3, 0.6, 0.9, 0.97]
+    deltas = _DELTA_GRIDS[params["deltas"]]
     for delta in deltas:
         setting = RDSetting(b=4.0, c=1.0, delta=delta, s1=0.5)
         strategy_sim = IGTSimulation(n=n_small, shares=shares, grid=grid,
@@ -88,7 +115,7 @@ def run(fast: bool = True, seed=12345) -> ExperimentReport:
     # ---------------------------------------------------------------
     # (ii) strict variant
     # ---------------------------------------------------------------
-    n_strict = 200 if fast else 500
+    n_strict = params["n_strict"]
     k_strict = 4
     grid_strict = GenerosityGrid(k=k_strict, g_max=0.5)
     standard = IGTSimulation(n=n_strict, shares=shares, grid=grid_strict,
@@ -134,14 +161,14 @@ def run(fast: bool = True, seed=12345) -> ExperimentReport:
     value, cost = 2.0, 4.0
     hd = hawk_dove_game(value, cost)
     target = hawk_dove_equilibrium_mixture(value, cost)
-    n_hd = 150 if fast else 400
+    n_hd = params["n_hd"]
     # Start far from equilibrium (90% doves) so the gap has room to shrink.
     initial = np.ones(n_hd, dtype=np.int64)
     initial[: n_hd // 10] = 0
     sim = PopulationGameSimulation(hd, n=n_hd, rule="imitation", seed=rng,
                                    initial_strategies=initial)
     initial_gap = sim.de_gap()
-    sim.run(40 * n_hd if fast else 150 * n_hd)
+    sim.run(params["hd_sweeps"] * n_hd)
     # Time-average the mixture over a trailing window.
     mu_acc = sim.empirical_mu()
     snapshots = 40
@@ -159,7 +186,7 @@ def run(fast: bool = True, seed=12345) -> ExperimentReport:
     checks = {
         "(i) action-rule gap shrinks as delta -> 1": gaps[-1] <= gaps[0] + 0.02,
         "(i) action rule within 0.1 of strategy rule at delta=0.9":
-            gaps[-1 if fast else -2] < 0.1,
+            gaps[deltas.index(0.9)] < 0.1,
         "(ii) strict variant strictly less generous":
             g_strict < g_standard,
         "(ii) strict variant matches its own Ehrenfest theory (0.05)":

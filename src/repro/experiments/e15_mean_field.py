@@ -21,19 +21,34 @@ from repro.core.mean_field import (
 )
 from repro.core.population_igt import IGTSimulation, PopulationShares
 from repro.experiments.base import ExperimentReport, register
+from repro.params import Param, ParamSpace
 from repro.utils import as_generator, spawn_generators
 
+PARAMS = ParamSpace(
+    Param("n", "int", 100, minimum=10,
+          help="population size of the agent-level replicas"),
+    Param("replicates", "int", 100, minimum=10,
+          help="independent agent-level replicas"),
+    Param("t_max", "int", 2000, minimum=100,
+          help="last checkpoint in interactions "
+               "(checkpoints at t_max/10, 2 t_max/5, t_max)"),
+    profiles={"full": {"replicates": 400, "t_max": 6000}},
+)
 
-@register("E15", "Extension — mean-field flow of the k-IGT dynamics")
-def run(fast: bool = True, seed=12345) -> ExperimentReport:
+
+@register("E15", "Extension — mean-field flow of the k-IGT dynamics",
+          params=PARAMS)
+def run(params=None, seed=12345) -> ExperimentReport:
     """Agent-level means vs the exact linear mean-field recursion."""
+    params = PARAMS.resolve() if params is None else params
     rng = as_generator(seed)
     shares = PopulationShares(alpha=0.3, beta=0.2, gamma=0.5)
     k = 3
     grid = GenerosityGrid(k=k, g_max=0.6)
-    n = 100
-    replicas = 100 if fast else 400
-    checkpoints = [200, 800, 2000] if fast else [200, 800, 2000, 6000]
+    n = params["n"]
+    replicas = params["replicates"]
+    t_max = params["t_max"]
+    checkpoints = [t_max // 10, 2 * t_max // 5, t_max]
 
     A, m = igt_mean_field(shares, grid, n, exact=True)
     m = int(m)

@@ -32,15 +32,31 @@ from repro.games.zd import (
     generous_zd,
     zd_relation_residual,
 )
+from repro.params import Param, ParamSpace
 from repro.utils.errors import InvalidParameterError
 
+PARAMS = ParamSpace(
+    Param("b", "float", 4.0, minimum=1e-9,
+          help="donation-game benefit"),
+    Param("c", "float", 1.0, minimum=1e-9,
+          help="donation-game cost"),
+    Param("delta", "float", 0.95, minimum=1e-9, maximum=1 - 1e-9,
+          help="tournament continuation probability"),
+    Param("chi_extort", "float", 3.0, minimum=1.0,
+          help="extortion factor of the extortionate ZD strategy"),
+    Param("chi_generous", "float", 2.0, minimum=1.0,
+          help="generosity factor of the generous ZD strategy"),
+)
 
-@register("E16", "Extension — ZD strategies and the tournament landscape")
-def run(fast: bool = True, seed=None) -> ExperimentReport:
+
+@register("E16", "Extension — ZD strategies and the tournament landscape",
+          params=PARAMS)
+def run(params=None, seed=None) -> ExperimentReport:
     """Round-robin tournament + exact ZD relation verification."""
-    game = DonationGame(b=4.0, c=1.0)
-    delta = 0.95
-    chi_extort, chi_generous = 3.0, 2.0
+    params = PARAMS.resolve() if params is None else params
+    game = DonationGame(b=params["b"], c=params["c"])
+    delta = params["delta"]
+    chi_extort, chi_generous = params["chi_extort"], params["chi_generous"]
     extort = extortionate_zd(game, chi_extort)
     generous = generous_zd(game, chi_generous)
     entrants = [always_cooperate(), always_defect(), tit_for_tat(),
@@ -117,7 +133,8 @@ def run(fast: bool = True, seed=None) -> ExperimentReport:
         headers=["section", "strategy", "score / u1", "u2", "ZD residual"],
         rows=rows,
         checks=checks,
-        notes=[f"donation game b=4, c=1; tournament delta={delta}; "
+        notes=[f"donation game b={game.b:g}, c={game.c:g}; "
+               f"tournament delta={delta}; "
                "ZD relations evaluated under limit-of-means payoffs",
                "non-ergodic pairs (multiple recurrent classes) are reported "
                "and skipped in the residual checks"],

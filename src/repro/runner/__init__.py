@@ -42,6 +42,7 @@ from repro.runner.plan import (
     RunTask,
     TaskResult,
     experiments_plan,
+    grid_plan,
     replicate_plan,
 )
 from repro.runner.seeds import task_seed, task_seeds
@@ -56,6 +57,7 @@ __all__ = [
     "run_task",
     "replicate_plan",
     "experiments_plan",
+    "grid_plan",
     "ResultCache",
     "cache_key",
     "code_version",

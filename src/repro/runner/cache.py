@@ -22,6 +22,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 
 from repro.utils.errors import InvalidParameterError
 
@@ -78,36 +79,54 @@ def cache_key(
         "code_version": code_version() if version is None else version,
     }
     try:
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    except TypeError as error:
-        message = f"cache params must be JSON-serializable: {error}"
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as error:
+        message = f"cache params must be strictly JSON-serializable: {error}"
         raise InvalidParameterError(message) from error
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def experiment_cache_key(
     experiment_id: str,
-    fast: bool,
+    fast,
     seed,
     backend: str | None,
+    params: dict | None = None,
 ) -> str:
     """The canonical cache key of one experiment run.
 
     The single key-construction path shared by ``run_experiment(cache=)``
     and the plan executor — entries written by either are served to both.
-    ``backend`` is normalized to ``None`` for experiments whose runners do
-    not accept a ``backend`` parameter: they ignore the knob, so it must
-    not split the cache into duplicate entries.
+    ``fast`` names the profile: a string (``"fast"``/``"full"``/custom)
+    or, as a compat shim for the pre-ParamSpace call shape, the legacy
+    boolean (``True`` -> ``"fast"``, ``False`` -> ``"full"``).
+
+    The key digests the *resolved* canonical parameter payload — profile
+    plus every coerced value — so equivalent override spellings
+    (``n="1e4"`` vs ``n=10000``, or an override equal to the profile's
+    own value) collapse to one cache entry, while any override that
+    changes a resolved value splits the key.  ``backend`` is normalized
+    to ``None`` for experiments whose runners do not accept a
+    ``backend`` parameter: they ignore the knob, so it must not split
+    the cache into duplicate entries.
     """
+    import inspect
+
+    from repro.experiments.base import get_spec
+    from repro.params import resolve_profile
+
+    if isinstance(fast, bool) or fast is None:
+        profile = resolve_profile(fast)
+    else:
+        profile = str(fast)
+    spec = get_spec(experiment_id)
     if backend is not None:
-        import inspect
-
-        from repro.experiments.base import get_experiment
-
-        runner = get_experiment(experiment_id)
-        if "backend" not in inspect.signature(runner).parameters:
+        if "backend" not in inspect.signature(spec.runner).parameters:
             backend = None
-    return cache_key(experiment_id, {"fast": bool(fast)}, seed, backend)
+    resolved = spec.resolve(profile, params)
+    return cache_key(experiment_id, resolved.canonical(), seed, backend)
 
 
 def pack_entry(report_payload: dict, seconds: float | None) -> dict:
@@ -161,7 +180,9 @@ class ResultCache:
         descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+                # Strict JSON: non-finite floats must already be encoded
+                # portably (see repro.experiments.base._jsonable).
+                json.dump(payload, handle, allow_nan=False)
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -186,3 +207,82 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    def _entries(self) -> list[tuple[pathlib.Path, float, int]]:
+        """``(path, mtime, size)`` of every readable entry."""
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((path, stat.st_mtime, stat.st_size))
+        return entries
+
+    def stats(self) -> dict:
+        """``{"entries": N, "bytes": total}`` of the on-disk store."""
+        entries = self._entries()
+        return {"entries": len(entries), "bytes": sum(s for _, _, s in entries)}
+
+    def prune(
+        self,
+        max_age: float | None = None,
+        max_size: int | None = None,
+        now: float | None = None,
+    ) -> dict:
+        """Evict entries by age and total size; returns eviction stats.
+
+        ``max_age`` (seconds) first drops every entry older than the
+        cutoff; ``max_size`` (bytes) then drops the *oldest* remaining
+        entries until the store fits.  Either knob may be ``None``
+        (skip that policy).  Concurrent readers are safe: eviction is
+        plain unlinking of immutable files, and a racing ``get`` of a
+        just-evicted key degrades to a miss.
+
+        Returns ``{"removed": N, "kept": M, "bytes": remaining_size}``.
+        """
+        if max_age is None and max_size is None:
+            raise InvalidParameterError("prune needs max_age and/or max_size")
+        if max_age is not None and max_age < 0:
+            raise InvalidParameterError("max_age must be >= 0")
+        if max_size is not None and max_size < 0:
+            raise InvalidParameterError("max_size must be >= 0")
+        if now is None:
+            now = time.time()
+        entries = sorted(self._entries(), key=lambda entry: entry[1])
+        removed = 0
+
+        def evict(path: pathlib.Path) -> bool:
+            nonlocal removed
+            try:
+                path.unlink()
+            except OSError:
+                return False
+            removed += 1
+            return True
+
+        kept: list[tuple[pathlib.Path, float, int]] = []
+        for path, mtime, size in entries:
+            if max_age is not None and now - mtime > max_age:
+                if not evict(path):
+                    # Unlink failed: the file is still on disk, so it
+                    # stays in the accounting (and the size pass below).
+                    kept.append((path, mtime, size))
+            else:
+                kept.append((path, mtime, size))
+        if max_size is not None:
+            total = sum(size for _, _, size in kept)
+            survivors = []
+            for path, mtime, size in kept:
+                if total > max_size and evict(path):
+                    total -= size
+                else:
+                    # Still over budget but unlink failed: the file is
+                    # still on disk, so it stays in the kept accounting.
+                    survivors.append((path, mtime, size))
+            kept = survivors
+        return {
+            "removed": removed,
+            "kept": len(kept),
+            "bytes": sum(size for _, _, size in kept),
+        }

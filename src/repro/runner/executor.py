@@ -42,7 +42,8 @@ def run_task(task: RunTask) -> tuple[dict, float]:
     start = time.perf_counter()
     report = run_experiment(
         task.experiment_id,
-        fast=task.fast,
+        profile=task.profile,
+        params=task.params_dict(),
         seed=task.seed,
         backend=task.backend,
     )
@@ -50,7 +51,9 @@ def run_task(task: RunTask) -> tuple[dict, float]:
 
 
 def _task_cache_key(task: RunTask) -> str:
-    return experiment_cache_key(task.experiment_id, task.fast, task.seed, task.backend)
+    return experiment_cache_key(
+        task.experiment_id, task.profile, task.seed, task.backend, task.params_dict()
+    )
 
 
 def execute(plan: RunPlan) -> RunReport:

@@ -10,18 +10,45 @@ cache.  Identical plans therefore produce identical reports for any
 
 Plans for the common shapes are built by :func:`replicate_plan`
 (replicates × backends of one experiment, with per-replicate seeds from
-:func:`repro.runner.seeds.task_seed`) and :func:`experiments_plan` (one
-task per registered experiment).
+:func:`repro.runner.seeds.task_seed`), :func:`experiments_plan` (one
+task per registered experiment), and :func:`grid_plan` (one task per
+point of a typed parameter grid).
 """
 
 from __future__ import annotations
 
+import itertools
+
 from dataclasses import dataclass, field
 
 from repro.engine import check_backend
+from repro.params import resolve_profile
 from repro.runner.seeds import task_seed
 from repro.utils import check_positive_int
 from repro.utils.errors import InvalidParameterError
+
+
+def _canonical_overrides(params) -> tuple:
+    """``params`` (mapping or pair-iterable) as a sorted pair tuple.
+
+    The canonical structural form of a task's parameter overrides —
+    hashable, deterministic, and independent of insertion order.  Values
+    are *not* yet coerced against the experiment's schema here (that
+    happens at resolution time, where unknown names and bad values get
+    schema-aware errors); canonicalizing the structure is what keeps
+    ``RunTask`` frozen and plans comparable.
+    """
+    if params is None:
+        return ()
+    items = params.items() if hasattr(params, "items") else params
+    try:
+        pairs = [(str(name), value) for name, value in items]
+    except (TypeError, ValueError) as error:
+        raise InvalidParameterError(
+            f"task params must be a mapping or (name, value) pairs, "
+            f"got {params!r}"
+        ) from error
+    return tuple(sorted(pairs, key=lambda pair: pair[0]))
 
 
 @dataclass(frozen=True)
@@ -32,8 +59,15 @@ class RunTask:
     ----------
     experiment_id:
         The registered id, e.g. ``"E13"``.
-    fast:
-        Reduced-size parameters (the default) or the full run.
+    profile:
+        The named parameter profile to resolve (``"fast"``, ``"full"``,
+        or any profile the experiment declares).
+    params:
+        Parameter overrides on top of the profile — accepted as a
+        mapping or pair-iterable, canonicalized to a sorted tuple of
+        ``(name, value)`` pairs so tasks stay frozen and comparable.
+        Validation against the experiment's :class:`ParamSpace` happens
+        at resolution time (cache-key construction and execution).
     seed:
         Integer seed forwarded to the experiment runner.
     backend:
@@ -44,7 +78,8 @@ class RunTask:
     """
 
     experiment_id: str
-    fast: bool = True
+    profile: str = "fast"
+    params: tuple = ()
     seed: int = 12345
     backend: str | None = None
     label: str | None = None
@@ -54,10 +89,22 @@ class RunTask:
             raise InvalidParameterError("experiment_id must be non-empty")
         if self.backend is not None:
             check_backend(self.backend)
+        object.__setattr__(self, "params", _canonical_overrides(self.params))
 
-    def params(self) -> dict:
-        """The cache-key parameter dict (everything but seed/backend)."""
-        return {"fast": bool(self.fast)}
+    @property
+    def fast(self) -> bool:
+        """Legacy view: whether the task resolves a non-``full`` profile."""
+        return self.profile != "full"
+
+    def params_dict(self) -> dict:
+        """The override pairs as a plain dict."""
+        return dict(self.params)
+
+    def params_summary(self) -> str:
+        """Compact ``name=value,...`` override rendering (``-`` if none)."""
+        if not self.params:
+            return "-"
+        return ",".join(f"{name}={value}" for name, value in self.params)
 
 
 @dataclass(frozen=True)
@@ -151,6 +198,8 @@ class RunReport:
         headers = [
             "experiment",
             "label",
+            "profile",
+            "params",
             "seed",
             "backend",
             "checks",
@@ -165,6 +214,8 @@ class RunReport:
                 [
                     task.experiment_id,
                     task.label or "-",
+                    task.profile,
+                    task.params_summary(),
                     task.seed,
                     task.backend or "-",
                     f"{sum(map(bool, checks.values()))}/{len(checks)}",
@@ -179,25 +230,32 @@ def replicate_plan(
     experiment_id: str,
     replicates: int,
     base_seed: int = 12345,
-    fast: bool = True,
+    fast: bool | None = None,
     backends=(None,),
     jobs: int = 1,
     cache_dir: str | None = None,
+    profile: str | None = None,
+    params=None,
 ) -> RunPlan:
     """A replicates × backends grid over one experiment.
 
     Replicate ``i`` gets seed ``task_seed(base_seed, i)`` on *every*
     backend, so backends are compared on identical seed streams; the grid
-    is laid out backend-major, replicate-minor.
+    is laid out backend-major, replicate-minor.  ``profile`` and
+    ``params`` select / override the experiment's declared parameters on
+    every task (``fast`` is the legacy profile selector).
     """
     check_positive_int("replicates", replicates)
+    profile = resolve_profile(fast, profile)
+    overrides = _canonical_overrides(params)
     tasks = []
     for backend in backends:
         for index in range(replicates):
             tasks.append(
                 RunTask(
                     experiment_id=experiment_id,
-                    fast=fast,
+                    profile=profile,
+                    params=overrides,
                     seed=task_seed(base_seed, index),
                     backend=backend,
                     label=f"r{index}",
@@ -208,17 +266,73 @@ def replicate_plan(
 
 def experiments_plan(
     experiment_ids,
-    fast: bool = True,
+    fast: bool | None = None,
     seed: int = 12345,
     backend: str | None = None,
     jobs: int = 1,
     cache_dir: str | None = None,
+    profile: str | None = None,
+    params=None,
 ) -> RunPlan:
     """One task per experiment id, all with the same seed and backend."""
+    profile = resolve_profile(fast, profile)
+    overrides = _canonical_overrides(params)
     tasks = tuple(
-        RunTask(experiment_id=eid, fast=fast, seed=seed, backend=backend)
+        RunTask(
+            experiment_id=eid,
+            profile=profile,
+            params=overrides,
+            seed=seed,
+            backend=backend,
+        )
         for eid in experiment_ids
     )
     if not tasks:
         raise InvalidParameterError("at least one experiment id is required")
     return RunPlan(tasks=tasks, jobs=jobs, cache_dir=cache_dir)
+
+
+def grid_plan(
+    experiment_id: str,
+    grid: dict,
+    base_params=None,
+    seed: int = 12345,
+    backend: str | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    profile: str | None = None,
+    fast: bool | None = None,
+) -> RunPlan:
+    """One task per point of the cartesian product of ``grid`` axes.
+
+    ``grid`` maps parameter names to value lists; axes iterate in
+    insertion order with the *last* axis fastest, and every point runs
+    with the same ``seed`` (sweep the ``seed`` axis explicitly for
+    replicate grids).  ``base_params`` overrides apply beneath every
+    point.  Each task is labeled with its point (``"n=10000,eps=0.02"``)
+    so grid records are self-describing.
+    """
+    profile = resolve_profile(fast, profile)
+    base = dict(_canonical_overrides(base_params))
+    axes = [(str(name), list(values)) for name, values in dict(grid).items()]
+    if not axes:
+        raise InvalidParameterError("at least one grid axis is required")
+    for name, values in axes:
+        if not values:
+            raise InvalidParameterError(f"grid axis {name!r} has no values")
+    tasks = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        point = {name: value for (name, _), value in zip(axes, combo)}
+        tasks.append(
+            RunTask(
+                experiment_id=experiment_id,
+                profile=profile,
+                params={**base, **point},
+                seed=seed,
+                backend=backend,
+                label=",".join(
+                    f"{name}={value}" for name, value in point.items()
+                ),
+            )
+        )
+    return RunPlan(tasks=tuple(tasks), jobs=jobs, cache_dir=cache_dir)

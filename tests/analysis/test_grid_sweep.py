@@ -1,0 +1,68 @@
+"""grid_sweep: typed experiment grids through the run orchestrator."""
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import grid_sweep
+from repro.utils import InvalidParameterError
+
+
+def canonical(records) -> str:
+    return json.dumps(records, sort_keys=True)
+
+
+class TestGridSweep:
+    def test_records_carry_point_and_report(self):
+        sweep = grid_sweep("E1", {"k": [3, 4]})
+        assert sweep.parameter_names == ("k",)
+        assert [record["k"] for record in sweep.records] == [3, 4]
+        for record in sweep.records:
+            assert record["all_checks_pass"]
+            assert record["report"]["experiment_id"] == "E1"
+        assert [len(record["report"]["rows"])
+                for record in sweep.records] == [3, 4]
+
+    def test_cartesian_product_last_axis_fastest(self):
+        sweep = grid_sweep("E2", {"a": [0.25, 0.3], "m": [3, 4]})
+        points = [(record["a"], record["m"]) for record in sweep.records]
+        assert points == [(0.25, 3), (0.25, 4), (0.3, 3), (0.3, 4)]
+
+    def test_values_coerced_against_schema(self):
+        sweep = grid_sweep("E1", {"k": ["3", 4.0]})
+        assert [record["k"] for record in sweep.records] == [3, 4]
+
+    def test_records_identical_across_jobs(self):
+        results = {}
+        for jobs in (1, 4):
+            sweep = grid_sweep("E2", {"a": [0.25, 0.3], "m": [3, 4]},
+                               jobs=jobs)
+            assert len(sweep.records) == 4
+            results[jobs] = sweep.records
+        assert canonical(results[1]) == canonical(results[4])
+
+    def test_cache_shared_with_single_runs(self, tmp_path):
+        from repro.experiments import run_experiment
+
+        direct = run_experiment("E1", params={"k": 3},
+                                cache=str(tmp_path))
+        sweep = grid_sweep("E1", {"k": [3]}, cache_dir=str(tmp_path))
+        assert sweep.records[0]["report"] == direct.to_dict()
+
+    def test_base_params_apply_beneath_every_point(self):
+        sweep = grid_sweep("E2", {"a": [0.25, 0.3]}, params={"m": 4})
+        for record in sweep.records:
+            # m=4, k=3 -> C(6, 2) = 15 state rows.
+            assert len(record["report"]["rows"]) == 15
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(InvalidParameterError, match="valid parameters"):
+            grid_sweep("E1", {"zz": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(InvalidParameterError, match="no values"):
+            grid_sweep("E1", {"k": []})
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown experiment"):
+            grid_sweep("E404", {"k": [2]})

@@ -95,6 +95,32 @@ class TestExperimentCacheKey:
         assert experiment_cache_key("E1", False, 7, None) != base
         assert experiment_cache_key("E1", True, 8, None) != base
 
+    def test_bool_shim_matches_profile_names(self):
+        fast_key = experiment_cache_key("E1", "fast", 7, None)
+        full_key = experiment_cache_key("E1", "full", 7, None)
+        assert experiment_cache_key("E1", True, 7, None) == fast_key
+        assert experiment_cache_key("E1", False, 7, None) == full_key
+
+    def test_equivalent_param_spellings_share_a_key(self):
+        # n=1e4 (string), n=10000.0 (float) and n=10000 (int) all resolve
+        # to the same canonical payload -> one cache entry.
+        base = experiment_cache_key("E4", "fast", 7, None, {"n": 10_000})
+        assert experiment_cache_key("E4", "fast", 7, None, {"n": "1e4"}) == base
+        assert experiment_cache_key("E4", "fast", 7, None, {"n": 10_000.0}) == base
+
+    def test_default_equal_override_shares_the_bare_key(self):
+        bare = experiment_cache_key("E1", "fast", 7, None)
+        spelled = experiment_cache_key("E1", "fast", 7, None, {"k": 6})
+        assert bare == spelled  # k=6 is E1's declared default
+
+    def test_changed_param_splits_the_key(self):
+        bare = experiment_cache_key("E1", "fast", 7, None)
+        assert experiment_cache_key("E1", "fast", 7, None, {"k": 4}) != bare
+
+    def test_unknown_param_rejected_with_schema(self):
+        with pytest.raises(InvalidParameterError, match="valid parameters"):
+            experiment_cache_key("E1", "fast", 7, None, {"zz": 1})
+
 
 class TestCodeVersion:
     def test_stable_within_process(self):
@@ -142,3 +168,66 @@ class TestResultCache:
         assert leftovers == []
         stored = json.loads((tmp_path / key[:2] / f"{key}.json").read_text())
         assert stored["payload"][:3] == [0, 1, 2]
+
+    def test_put_rejects_non_strict_json(self, tmp_path):
+        # Raw NaN payloads must be encoded portably upstream; the store
+        # refuses to write non-strict JSON rather than emit NaN literals.
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.put(key_with(), {"x": float("nan")})
+
+
+class TestPrune:
+    def seed_entries(self, tmp_path, ages):
+        """One entry per age (seconds before 'now'); returns the cache."""
+        import os
+
+        cache = ResultCache(tmp_path)
+        now = 1_000_000_000.0
+        for index, age in enumerate(ages):
+            key = key_with(seed=index)
+            cache.put(key, {"payload": "x" * 100, "index": index})
+            path = tmp_path / key[:2] / f"{key}.json"
+            os.utime(path, (now - age, now - age))
+        return cache, now
+
+    def test_max_age_evicts_old_entries(self, tmp_path):
+        cache, now = self.seed_entries(tmp_path, [10, 5000, 10_000])
+        stats = cache.prune(max_age=3600, now=now)
+        assert stats["removed"] == 2
+        assert stats["kept"] == 1
+        assert len(cache) == 1
+
+    def test_max_size_evicts_oldest_first(self, tmp_path):
+        cache, now = self.seed_entries(tmp_path, [30, 20, 10])
+        sizes = [size for _, _, size in cache._entries()]
+        stats = cache.prune(max_size=sizes[0] * 2, now=now)
+        assert stats["removed"] == 1
+        assert len(cache) == 2
+        # The newest two survive: their payload indices are 1 and 2.
+        kept = []
+        for path in tmp_path.glob("*/*.json"):
+            kept.append(json.loads(path.read_text())["index"])
+        assert sorted(kept) == [1, 2]
+
+    def test_combined_policies(self, tmp_path):
+        cache, now = self.seed_entries(tmp_path, [10, 20, 99_999])
+        stats = cache.prune(max_age=3600, max_size=0, now=now)
+        assert stats["removed"] == 3
+        assert stats["bytes"] == 0
+
+    def test_prune_without_policy_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="max_age"):
+            ResultCache(tmp_path).prune()
+
+    def test_negative_knobs_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            ResultCache(tmp_path).prune(max_age=-1)
+        with pytest.raises(InvalidParameterError):
+            ResultCache(tmp_path).prune(max_size=-1)
+
+    def test_stats_reports_entries_and_bytes(self, tmp_path):
+        cache, _ = self.seed_entries(tmp_path, [10, 20])
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0

@@ -1,8 +1,10 @@
-"""The sweep / run-all CLI commands and their orchestration knobs."""
+"""The CLI commands: run/sweep orchestration, params, cache, error paths."""
+
+import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import main, parse_age, parse_size
 from repro.experiments.base import _REGISTRY, ExperimentReport, register
 from repro.utils import InvalidParameterError
 
@@ -59,9 +61,9 @@ class TestSweepCommand:
         assert main(["sweep", failing_experiment, "--replicates", "2"]) == 1
         assert "[0/2] never true" in capsys.readouterr().out
 
-    def test_sweep_unknown_experiment_fails_fast(self):
-        with pytest.raises(InvalidParameterError, match="unknown"):
-            main(["sweep", "E404"])
+    def test_sweep_unknown_experiment_exits_2(self, capsys):
+        assert main(["sweep", "E404"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
 
 class TestRunCommand:
@@ -75,6 +77,195 @@ class TestRunCommand:
     def test_run_failing_experiment_exits_nonzero(self, failing_experiment):
         assert main(["run", failing_experiment]) == 1
 
-    def test_run_unknown_experiment_fails_fast(self):
-        with pytest.raises(InvalidParameterError, match="unknown"):
-            main(["run", "E404"])
+    def test_run_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "E404"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "E1" in err  # the message lists the known ids
+
+    def test_run_with_set_override(self, capsys):
+        assert main(["run", "E1", "--set", "k=4"]) == 0
+        out = capsys.readouterr().out
+        assert "g_4" in out
+        assert "g_5" not in out
+
+    def test_run_with_profile_flag(self, capsys):
+        assert main(["run", "E1", "--profile", "full"]) == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+
+class TestCliErrorPaths:
+    """Bad user input exits 2 with a schema-aware message on stderr."""
+
+    def test_bad_set_key_lists_valid_params(self, capsys):
+        assert main(["run", "E1", "--set", "zz=3"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown parameter 'zz'" in err
+        assert "valid parameters: k, g_max" in err
+
+    def test_bad_set_value_names_the_constraint(self, capsys):
+        assert main(["run", "E1", "--set", "k=one"]) == 2
+        assert "expects int" in capsys.readouterr().err
+
+    def test_out_of_range_set_value(self, capsys):
+        assert main(["run", "E1", "--set", "k=1"]) == 2
+        assert ">= 2" in capsys.readouterr().err
+
+    def test_malformed_set_pair(self, capsys):
+        assert main(["run", "E1", "--set", "k"]) == 2
+        assert "name=value" in capsys.readouterr().err
+
+    def test_malformed_grid_axis(self, capsys):
+        assert main(["sweep", "E1", "--grid", "k=2:4"]) == 2
+        assert "start:stop:count" in capsys.readouterr().err
+
+    def test_grid_unknown_param_lists_schema(self, capsys):
+        assert main(["sweep", "E2", "--grid", "zz=1,2"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown parameter 'zz'" in err
+        assert "valid parameters: k, a, b, m" in err
+
+    def test_set_with_multiple_experiments_rejected(self, capsys):
+        assert main(["run", "all", "--set", "k=4"]) == 2
+        assert "single experiment" in capsys.readouterr().err
+
+
+class TestGridSweepCommand:
+    def test_grid_sweep_runs_cartesian_product(self, capsys):
+        code = main(["sweep", "E2", "--grid", "a=0.25,0.3", "--grid", "m=3,4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 point(s)" in out
+        assert "a=0.25,m=3" in out
+        assert "a=0.3,m=4" in out
+
+    def test_grid_sweep_range_axis(self, capsys):
+        code = main(["sweep", "E1", "--grid", "k=3:5:3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "k=3" in out and "k=4" in out and "k=5" in out
+
+    def test_grid_sweep_with_cache_hits(self, capsys, tmp_path):
+        arguments = ["sweep", "E1", "--grid", "k=3,4", "--cache", str(tmp_path)]
+        assert main(arguments) == 0
+        assert "cache hits: 0/2" in capsys.readouterr().out
+        assert main(arguments) == 0
+        assert "cache hits: 2/2" in capsys.readouterr().out
+
+    def test_grid_sweep_equivalent_spellings_hit_cache(self, capsys, tmp_path):
+        assert main(["sweep", "E1", "--grid", "k=3,4", "--cache", str(tmp_path)]) == 0
+        capsys.readouterr()
+        # 3e0 spells 3: resolves to the same canonical point -> cache hit.
+        spelled = ["sweep", "E1", "--grid", "k=3e0,4", "--cache", str(tmp_path)]
+        assert main(spelled) == 0
+        assert "cache hits: 2/2" in capsys.readouterr().out
+
+    def test_grid_sweep_multi_backend_rejected(self, capsys):
+        arguments = ["sweep", "E4", "--grid", "n=100,200", "--backends", "count,agent"]
+        assert main(arguments) == 2
+        assert "single --backends" in capsys.readouterr().err
+
+
+class TestParamsCommand:
+    def test_params_prints_schema_table(self, capsys):
+        assert main(["params", "E4"]) == 0
+        out = capsys.readouterr().out
+        assert "n" in out and "eps" in out
+        assert "200000" in out      # fast default
+        assert "1000000" in out     # full profile override
+
+    def test_params_lowercase_id(self, capsys):
+        assert main(["params", "e4"]) == 0
+        assert "eps" in capsys.readouterr().out
+
+    def test_params_json_round_trips(self, capsys):
+        from repro.params import ParamSpace
+
+        assert main(["params", "E4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rebuilt = ParamSpace.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_params_unknown_experiment_exits_2(self, capsys):
+        assert main(["params", "E404"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def fill_cache(self, tmp_path) -> str:
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "E1", "--cache", cache_dir]) == 0
+        assert main(["run", "E2", "--cache", cache_dir]) == 0
+        return cache_dir
+
+    def test_info_reports_entries(self, capsys, tmp_path):
+        cache_dir = self.fill_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache", cache_dir]) == 0
+        assert "2 entries" in capsys.readouterr().out
+
+    def test_prune_by_size_evicts_everything_at_zero(self, capsys, tmp_path):
+        cache_dir = self.fill_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache", cache_dir, "--max-size", "0"]) == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+
+    def test_prune_by_age_keeps_fresh_entries(self, capsys, tmp_path):
+        cache_dir = self.fill_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache", cache_dir, "--max-age", "7d"]) == 0
+        assert "evicted 0 entries, kept 2" in capsys.readouterr().out
+
+    def test_prune_without_policy_exits_2(self, capsys, tmp_path):
+        assert main(["cache", "prune", "--cache", str(tmp_path)]) == 2
+        assert "--max-age" in capsys.readouterr().err
+
+    def test_prune_malformed_age_exits_2(self, capsys, tmp_path):
+        arguments = ["cache", "prune", "--cache", str(tmp_path), "--max-age", "soon"]
+        assert main(arguments) == 2
+        assert "malformed age" in capsys.readouterr().err
+
+
+class TestHumanUnits:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("3600", 3600.0),
+            ("90s", 90.0),
+            ("5m", 300.0),
+            ("12h", 43200.0),
+            ("7d", 604800.0),
+            ("1w", 604800.0),
+        ],
+    )
+    def test_parse_age(self, spec, expected):
+        assert parse_age(spec) == expected
+
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("4096", 4096),
+            ("2k", 2048),
+            ("100M", 100 * 1024**2),
+            ("1G", 1024**3),
+        ],
+    )
+    def test_parse_size(self, spec, expected):
+        assert parse_size(spec) == expected
+
+    @pytest.mark.parametrize(
+        "parse,bad",
+        [
+            (parse_age, "soon"),
+            (parse_age, "-5"),
+            (parse_age, "nan"),
+            (parse_age, "inf"),
+            (parse_size, "big"),
+            (parse_size, "-1"),
+            (parse_size, "nan"),
+            (parse_size, "inf"),
+        ],
+    )
+    def test_malformed_rejected(self, parse, bad):
+        with pytest.raises(InvalidParameterError):
+            parse(bad)
