@@ -1,16 +1,17 @@
-"""Gate count-backend throughput against a committed benchmark baseline.
+"""Gate engine throughput against a committed benchmark baseline.
 
 Compares a freshly generated ``BENCH_engine.json`` (typically from
 ``benchmarks/bench_engine.py --smoke`` in CI) against the baseline file
 committed at the repo root.  Cases are matched on
-``(workload, backend, n)`` and only ``backend == "count"`` entries are
-gated — they carry the engine's performance claims; seed-loop and
-per-step entries are baselines by construction, and agent-loop timing is
-too host-sensitive for a hard gate.  A case fails when its throughput
-drops below ``baseline / factor``; the default factor 2 absorbs the gap
-between CI runners and the machine that committed the baseline while
-still catching real regressions (the batching work this guards delivered
-5x-100x).
+``(workload, backend, n)`` and the ``"count"`` and ``"agent"`` entries
+are gated — they carry the engine's performance claims across every
+workload (including the ``igt-observed`` and ``igt-action`` count
+cases); seed-loop, ``agent-seq``, and per-step entries are baselines by
+construction, and ``auto`` rows duplicate whichever gated case the
+dispatcher resolved to.  A case fails when its throughput drops below
+``baseline / factor``; the default factor 2 absorbs the gap between CI
+runners and the machine that committed the baseline while still
+catching real regressions (the work this guards delivered 5x-600x).
 
 Usage::
 
@@ -27,7 +28,7 @@ import json
 import pathlib
 import sys
 
-GATED_BACKENDS = ("count",)
+GATED_BACKENDS = ("agent", "count")
 
 
 def load_cases(path: pathlib.Path) -> dict:
@@ -73,7 +74,7 @@ def main(argv=None) -> int:
             f"{current[key]:>12,}/s  {verdict}"
         )
     if compared == 0:
-        print("no comparable count-backend cases; the gate would be vacuous")
+        print("no comparable gated cases; the gate would be vacuous")
         return 1
     if regressions:
         print(f"{regressions}/{compared} gated case(s) regressed")

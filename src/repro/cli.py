@@ -164,17 +164,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="experiment id (E1..E16) or 'all'")
     _add_orchestration_arguments(run_parser)
     run_parser.add_argument(
-        "--backend", choices=["agent", "count"], default=None,
+        "--backend", choices=["agent", "count", "auto"], default=None,
         help=("simulation engine for population experiments: per-agent "
-              "('agent') or exact count-level ('count'); experiments that "
-              "do not simulate populations ignore it"))
+              "('agent'), exact count-level ('count'), or 'auto' to "
+              "dispatch on the measured crossover in BENCH_engine.json; "
+              "experiments that do not simulate populations ignore it"))
 
     runall_parser = subparsers.add_parser(
         "run-all",
         help="run every experiment, optionally across worker processes")
     _add_orchestration_arguments(runall_parser)
     runall_parser.add_argument(
-        "--backend", choices=["agent", "count"], default=None,
+        "--backend", choices=["agent", "count", "auto"], default=None,
         help="simulation engine for population experiments")
 
     sweep_parser = subparsers.add_parser(
@@ -191,6 +192,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backends", default=None, metavar="B1,B2",
         help=("comma-separated engine grid, e.g. 'count,agent' or "
               "'default' for the experiment's own choice (the default)"))
+    sweep_parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help=("dump one strict-JSON record per task to FILE (JSON "
+              "Lines): the task coordinates, timing, cache status, and "
+              "the full report — the offline-analysis feed"))
     sweep_parser.add_argument(
         "--grid", action="append", default=None, metavar="NAME=SPEC",
         help=("sweep a declared parameter over a value grid "
@@ -219,9 +225,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--seed", type=int, default=0,
                             help="random seed (default 0)")
     sim_parser.add_argument(
-        "--backend", choices=["agent", "count"], default="agent",
+        "--backend", choices=["agent", "count", "auto"], default="agent",
         help=("simulation engine: 'agent' tracks every agent, 'count' "
-              "simulates the exact count chain (much faster at large n)"))
+              "simulates the exact count chain (much faster at large n), "
+              "'auto' dispatches on the measured crossover"))
     return parser
 
 
@@ -310,6 +317,38 @@ def _print_pass_rates(report, cache_dir) -> None:
         print(f"cache hits: {report.cache_hits}/{len(report.results)}")
 
 
+def _dump_records(report, path) -> int:
+    """Write one strict-JSON record per task result to ``path`` (JSONL).
+
+    Each line carries the task coordinates, timing, cache status, and the
+    full report wire form — the same payload the cache stores, so offline
+    consumers see exactly what a re-run would.  Returns the record count.
+    """
+    import json
+    import pathlib
+
+    from repro.experiments.base import _jsonable
+
+    lines = []
+    for result in report.results:
+        task = result.task
+        record = {
+            "experiment": task.experiment_id,
+            "label": task.label,
+            "profile": task.profile,
+            "params": {name: _jsonable(value)
+                       for name, value in task.params},
+            "seed": task.seed,
+            "backend": task.backend,
+            "seconds": result.seconds,
+            "from_cache": result.from_cache,
+            "report": result.report.to_dict(),
+        }
+        lines.append(json.dumps(record, sort_keys=True, allow_nan=False))
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
 def _run_sweep(args) -> int:
     from repro.analysis.tables import format_table
     from repro.runner import execute, grid_plan, replicate_plan
@@ -331,7 +370,7 @@ def _run_sweep(args) -> int:
                     "backends via replicate mode instead")
             if names and names[0] not in ("", "default"):
                 from repro.engine import check_backend
-                backend = check_backend(names[0])
+                backend = check_backend(names[0], allow_auto=True)
         plan = grid_plan(spec.experiment_id, grid, base_params=overrides,
                          seed=args.seed, backend=backend, jobs=args.jobs,
                          cache_dir=args.cache, profile=profile)
@@ -343,6 +382,9 @@ def _run_sweep(args) -> int:
               f"point(s), profile={profile}, jobs={args.jobs}")
         print(format_table(headers, rows))
         print()
+        if args.output is not None:
+            written = _dump_records(report, args.output)
+            print(f"wrote {written} record(s) to {args.output}")
         _print_pass_rates(report, args.cache)
         return 0 if report.all_checks_pass else 1
 
@@ -351,7 +393,8 @@ def _run_sweep(args) -> int:
         from repro.engine import check_backend
         names = [name.strip() for name in args.backends.split(",")]
         backends = tuple(None if name in ("default", "")
-                         else check_backend(name) for name in names)
+                         else check_backend(name, allow_auto=True)
+                         for name in names)
     plan = replicate_plan(spec.experiment_id, replicates=args.replicates,
                           base_seed=args.seed, profile=profile,
                           params=overrides, backends=backends,
@@ -362,6 +405,9 @@ def _run_sweep(args) -> int:
           f"{len(backends)} backend(s), profile={profile}, jobs={args.jobs}")
     print(format_table(headers, rows))
     print()
+    if args.output is not None:
+        written = _dump_records(report, args.output)
+        print(f"wrote {written} record(s) to {args.output}")
     _print_pass_rates(report, args.cache)
     return 0 if report.all_checks_pass else 1
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine import AgentBackend, CountBackend, check_backend, \
+    resolve_backend, \
     matrix_game_model
 from repro.games.base import MatrixGame
 from repro.games.nash import symmetric_de_gap
@@ -72,7 +73,8 @@ class PopulationGameSimulation:
         ``"agent"`` (default) tracks every agent's strategy; ``"count"``
         tracks only the strategy-count vector — distribution-identical and
         far faster at large ``n``, but ``strategies`` and ``step()`` are
-        unavailable.
+        unavailable.  ``"auto"`` dispatches between them from ``n``
+        (:func:`repro.engine.resolve_backend`).
     """
 
     def __init__(self, game: MatrixGame, n: int, rule: str = "imitation",
@@ -92,7 +94,8 @@ class PopulationGameSimulation:
         if eta <= 0:
             raise InvalidParameterError(f"eta must be positive, got {eta!r}")
         self.eta = float(eta)
-        self.backend = check_backend(backend)
+        check_backend(backend, allow_auto=True)
+        self.backend = backend = resolve_backend(backend, n=self.n)
         self._rng = as_generator(seed)
         n_strategies = self.payoffs.shape[0]
         if initial_strategies is None:

@@ -38,7 +38,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.igt import AgentType, GenerosityGrid, IGTRule
-from repro.engine import AgentBackend, CountBackend, check_backend, igt_model
+from repro.engine import (
+    AgentBackend,
+    CountBackend,
+    check_backend,
+    igt_action_model,
+    igt_model,
+    resolve_backend,
+)
 from repro.games.repeated import RepeatedGameEngine
 from repro.games.strategies import (
     MemoryOneStrategy,
@@ -143,10 +150,16 @@ class IGTSimulation:
     backend:
         ``"agent"`` (default) tracks every agent's state;  ``"count"``
         tracks only the count vector over ``{g_1..g_k, AC, AD}`` —
-        distribution-identical and far faster at large ``n``, but per-agent
-        observables (``indices``, ``step``, payoffs, ``mode="action"``) are
-        unavailable and the per-agent arrays (``types``, ``total_payoffs``,
-        ``interactions_played``) are ``None``.
+        distribution-identical and far faster at large ``n``.  Per-agent
+        observables (``indices``, ``step``, per-agent payoffs) are
+        unavailable there and the per-agent arrays (``types``,
+        ``total_payoffs``, ``interactions_played``) are ``None``, but
+        ``mode="action"`` and payoff accounting now run count-level too:
+        the action rule becomes an exact per-pair classification law
+        (:func:`repro.engine.igt_action_model`) and payoffs are
+        accumulated per type pair (:meth:`mean_payoff_by_type`).
+        ``"auto"`` dispatches between the engines from ``(n, mode)`` via
+        :func:`repro.engine.resolve_backend`.
     """
 
     def __init__(self, n: int, shares: PopulationShares, grid: GenerosityGrid,
@@ -162,7 +175,9 @@ class IGTSimulation:
         self.mode = mode
         self.rule = IGTRule(grid, strict=(mode == "strict"))
         self.setting = setting
-        self.backend = check_backend(backend)
+        check_backend(backend, allow_auto=True)
+        self.backend = backend = resolve_backend(backend, n=self.n,
+                                                 mode=mode)
         self.observation_noise = check_fraction("observation_noise",
                                                 observation_noise)
         if self.observation_noise > 0 and mode != "strategy":
@@ -171,10 +186,6 @@ class IGTSimulation:
                 "(mode='action' derives its own noise from game play, and "
                 "the strict rule's three-way classification makes a flipped "
                 "binary reading ambiguous)")
-        if backend == "count" and (mode == "action" or track_payoffs):
-            raise InvalidParameterError(
-                "mode='action' and payoff tracking need per-agent state; "
-                "use backend='agent'")
         self._rng = as_generator(seed)
 
         n_ac, n_ad, n_gtft = shares.agent_counts(n)
@@ -221,25 +232,6 @@ class IGTSimulation:
         counts_full[k] = n_ac
         counts_full[k + 1] = n_ad
 
-        self._model = None
-        if mode != "action":
-            self._model = igt_model(k, mode=mode,
-                                    observation_noise=self.observation_noise)
-        self._engine = None
-        if backend == "count":
-            self._agent_states = None
-            self._engine = CountBackend(self._model, counts_full,
-                                        seed=self._rng)
-            self._counts_full = self._engine.counts_live
-        else:
-            states = np.empty(n, dtype=np.int64)
-            states[:n_ac] = k
-            states[n_ac:n_ac + n_ad] = k + 1
-            states[self._gtft_slice] = gtft_start
-            self._agent_states = states
-            self._counts_full = counts_full
-        self._counts = self._counts_full[:k]
-
         self.track_payoffs = bool(track_payoffs)
         self.total_payoffs = np.zeros(n) if backend == "agent" else None
         self.interactions_played = (np.zeros(n, dtype=np.int64)
@@ -254,10 +246,45 @@ class IGTSimulation:
             if self.track_payoffs:
                 from repro.core.equilibrium import payoff_table
                 self._payoff_matrix = payoff_table(grid, setting)
-            if mode == "action":
+            if mode == "action" and backend == "agent":
                 self._game_engine = RepeatedGameEngine(setting.game,
                                                        setting.delta)
+
+        self._model = None
+        if mode != "action":
+            self._model = igt_model(k, mode=mode,
+                                    observation_noise=self.observation_noise)
+        elif backend == "count":
+            # Count-level action mode: the exact per-pair classification
+            # law replaces Monte-Carlo game play (same distribution).
+            self._model = igt_action_model(grid, setting)
+        self._engine = None
+        if backend == "count":
+            self._agent_states = None
+            self._engine = CountBackend(self._model, counts_full,
+                                        seed=self._rng,
+                                        track_pair_counts=self.track_payoffs)
+            self._counts_full = self._engine.counts_live
+        else:
+            states = np.empty(n, dtype=np.int64)
+            states[:n_ac] = k
+            states[n_ac:n_ac + n_ad] = k + 1
+            states[self._gtft_slice] = gtft_start
+            self._agent_states = states
+            self._counts_full = counts_full
+        self._counts = self._counts_full[:k]
         self.steps_run = 0
+
+    @property
+    def _step_loop_required(self) -> bool:
+        """Whether runs must go through the per-step Python loop.
+
+        Only the agent backend's Monte-Carlo game play and per-agent
+        payoff bookkeeping need it; the count backend folds both into
+        its engine (exact classification law + pair-count accounting).
+        """
+        return self.backend == "agent" and (self.mode == "action"
+                                            or self.track_payoffs)
 
     def _ensure_engine(self) -> AgentBackend:
         """The lazily built agent engine (shares states, counts, and rng)."""
@@ -393,7 +420,7 @@ class IGTSimulation:
         trajectories under a shared seed are not bitwise identical.
         """
         steps = check_positive_int("steps", steps, minimum=0)
-        if self.mode == "action" or self.track_payoffs:
+        if self._step_loop_required:
             # Sequential loop: per-step game play / payoff bookkeeping.
             recorded = None
             row = 1
@@ -439,7 +466,7 @@ class IGTSimulation:
         else:
             check_stop_every = check_positive_int("check_stop_every",
                                                   check_stop_every)
-        if self.mode == "action" or self.track_payoffs:
+        if self._step_loop_required:
             for s in range(steps):
                 self.step()
                 if (s + 1) % check_stop_every == 0 \
@@ -463,6 +490,69 @@ class IGTSimulation:
                              self.total_payoffs / np.maximum(self.interactions_played, 1),
                              0.0)
         return means
+
+    def pair_counts(self) -> np.ndarray:
+        """Executed interactions per ordered engine-state pair (count backend).
+
+        The ``(k+2, k+2)`` matrix the count backend accumulates when
+        payoffs are tracked; the payoff observables below are linear
+        functionals of it.
+        """
+        if self.backend != "count" or self._engine is None:
+            raise InvalidParameterError(
+                "pair counts are a count-backend observable; use "
+                "backend='count' with track_payoffs=True")
+        return self._engine.pair_counts
+
+    def mean_payoff_by_type(self) -> dict:
+        """Mean payoff per played interaction for each agent *type*.
+
+        The backend-independent payoff observable: a dict over ``"GTFT"``
+        / ``"AC"`` / ``"AD"``.  On the agent backend it aggregates the
+        per-agent accumulators; on the count backend it contracts the
+        per-type-pair interaction counts against the exact expected
+        payoff table — in ``mode="action"`` only interactions initiated
+        by a GTFT agent count (only those play a game), matching the
+        agent backend's accounting.  Types that played no interaction
+        report ``0.0``.
+        """
+        if not self.track_payoffs:
+            raise InvalidParameterError(
+                "payoff observables need track_payoffs=True")
+        k = self.grid.k
+        if self.backend == "agent":
+            totals = np.zeros(3)
+            plays = np.zeros(3)
+            for slot, agent_type in enumerate(
+                    (AgentType.GTFT, AgentType.AC, AgentType.AD)):
+                mask = self.types == agent_type
+                totals[slot] = self.total_payoffs[mask].sum()
+                plays[slot] = self.interactions_played[mask].sum()
+        else:
+            pair_counts = self._engine.pair_counts.astype(float)
+            payoffs = self._payoff_matrix
+            state_totals = np.zeros(k + 2)
+            state_plays = np.zeros(k + 2)
+            if self.mode == "action":
+                # Games are played only when the initiator is GTFT.
+                initiated = pair_counts[:k]
+                state_totals[:k] += (initiated * payoffs[:k]).sum(axis=1)
+                state_totals += (initiated * payoffs[:, :k].T).sum(axis=0)
+                state_plays[:k] += initiated.sum(axis=1)
+                state_plays += initiated.sum(axis=0)
+            else:
+                state_totals += (pair_counts * payoffs).sum(axis=1)
+                state_totals += (pair_counts * payoffs.T).sum(axis=0)
+                state_plays += pair_counts.sum(axis=1)
+                state_plays += pair_counts.sum(axis=0)
+            totals = np.array([state_totals[:k].sum(), state_totals[k],
+                               state_totals[k + 1]])
+            plays = np.array([state_plays[:k].sum(), state_plays[k],
+                              state_plays[k + 1]])
+        means = np.divide(totals, plays, out=np.zeros(3),
+                          where=plays > 0)
+        return {"GTFT": float(means[0]), "AC": float(means[1]),
+                "AD": float(means[2])}
 
     # ------------------------------------------------------------------
     # Ehrenfest embedding (Section 2.2.1)

@@ -6,48 +6,70 @@ The architecture is: *models* declare what a pairwise interaction does
 uniform-scheduler process:
 
 * :class:`AgentBackend` — per-agent sequential semantics, bit-for-bit
-  reproducible against the seed simulator for deterministic models;
+  reproducible against the seed simulator for deterministic models; table
+  models run on the chunked vectorized kernel by default
+  (:mod:`repro.engine.vectorized`, identical trajectories, ~5-8x the
+  sequential loops; ``vectorized=False`` opts out);
 * :class:`CountBackend` — exact count-level simulation (the Section 2.2.1
-  Markov-on-counts view), distribution-identical and ``Θ(√n)``-batched for
-  populations up to ``n = 10^7`` and beyond.
+  Markov-on-counts view): ``Θ(√n)``-batched birthday runs at large ``n``,
+  and an array-proxy kernel below :data:`~repro.engine.count.PROXY_MAX_N`
+  so small populations no longer pay the per-batch fixed costs.  With
+  ``track_pair_counts=True`` it accumulates per-type-pair interaction
+  counts — the count-level route to payoff observables and
+  ``mode="action"`` experiments.
 
-Rule of thumb: use ``backend="agent"`` when per-agent trajectories matter
-or ``n`` is small; use ``backend="count"`` for large-population mixing and
-convergence studies.
+``backend="auto"`` (resolved by :mod:`repro.engine.dispatch` against the
+measured crossovers in ``BENCH_engine.json``) picks between them from
+``(n, mode, observables)``; pass a concrete name to pin the engine.
 """
 
-from repro.engine.adapters import igt_model, matrix_game_model, protocol_model
+from repro.engine.adapters import (
+    igt_action_model,
+    igt_model,
+    matrix_game_model,
+    protocol_model,
+)
 from repro.engine.agent import AgentBackend
 from repro.engine.base import (
+    BACKEND_CHOICES,
     BACKENDS,
     EngineResult,
     SimulationEngine,
     check_backend,
 )
 from repro.engine.count import CountBackend
+from repro.engine.dispatch import choose_backend, resolve_backend
 from repro.engine.sampling import UniformPairSampler, ordered_pair_block
 from repro.engine.model import (
     ImitationModel,
     InteractionModel,
     LogitResponseModel,
     MixtureTableModel,
+    PairMixtureTableModel,
     TableModel,
 )
+from repro.engine.vectorized import ConflictFreeKernel
 
 __all__ = [
     "BACKENDS",
+    "BACKEND_CHOICES",
     "check_backend",
+    "choose_backend",
+    "resolve_backend",
     "SimulationEngine",
     "EngineResult",
     "AgentBackend",
     "CountBackend",
+    "ConflictFreeKernel",
     "InteractionModel",
     "TableModel",
     "MixtureTableModel",
+    "PairMixtureTableModel",
     "LogitResponseModel",
     "ImitationModel",
     "protocol_model",
     "igt_model",
+    "igt_action_model",
     "matrix_game_model",
     "ordered_pair_block",
     "UniformPairSampler",

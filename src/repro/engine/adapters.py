@@ -10,6 +10,12 @@ through these factories, and either backend executes it.
   population, over the ``k + 2`` states ``{g_1..g_k, AC, AD}`` (GTFT
   agents carry their grid index; AC/AD agents are inert).  Supports the
   strict variant and the observation-noise extension.
+* :func:`igt_action_model` — the *action-observed* k-IGT variant
+  (Remark, Section 2.2) as a count-level law: the probability that the
+  initiator classifies its partner as AD (the partner defected in every
+  round of the repeated game) is computed exactly per strategy pair, so
+  the count chain matches agent-level Monte-Carlo play in distribution
+  without playing a single game.
 * :func:`matrix_game_model` — the population game-dynamics rules of
   :mod:`repro.core.general_games` (imitation / best response / logit).
 """
@@ -23,6 +29,7 @@ from repro.engine.model import (
     InteractionModel,
     LogitResponseModel,
     MixtureTableModel,
+    PairMixtureTableModel,
     TableModel,
 )
 from repro.utils import check_probability
@@ -94,6 +101,60 @@ def igt_model(k: int, mode: str = "strategy",
     flipped = _igt_table(k, strict=False, flipped=True)
     return MixtureTableModel([base, flipped],
                              [1.0 - observation_noise, observation_noise])
+
+
+def igt_action_model(grid, setting) -> PairMixtureTableModel:
+    """Count-level model of the action-observed k-IGT rule.
+
+    In ``mode="action"`` a GTFT initiator plays a real δ-repeated game
+    and decrements iff its partner defected in every round.  That
+    classification is Bernoulli with a probability depending only on the
+    two players' *strategies* — computed exactly per state pair by
+    :func:`repro.games.repeated.always_defect_probability` — so the
+    count-level law is a :class:`PairMixtureTableModel`: the decrement
+    table with probability ``p_AD(u, v)``, the increment table otherwise.
+    Distribution-identical to agent-level Monte-Carlo play, no game
+    transcripts required.
+
+    Parameters
+    ----------
+    grid:
+        The :class:`~repro.core.igt.GenerosityGrid` (``k`` GTFT states).
+    setting:
+        The :class:`~repro.core.equilibrium.RDSetting` providing the
+        donation game, continuation probability ``δ``, and GTFT round-1
+        cooperation probability ``s1``.
+    """
+    from repro.games.repeated import always_defect_probability
+    from repro.games.strategies import (
+        always_cooperate,
+        always_defect,
+        generous_tit_for_tat,
+    )
+
+    k = grid.k
+    s = k + 2
+    ids_u = np.arange(s)[:, None]
+    ids_v = np.broadcast_to(np.arange(s), (s, s))
+    decrement = np.empty((s, s, 2), dtype=np.int64)
+    increment = np.empty((s, s, 2), dtype=np.int64)
+    decrement[:, :, 1] = ids_v
+    increment[:, :, 1] = ids_v
+    gtft = ids_u[:, 0] < k
+    decrement[:, :, 0] = np.where(gtft[:, None],
+                                  np.maximum(ids_u - 1, 0), ids_u)
+    increment[:, :, 0] = np.where(gtft[:, None],
+                                  np.minimum(ids_u + 1, k - 1), ids_u)
+    strategies = [generous_tit_for_tat(gv, setting.s1)
+                  for gv in grid.values]
+    strategies.append(always_cooperate())
+    strategies.append(always_defect())
+    probs = np.zeros((s, s))
+    for u in range(k):  # only GTFT initiators classify
+        for v in range(s):
+            probs[u, v] = always_defect_probability(
+                strategies[u], strategies[v], setting.delta)
+    return PairMixtureTableModel(decrement, increment, probs)
 
 
 def matrix_game_model(payoffs, rule: str, p_update: float = 0.5,

@@ -8,8 +8,17 @@ shift-trick sampler), exactly like the seed simulator — so for
 deterministic (table / mixture-of-table) models a fixed seed reproduces the
 pre-engine simulator's trajectories bit for bit.
 
-Two inner loops:
+Three inner loops:
 
+* **vectorized kernel** (default for table models at ``n >= 1000``) — the
+  chunked conflict-resolution kernel of :mod:`repro.engine.vectorized`:
+  pair blocks are split into mutually independent rounds applied as fancy
+  indexed table lookups, with only the hard conflict chains running
+  through a scalar tail.  Outcomes are **bit-for-bit identical** to the
+  sequential loops (same pair blocks, same component draws, conflicting
+  pairs executed in sampling order), roughly 5-8x their throughput on the
+  k-IGT workload; ``vectorized=False`` opts out, ``vectorized=True``
+  forces it even where the auto heuristics would decline;
 * **table loop** — models exposing ``component_tables`` run a tight
   flat-lookup loop over Python lists (several times faster than per-element
   NumPy indexing, identical outcomes).  On this path the live state array
@@ -19,7 +28,8 @@ Two inner loops:
 * **generic loop** — stochastic models are applied per interaction through
   :meth:`~repro.engine.model.InteractionModel.apply_scalar`; models that
   read extra agents (``slots_per_step == 4``) get their observed agents
-  sampled per block with the same shift trick.
+  sampled per block with the same shift trick.  The ``vectorized`` knob
+  does not apply to these models.
 """
 
 from __future__ import annotations
@@ -29,6 +39,12 @@ import numpy as np
 from repro.engine.base import BLOCK_SIZE, EngineResult, SimulationEngine
 from repro.engine.model import InteractionModel
 from repro.engine.sampling import UniformPairSampler, ordered_pair_block
+from repro.engine.vectorized import (
+    MIN_VECTORIZED_CADENCE,
+    MIN_VECTORIZED_N,
+    ConflictFreeKernel,
+    run_kernel,
+)
 from repro.utils import as_generator
 from repro.utils.errors import InvalidParameterError
 
@@ -57,10 +73,19 @@ class AgentBackend(SimulationEngine):
     copy:
         When false, adopt ``initial_states`` in place (it must be a 1-D
         ``int64`` array); the caller then observes state updates directly.
+    vectorized:
+        Path selection for table models: ``None`` (default) uses the
+        chunked NumPy kernel when ``n`` and the run's observation/stop
+        cadences make it profitable, ``True`` forces it, ``False`` keeps
+        the sequential loop (bit-for-bit the seed simulator; the kernel
+        produces identical trajectories, so this knob is about
+        performance and auditability, not results).  Ignored by models
+        without component tables.
     """
 
     def __init__(self, model: InteractionModel, initial_states, seed=None,
-                 scheduler=None, copy: bool = True):
+                 scheduler=None, copy: bool = True,
+                 vectorized: bool | None = None):
         self.model = model
         states = np.asarray(initial_states, dtype=np.int64)
         if copy:
@@ -94,6 +119,8 @@ class AgentBackend(SimulationEngine):
             self._flats_np = [(np.ascontiguousarray(t[:, :, 0].ravel()),
                                np.ascontiguousarray(t[:, :, 1].ravel()))
                               for t in tables]
+        self.vectorized = vectorized
+        self._kernel = None
         self.steps_run = 0
 
     @property
@@ -120,10 +147,50 @@ class AgentBackend(SimulationEngine):
         if stopped or max_steps == 0:
             return self._result(stopped, observations)
         if self._flats_np is not None:
+            if self._use_vectorized(stop_when, observe_every,
+                                    check_stop_every):
+                return self._run_vectorized(max_steps, stop_when,
+                                            observe_every, check_stop_every,
+                                            observations)
             return self._run_tables(max_steps, stop_when, observe_every,
                                     check_stop_every, observations)
         return self._run_generic(max_steps, stop_when, observe_every,
                                  check_stop_every, observations)
+
+    # ------------------------------------------------------------------
+    # Vectorized kernel path
+    # ------------------------------------------------------------------
+    def _use_vectorized(self, stop_when, observe_every,
+                        check_stop_every) -> bool:
+        """Whether this run should take the chunked kernel path.
+
+        ``vectorized=True``/``False`` decide outright; the auto default
+        declines for small populations and for runs whose observation or
+        stop cadence would cap chunks below the point where NumPy call
+        overhead wins (both paths produce identical trajectories, so the
+        choice is invisible except in wall-clock).
+        """
+        if self.vectorized is not None:
+            return self.vectorized
+        if self.n < MIN_VECTORIZED_N:
+            return False
+        cadence = min(
+            observe_every if observe_every is not None else BLOCK_SIZE,
+            check_stop_every if stop_when is not None else BLOCK_SIZE)
+        return cadence >= MIN_VECTORIZED_CADENCE
+
+    def _run_vectorized(self, max_steps, stop_when, observe_every,
+                        check_stop_every, observations) -> EngineResult:
+        if self._kernel is None:
+            self._kernel = ConflictFreeKernel(self.model, self._states,
+                                              self._counts)
+        executed, converged = run_kernel(
+            self._kernel, self.scheduler.pair_block,
+            self.model.sample_components, self.scheduler.rng, max_steps,
+            self.steps_run, stop_when, observe_every, check_stop_every,
+            observations, BLOCK_SIZE)
+        self.steps_run += executed
+        return self._result(converged, observations)
 
     # ------------------------------------------------------------------
     # Table fast loop

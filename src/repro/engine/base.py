@@ -29,15 +29,26 @@ from repro.utils.errors import InvalidParameterError
 #: kept identical so agent-backend trajectories are bit-for-bit stable).
 BLOCK_SIZE = 65536
 
-#: Valid ``backend=`` names, in documentation order.
+#: Valid concrete ``backend=`` names, in documentation order.
 BACKENDS = ("agent", "count")
 
+#: User-facing spellings: the concrete engines plus adaptive dispatch
+#: (``"auto"`` resolves via :mod:`repro.engine.dispatch` before an
+#: engine is built).
+BACKEND_CHOICES = BACKENDS + ("auto",)
 
-def check_backend(backend: str) -> str:
-    """Validate a ``backend=`` knob value and return it."""
-    if backend not in BACKENDS:
+
+def check_backend(backend: str, allow_auto: bool = False) -> str:
+    """Validate a ``backend=`` knob value and return it.
+
+    ``allow_auto`` additionally admits ``"auto"`` — for the user-facing
+    layers that resolve it through the dispatcher; the engines themselves
+    only ever see concrete names.
+    """
+    valid = BACKEND_CHOICES if allow_auto else BACKENDS
+    if backend not in valid:
         raise InvalidParameterError(
-            f"backend must be one of {BACKENDS}, got {backend!r}")
+            f"backend must be one of {valid}, got {backend!r}")
     return backend
 
 

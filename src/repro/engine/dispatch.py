@@ -1,0 +1,127 @@
+"""Adaptive backend dispatch: ``backend="auto"``.
+
+Chooses between the per-agent and count-level engines from the workload
+coordinates that actually decide the race:
+
+* **per-agent observables** (agent trajectories, per-agent payoffs)
+  force ``"agent"`` — the count backend tracks no identities;
+* otherwise the population size ``n`` decides against a measured
+  crossover: below it the (vectorized) agent backend wins, above it the
+  count backend's ``Θ(√n)`` birthday batching does.  ``mode="action"``
+  workloads get their own, much lower crossover — the agent backend must
+  *play* a Monte-Carlo repeated game per interaction there, while the
+  count backend applies the exact classification law vectorized.
+
+The crossovers are read from the ``auto_thresholds`` section that
+``benchmarks/bench_engine.py`` writes into ``BENCH_engine.json`` (the
+committed machine-readable perf record), falling back to built-in
+defaults when the file is absent — e.g. in a wheel install.  Thresholds
+are cached per path after the first read.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.engine.base import check_backend
+
+#: Fallback crossovers (population size above which ``"count"`` is
+#: chosen) when no benchmark file is readable.  Values match the shipped
+#: ``BENCH_engine.json`` (count wins from the smallest measured size on
+#: both workloads — its array-proxy path ties the agent kernel at small
+#: ``n`` and birthday batching wins beyond); see the file's
+#: ``auto_thresholds`` section for the live numbers.
+DEFAULT_THRESHOLDS = {
+    "strategy_crossover_n": 1000,
+    "action_crossover_n": 1000,
+}
+
+#: Default location of the benchmark record: the repository root, three
+#: levels above this file (absent in site-packages installs — that is
+#: what the fallback defaults are for).
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_engine.json"
+
+#: ``path -> thresholds`` cache (one file read per process).
+_THRESHOLD_CACHE: dict[str, dict] = {}
+
+
+def load_thresholds(path=None) -> dict:
+    """The dispatch thresholds, from ``BENCH_engine.json`` if available.
+
+    Unknown keys are ignored and missing keys filled from
+    :data:`DEFAULT_THRESHOLDS`, so older benchmark files stay usable.
+    """
+    path = BENCH_PATH if path is None else pathlib.Path(path)
+    key = str(path)
+    cached = _THRESHOLD_CACHE.get(key)
+    if cached is not None:
+        return dict(cached)
+    thresholds = dict(DEFAULT_THRESHOLDS)
+    try:
+        recorded = json.loads(path.read_text()).get("auto_thresholds", {})
+    except (OSError, ValueError):
+        recorded = {}
+    for name in thresholds:
+        value = recorded.get(name)
+        if isinstance(value, (int, float)) and value > 0:
+            thresholds[name] = int(value)
+    _THRESHOLD_CACHE[key] = dict(thresholds)
+    return thresholds
+
+
+def choose_backend(n: int, mode: str = "strategy",
+                   needs_per_agent: bool = False,
+                   thresholds: dict | None = None) -> str:
+    """The backend ``"auto"`` resolves to for one workload.
+
+    Parameters
+    ----------
+    n:
+        Population size.
+    mode:
+        ``"action"`` selects the action-mode crossover (the agent
+        backend is orders of magnitude slower there); anything else uses
+        the strategy crossover.
+    needs_per_agent:
+        Per-agent observables required — forces ``"agent"``.
+    thresholds:
+        Optional override of :func:`load_thresholds` (tests, callers
+        with their own measurements).
+    """
+    if needs_per_agent:
+        return "agent"
+    if thresholds is None:
+        thresholds = load_thresholds()
+    key = ("action_crossover_n" if mode == "action"
+           else "strategy_crossover_n")
+    crossover = thresholds.get(key, DEFAULT_THRESHOLDS[key])
+    return "count" if int(n) >= crossover else "agent"
+
+
+def resolve_backend(backend: str | None, n: int, mode: str = "strategy",
+                    needs_per_agent: bool = False) -> str:
+    """Resolve a user-facing ``backend`` knob to a concrete engine name.
+
+    ``None`` and ``"auto"`` dispatch via :func:`choose_backend`;
+    ``"agent"``/``"count"`` pass through (validated).  A concrete choice
+    conflicting with ``needs_per_agent`` is *not* rejected here — the
+    facades raise their own, more specific errors.
+    """
+    if backend is None or backend == "auto":
+        return choose_backend(n, mode=mode, needs_per_agent=needs_per_agent)
+    return check_backend(backend)
+
+
+def _reset_threshold_cache() -> None:
+    """Drop cached threshold reads (test hook)."""
+    _THRESHOLD_CACHE.clear()
+
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "BENCH_PATH",
+    "load_thresholds",
+    "choose_backend",
+    "resolve_backend",
+]

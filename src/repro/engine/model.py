@@ -24,6 +24,16 @@ Concrete models:
 * :class:`ImitationModel` — pairwise-comparison imitation; reads the states
   of two extra uniformly sampled "opponent" agents per interaction
   (``slots_per_step = 4``).
+* :class:`PairMixtureTableModel` — per interaction, one of two tables is
+  applied with a probability depending on the *pair of states*; this is
+  the count-level form of the action-observed k-IGT rule, where the
+  chance of classifying a partner as AD is an exact function of both
+  players' strategies.
+
+Models additionally advertise two structural facts the vectorized kernel
+exploits: :attr:`InteractionModel.one_way` (the responder never changes
+state) and :attr:`InteractionModel.inert_states` (states whose initiator
+row is the identity, so their interactions are no-ops).
 """
 
 from __future__ import annotations
@@ -78,6 +88,29 @@ class InteractionModel(ABC):
         """Size of the per-agent state space."""
 
     @property
+    def one_way(self) -> bool:
+        """Whether the responder's state never changes.
+
+        One-way models admit a cheaper conflict analysis in the
+        vectorized kernel (reads of the same agent commute) and an inert
+        filter.  The default is conservative; table-backed models derive
+        the answer from their tables.
+        """
+        return False
+
+    @property
+    def inert_states(self):
+        """Boolean mask of states whose interactions are no-ops, or ``None``.
+
+        State ``u`` is inert when an interaction initiated from ``u``
+        changes nothing regardless of the responder (and, because the
+        model is one-way, nothing can move an agent out of ``u``
+        either).  Only meaningful — and only consulted — for one-way
+        models; ``None`` means "unknown, assume none".
+        """
+        return None
+
+    @property
     def component_tables(self):
         """Deterministic table components, or ``None`` for generic models.
 
@@ -127,6 +160,25 @@ class InteractionModel(ABC):
         return int(new_u[0]), int(new_v[0])
 
 
+def _tables_structure(tables) -> tuple:
+    """``(one_way, inert_mask)`` of a list of ``(S, S, 2)`` tables.
+
+    ``one_way`` holds when every component leaves the responder fixed;
+    ``inert_mask[u]`` when every component's initiator row ``u`` is the
+    identity (so interactions from ``u`` are no-ops under every draw).
+    """
+    s = tables[0].shape[0]
+    ids = np.arange(s)
+    one_way = all(np.array_equal(t[:, :, 1], np.broadcast_to(ids, (s, s)))
+                  for t in tables)
+    if not one_way:
+        return False, None
+    inert = np.ones(s, dtype=bool)
+    for t in tables:
+        inert &= (t[:, :, 0] == ids[:, None]).all(axis=1)
+    return True, inert
+
+
 class TableModel(InteractionModel):
     """A deterministic joint transition table — the protocol ``δ``.
 
@@ -141,10 +193,19 @@ class TableModel(InteractionModel):
         self._s = self._table.shape[0]
         self._flat_u = np.ascontiguousarray(self._table[:, :, 0].ravel())
         self._flat_v = np.ascontiguousarray(self._table[:, :, 1].ravel())
+        self._one_way, self._inert = _tables_structure([self._table])
 
     @property
     def n_states(self) -> int:
         return self._s
+
+    @property
+    def one_way(self) -> bool:
+        return self._one_way
+
+    @property
+    def inert_states(self):
+        return None if self._inert is None else self._inert.copy()
 
     @property
     def table(self) -> np.ndarray:
@@ -191,10 +252,19 @@ class MixtureTableModel(InteractionModel):
         # (C, S*S) stacked flat lookups for vectorized mixture application.
         self._flat_u = np.stack([t[:, :, 0].ravel() for t in self._tables])
         self._flat_v = np.stack([t[:, :, 1].ravel() for t in self._tables])
+        self._one_way, self._inert = _tables_structure(self._tables)
 
     @property
     def n_states(self) -> int:
         return self._s
+
+    @property
+    def one_way(self) -> bool:
+        return self._one_way
+
+    @property
+    def inert_states(self):
+        return None if self._inert is None else self._inert.copy()
 
     @property
     def component_tables(self):
@@ -249,6 +319,10 @@ class LogitResponseModel(InteractionModel):
     def n_states(self) -> int:
         return self._s
 
+    @property
+    def one_way(self) -> bool:
+        return True
+
     def apply(self, initiators, responders, rng, observed=None):
         draws = rng.random(len(initiators))
         rows = self._cdf[responders]
@@ -293,6 +367,10 @@ class ImitationModel(InteractionModel):
     def n_states(self) -> int:
         return self._s
 
+    @property
+    def one_way(self) -> bool:
+        return True
+
     def apply(self, initiators, responders, rng, observed=None):
         if observed is None:
             raise InvalidParameterError(
@@ -314,3 +392,77 @@ class ImitationModel(InteractionModel):
         if advantage > 0 and rng.random() < advantage / self.scale:
             return v, v
         return u, v
+
+
+class PairMixtureTableModel(InteractionModel):
+    """Applies one of two tables with a *pair-dependent* probability.
+
+    Each interaction with states ``(u, v)`` independently applies
+    ``table_hit`` with probability ``pair_probs[u, v]`` and ``table_miss``
+    otherwise.  This generalizes :class:`MixtureTableModel` (whose mixing
+    weights are constant) and is exactly the count-level shape of the
+    action-observed k-IGT rule: the probability that a GTFT initiator
+    classifies its partner as AD — the partner defected in every round of
+    a real repeated game — depends on both players' strategies, and
+    conditioned on the classification the update is a deterministic table.
+
+    Parameters
+    ----------
+    table_hit, table_miss:
+        ``(S, S, 2)`` transition tables.
+    pair_probs:
+        ``(S, S)`` matrix of hit probabilities in ``[0, 1]``.
+    """
+
+    def __init__(self, table_hit, table_miss, pair_probs):
+        hit = _check_table(table_hit)
+        miss = _check_table(table_miss, n_states=hit.shape[0])
+        self._s = hit.shape[0]
+        probs = np.asarray(pair_probs, dtype=float)
+        if probs.shape != (self._s, self._s):
+            raise InvalidParameterError(
+                f"pair_probs must have shape {(self._s, self._s)}, "
+                f"got {probs.shape}")
+        if np.isnan(probs).any() or probs.min() < 0.0 or probs.max() > 1.0:
+            raise InvalidParameterError(
+                "pair_probs entries must be probabilities in [0, 1]")
+        self._tables = [hit, miss]
+        self._hit_u = np.ascontiguousarray(hit[:, :, 0].ravel())
+        self._hit_v = np.ascontiguousarray(hit[:, :, 1].ravel())
+        self._miss_u = np.ascontiguousarray(miss[:, :, 0].ravel())
+        self._miss_v = np.ascontiguousarray(miss[:, :, 1].ravel())
+        self._probs = probs
+        self._probs_flat = np.ascontiguousarray(probs.ravel())
+        # A state is inert only when *both* branches leave it unchanged
+        # for every partner — _tables_structure ANDs across the tables.
+        self._one_way, self._inert = _tables_structure(self._tables)
+
+    @property
+    def n_states(self) -> int:
+        return self._s
+
+    @property
+    def one_way(self) -> bool:
+        return self._one_way
+
+    @property
+    def inert_states(self):
+        return None if self._inert is None else self._inert.copy()
+
+    @property
+    def pair_probs(self) -> np.ndarray:
+        """The ``(S, S)`` hit-probability matrix (copy)."""
+        return self._probs.copy()
+
+    def apply(self, initiators, responders, rng, observed=None):
+        idx = initiators * self._s + responders
+        hit = rng.random(len(idx)) < self._probs_flat[idx]
+        new_u = np.where(hit, self._hit_u[idx], self._miss_u[idx])
+        new_v = np.where(hit, self._hit_v[idx], self._miss_v[idx])
+        return new_u, new_v
+
+    def apply_scalar(self, u: int, v: int, rng, observed=None) -> tuple:
+        idx = u * self._s + v
+        if rng.random() < self._probs_flat[idx]:
+            return int(self._hit_u[idx]), int(self._hit_v[idx])
+        return int(self._miss_u[idx]), int(self._miss_v[idx])

@@ -280,10 +280,10 @@ def run_experiment(experiment_id: str, fast: bool | None = None,
     seed:
         Random seed forwarded to the runner.
     backend:
-        Optional simulation-engine selection (``"agent"`` or ``"count"``)
-        for experiments that simulate populations; runners that do not
-        accept a ``backend`` parameter (exact-computation experiments)
-        ignore it.
+        Optional simulation-engine selection (``"agent"``, ``"count"``,
+        or ``"auto"`` for measured-crossover dispatch) for experiments
+        that simulate populations; runners that do not accept a
+        ``backend`` parameter (exact-computation experiments) ignore it.
     cache:
         Optional :class:`repro.runner.ResultCache` (or a cache directory
         path): the report is served from / stored into it under the key
@@ -304,7 +304,7 @@ def run_experiment(experiment_id: str, fast: bool | None = None,
     profile = resolve_profile(fast, profile)
     resolved = spec.resolve(profile, params)
     if backend is not None:
-        check_backend(backend)
+        check_backend(backend, allow_auto=True)
     if cache is None:
         return _call_runner(spec, resolved, seed, backend)
 

@@ -32,6 +32,7 @@ import numpy as np
 from repro.analysis.stats import fit_power_law
 from repro.core.igt import GenerosityGrid
 from repro.core.population_igt import IGTSimulation, PopulationShares
+from repro.engine import resolve_backend
 from repro.experiments.base import ExperimentReport, register
 from repro.markov.ehrenfest import EhrenfestProcess
 from repro.markov.mixing import exact_mixing_time
@@ -51,7 +52,12 @@ PARAMS = ParamSpace(
     Param("m_urn", "int", 40, minimum=8, maximum=2000,
           help="largest m of the classic two-urn m-log-m series "
                "(runs m_urn/4, m_urn/2, m_urn)"),
-    profiles={"full": {"n": 1_000_000, "k_max": 6, "m": 12, "m_urn": 160}},
+    profiles={"full": {"n": 1_000_000, "k_max": 6, "m": 12, "m_urn": 160},
+              # The ROADMAP's population-scale point: the count engine's
+              # birthday batching makes n = 10^7 practical; everything
+              # else stays at the fast settings so the run is dominated
+              # by the simulation, not the exact chains.
+              "huge": {"n": 10_000_000}},
 )
 
 
@@ -72,10 +78,13 @@ def _simulated_relaxation(n: int, eps: float, seed, backend: str):
     Returns ``(n, m, crossing, lower, upper)``: interactions until the mean
     generosity index first reaches ``(1-eps)`` of its stationary value, with
     the drift-based lower bound ``m·target/(2a)`` and the Theorem 2.5
-    coupling upper bound ``2Φ·log(4m)``.
+    coupling upper bound ``2Φ·log(4m)``.  ``backend="auto"`` resolves
+    against the measured engine crossover before the simulation is built,
+    so the reported engine name is always concrete.
     """
     shares = PopulationShares(alpha=0.3, beta=0.2, gamma=0.5)
     grid = GenerosityGrid(k=6, g_max=0.6)
+    backend = resolve_backend(backend, n=n)
     sim = IGTSimulation(n=n, shares=shares, grid=grid, seed=seed,
                         initial_indices=0, backend=backend)
     process = sim.equivalent_ehrenfest(exact=True)
@@ -101,9 +110,10 @@ def _simulated_relaxation(n: int, eps: float, seed, backend: str):
 
 
 @register("E4", "Theorem 2.5 — Ehrenfest mixing-time scaling", params=PARAMS)
-def run(params=None, seed=None, backend: str = "count") -> ExperimentReport:
+def run(params=None, seed=None, backend: str = "auto") -> ExperimentReport:
     """Regenerate the mixing-time scaling series of Theorem 2.5."""
     params = PARAMS.resolve() if params is None else params
+    backend = resolve_backend(backend, n=params["n"])
     rows = []
     m_k = params["m"]
     ks = list(range(2, params["k_max"] + 1))

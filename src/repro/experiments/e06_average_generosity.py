@@ -42,13 +42,18 @@ PARAMS = ParamSpace(
 
 
 def _simulated_generosity(n, beta, k, g_max, seed, budget_multiplier=2.0,
-                          samples=200) -> float:
-    """Time-averaged average generosity after a mixing-bound burn-in."""
+                          samples=200, backend="auto") -> float:
+    """Time-averaged average generosity after a mixing-bound burn-in.
+
+    ``backend`` may be ``"auto"``: the generosity observable is count
+    level, so either engine serves it; the dispatcher picks by ``n``.
+    """
     alpha = (1.0 - beta) / 2.0
     shares = PopulationShares(alpha=alpha, beta=beta,
                               gamma=1.0 - alpha - beta)
     grid = GenerosityGrid(k=k, g_max=g_max)
-    sim = IGTSimulation(n=n, shares=shares, grid=grid, seed=seed)
+    sim = IGTSimulation(n=n, shares=shares, grid=grid, seed=seed,
+                        backend=backend)
     burn_in = int(budget_multiplier * igt_mixing_upper_bound(k, shares, n))
     sim.run(burn_in)
     thin = max(n // 2, 1)
@@ -61,8 +66,8 @@ def _simulated_generosity(n, beta, k, g_max, seed, budget_multiplier=2.0,
 
 @register("E6", "Proposition 2.8 — average stationary generosity",
           params=PARAMS)
-def run(params=None, seed=12345) -> ExperimentReport:
-    """Closed form vs direct expectation vs agent-level simulation."""
+def run(params=None, seed=12345, backend: str = "auto") -> ExperimentReport:
+    """Closed form vs direct expectation vs engine-level simulation."""
     params = PARAMS.resolve() if params is None else params
     rng = as_generator(seed)
     g_max = params["g_max"]
@@ -76,7 +81,7 @@ def run(params=None, seed=12345) -> ExperimentReport:
         closed = generosity_closed_form(k, beta, g_max)
         direct = average_stationary_generosity(k, beta, g_max)
         simulated = _simulated_generosity(n, beta, k, g_max, seed=rng,
-                                          samples=samples)
+                                          samples=samples, backend=backend)
         # The finite-n scheduler shifts lambda slightly; compare against the
         # exact-embedding direct value too.
         worst_formula_gap = max(worst_formula_gap, abs(closed - direct))

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 
 from repro.analysis.tables import sparkline
+from repro.engine import resolve_backend
 from repro.core.igt import GenerosityGrid
 from repro.core.population_igt import IGTSimulation, PopulationShares
 from repro.experiments.base import ExperimentReport, register
@@ -94,9 +95,10 @@ def _mean_coalescence(n: int, seed, backend: str, delta: float):
 
 @register("E13", "Remark 2.6 — cutoff profiles of Ehrenfest processes",
           params=PARAMS)
-def run(params=None, seed=None, backend: str = "count") -> ExperimentReport:
+def run(params=None, seed=None, backend: str = "auto") -> ExperimentReport:
     """Measure exact d(t) profiles and their cutoff diagnostics."""
     params = PARAMS.resolve() if params is None else params
+    backend = resolve_backend(backend, n=params["n"])
     ms = [params["m_urn"] // 4, params["m_urn"] // 2, params["m_urn"]]
     rows = []
     normalized = []

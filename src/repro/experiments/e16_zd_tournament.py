@@ -10,12 +10,23 @@ landscape with the exact payoff machinery:
   AD and the extortioner sink;
 * exact verification that the ZD strategies enforce their linear payoff
   relations against every other entrant (limit of means);
-* ESS structure of the entrant set.
+* ESS structure of the entrant set;
+* a *population* tournament: the same entrants dropped into the engine's
+  pairwise-comparison imitation dynamics (uniform initial shares, the
+  exact limit-of-means payoff matrix as the stage game).  The tournament
+  table's verdict holds in population form — the bottom scorers (AD and
+  the extortioner) are driven extinct while the reciprocators persist.
+  Runs on the engine selected by the ``backend`` knob (``"auto"``
+  dispatches by population size).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core.general_games import PopulationGameSimulation
 from repro.experiments.base import ExperimentReport, register
+from repro.games.base import MatrixGame
 from repro.games.donation import DonationGame
 from repro.games.strategies import (
     always_cooperate,
@@ -46,13 +57,40 @@ PARAMS = ParamSpace(
           help="extortion factor of the extortionate ZD strategy"),
     Param("chi_generous", "float", 2.0, minimum=1.0,
           help="generosity factor of the generous ZD strategy"),
+    Param("n_pop", "int", 10_000, minimum=80,
+          help="population size of the imitation-dynamics tournament "
+               "(each entrant starts with an n_pop/8 share)"),
+    Param("generations", "int", 25, minimum=1, maximum=500,
+          help="imitation-dynamics horizon in units of n_pop "
+               "interactions"),
+    profiles={"full": {"n_pop": 400_000}},
 )
+
+
+def _population_tournament(matrix, n_pop, generations, seed, backend):
+    """Final strategy shares of the imitation dynamics over ``matrix``.
+
+    Uniform initial shares; ``generations * n_pop`` pairwise-comparison
+    interactions through :class:`PopulationGameSimulation` (which owns
+    the backend dispatch and engine wiring).  Returns
+    ``(shares, resolved_backend)``.
+    """
+    entrants = matrix.shape[0]
+    base, extra = divmod(n_pop, entrants)
+    counts = np.full(entrants, base, dtype=np.int64)
+    counts[:extra] += 1
+    initial = np.repeat(np.arange(entrants, dtype=np.int64), counts)
+    simulation = PopulationGameSimulation(
+        MatrixGame(matrix), n_pop, rule="imitation", seed=seed,
+        initial_strategies=initial, backend=backend)
+    simulation.run(generations * n_pop)
+    return simulation.counts / n_pop, simulation.backend
 
 
 @register("E16", "Extension — ZD strategies and the tournament landscape",
           params=PARAMS)
-def run(params=None, seed=None) -> ExperimentReport:
-    """Round-robin tournament + exact ZD relation verification."""
+def run(params=None, seed=None, backend: str = "auto") -> ExperimentReport:
+    """Round-robin tournament + ZD relations + population dynamics."""
     params = PARAMS.resolve() if params is None else params
     game = DonationGame(b=params["b"], c=params["c"])
     delta = params["delta"]
@@ -99,7 +137,23 @@ def run(params=None, seed=None) -> ExperimentReport:
             rows.append(["ZD generous vs", entrant.name, "-", "-",
                          "non-ergodic pair"])
 
+    # Population form of the tournament: imitation dynamics over the
+    # exact limit-of-means payoff matrix.
     names = result.names
+    shares, pop_backend = _population_tournament(
+        result.payoff_matrix, params["n_pop"], params["generations"],
+        seed, backend)
+    bottom_two = [name for name, _ in result.ranking()[-2:]]
+    bottom_share = float(sum(shares[names.index(name)]
+                             for name in bottom_two))
+    survivor_floor = 1.0 / (2 * len(names))
+    survivors = [name for name in names
+                 if shares[names.index(name)] >= survivor_floor]
+    for name in names:
+        rows.append([f"population (n={params['n_pop']}, {pop_backend})",
+                     name, f"{1.0 / len(names):.3f}",
+                     f"{shares[names.index(name)]:.3f}", "-"])
+
     ad_index = names.index("AD")
     checks = {
         "reciprocators top the table (winner is TFT/GRIM/GTFT/WSLS/Generous)":
@@ -121,6 +175,11 @@ def run(params=None, seed=None) -> ExperimentReport:
         "GTFT resists AD invasion at delta=0.95":
             Tournament([generous_tit_for_tat(0.1, 1.0), always_defect()],
                        game, delta).is_symmetric_nash(0),
+        "population dynamics drive the bottom-two scorers out "
+        "(combined final share < 0.05 from 0.25)": bottom_share < 0.05,
+        "every non-bottom entrant persists in the population":
+            all(name in survivors for name in names
+                if name not in bottom_two),
     }
     return ExperimentReport(
         experiment_id="E16",
@@ -137,5 +196,9 @@ def run(params=None, seed=None) -> ExperimentReport:
                f"tournament delta={delta}; "
                "ZD relations evaluated under limit-of-means payoffs",
                "non-ergodic pairs (multiple recurrent classes) are reported "
-               "and skipped in the residual checks"],
+               "and skipped in the residual checks",
+               f"population rows: pairwise-comparison imitation dynamics "
+               f"over the exact payoff matrix, n={params['n_pop']}, "
+               f"{params['generations']}·n interactions on the "
+               f"'{pop_backend}' engine (initial vs final share)"],
     )

@@ -117,6 +117,56 @@ class RepeatedGameEngine:
         return payoffs
 
 
+def always_defect_probability(first: MemoryOneStrategy,
+                              second: MemoryOneStrategy,
+                              delta: float) -> float:
+    """Exact ``P(second defects in every round)`` of a δ-repeated game.
+
+    The probability that :meth:`GameRecord.opponent_always_defected`
+    holds when ``first`` plays ``second`` under the δ-restart rule — the
+    classification signal of the action-observed k-IGT variant, computed
+    in closed form instead of by playing games.
+
+    Condition on the last joint actions ``(m, D)`` (``m`` the first
+    player's move; the second player must have defected for the event to
+    be alive) and let ``W(m)`` be the probability that the second player
+    defects in all remaining rounds.  Each round the game ends with
+    probability ``1 − δ``; otherwise both draw their memory-one
+    responses, the second player must defect again, and the state moves
+    to the first player's new move:
+
+    ``W(m) = (1 − δ) + δ·q₂(m)·[p₁(m)·W(C) + (1 − p₁(m))·W(D)]``
+
+    with ``q₂(m)`` the second player's defection probability after
+    ``(my=D, opp=m)`` and ``p₁(m)`` the first player's cooperation
+    probability after ``(my=m, opp=D)``.  Two unknowns, one 2×2 solve;
+    the round-1 defection probability ``1 − s₂`` starts the recursion.
+    Validated against Monte-Carlo play in the test suite.
+    """
+    delta = float(delta)
+    if not 0.0 <= delta < 1.0:
+        raise InvalidParameterError(
+            f"delta must lie in [0, 1), got {delta!r}")
+    initial_defect = 1.0 - second.initial_coop_prob
+    if initial_defect == 0.0:
+        return 0.0
+    # Action encoding: COOPERATE = 0, DEFECT = 1 (coop_probs order
+    # CC, CD, DC, DD with the player's own move first).
+    q2 = [1.0 - second.coop_probs[2 * 1 + m] for m in (0, 1)]
+    p1 = [first.coop_probs[2 * m + 1] for m in (0, 1)]
+    # Linear system (I - A) W = (1 - delta) for W = (W_C, W_D).
+    a = np.array([
+        [1.0 - delta * q2[0] * p1[0], -delta * q2[0] * (1.0 - p1[0])],
+        [-delta * q2[1] * p1[1], 1.0 - delta * q2[1] * (1.0 - p1[1])],
+    ])
+    w = np.linalg.solve(a, np.full(2, 1.0 - delta))
+    s1 = first.initial_coop_prob
+    probability = initial_defect * (s1 * w[0] + (1.0 - s1) * w[1])
+    # The solve can overshoot [0, 1] by an ulp; clamp to keep downstream
+    # probability validation exact.
+    return float(min(max(probability, 0.0), 1.0))
+
+
 def monte_carlo_payoff(first: MemoryOneStrategy, second: MemoryOneStrategy,
                        game, delta: float, n_games: int, seed=None,
                        noise: float = 0.0) -> tuple[float, float]:

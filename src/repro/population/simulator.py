@@ -64,12 +64,19 @@ class Simulator:
         Length-``n`` integer array of initial agent states.
     seed:
         Seed or generator.
+    vectorized:
+        Forwarded to :class:`~repro.engine.agent.AgentBackend`: ``None``
+        (default) picks the chunked NumPy kernel adaptively, ``False``
+        pins the sequential loop, ``True`` forces the kernel.  Both paths
+        produce bit-for-bit identical trajectories.
     """
 
-    def __init__(self, protocol: PopulationProtocol, initial_states, seed=None):
+    def __init__(self, protocol: PopulationProtocol, initial_states, seed=None,
+                 vectorized: bool | None = None):
         self.protocol = protocol
         self._backend = AgentBackend(protocol_model(protocol), initial_states,
-                                     seed=as_generator(seed))
+                                     seed=as_generator(seed),
+                                     vectorized=vectorized)
         self.states = self._backend.states_live
         self.n = self._backend.n
         self._counts = self._backend.counts_live

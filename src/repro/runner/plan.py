@@ -88,7 +88,7 @@ class RunTask:
         if not self.experiment_id:
             raise InvalidParameterError("experiment_id must be non-empty")
         if self.backend is not None:
-            check_backend(self.backend)
+            check_backend(self.backend, allow_auto=True)
         object.__setattr__(self, "params", _canonical_overrides(self.params))
 
     @property

@@ -1,0 +1,91 @@
+"""Unit tests for the ``backend="auto"`` dispatcher."""
+
+import json
+
+import pytest
+
+from repro.engine import check_backend, choose_backend, resolve_backend
+from repro.engine.dispatch import (
+    DEFAULT_THRESHOLDS,
+    _reset_threshold_cache,
+    load_thresholds,
+)
+from repro.utils import InvalidParameterError
+
+
+class TestCheckBackend:
+    def test_concrete_names(self):
+        assert check_backend("agent") == "agent"
+        assert check_backend("count") == "count"
+
+    def test_auto_needs_opt_in(self):
+        with pytest.raises(InvalidParameterError):
+            check_backend("auto")
+        assert check_backend("auto", allow_auto=True) == "auto"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_backend("gpu", allow_auto=True)
+
+
+class TestChooseBackend:
+    def test_crossover_decides(self):
+        thresholds = {"strategy_crossover_n": 1000,
+                      "action_crossover_n": 50}
+        assert choose_backend(999, thresholds=thresholds) == "agent"
+        assert choose_backend(1000, thresholds=thresholds) == "count"
+        assert choose_backend(60, mode="action",
+                              thresholds=thresholds) == "count"
+        assert choose_backend(40, mode="action",
+                              thresholds=thresholds) == "agent"
+
+    def test_per_agent_observables_force_agent(self):
+        thresholds = {"strategy_crossover_n": 10}
+        assert choose_backend(10 ** 9, needs_per_agent=True,
+                              thresholds=thresholds) == "agent"
+
+    def test_resolve_passthrough_and_auto(self):
+        assert resolve_backend("agent", n=10 ** 9) == "agent"
+        assert resolve_backend("count", n=2) == "count"
+        resolved = resolve_backend("auto", n=10 ** 9)
+        assert resolved == "count"
+        assert resolve_backend(None, n=10 ** 9) == resolved
+        with pytest.raises(InvalidParameterError):
+            resolve_backend("gpu", n=10)
+
+
+class TestThresholdFile:
+    def test_missing_file_falls_back_to_defaults(self, tmp_path):
+        _reset_threshold_cache()
+        thresholds = load_thresholds(tmp_path / "absent.json")
+        assert thresholds == DEFAULT_THRESHOLDS
+
+    def test_recorded_thresholds_override(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(
+            {"auto_thresholds": {"strategy_crossover_n": 123,
+                                 "unknown_key": 7}}))
+        _reset_threshold_cache()
+        thresholds = load_thresholds(path)
+        assert thresholds["strategy_crossover_n"] == 123
+        assert thresholds["action_crossover_n"] == \
+            DEFAULT_THRESHOLDS["action_crossover_n"]
+        assert "unknown_key" not in thresholds
+
+    def test_malformed_values_ignored(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(
+            {"auto_thresholds": {"strategy_crossover_n": -4,
+                                 "action_crossover_n": "soon"}}))
+        _reset_threshold_cache()
+        assert load_thresholds(path) == DEFAULT_THRESHOLDS
+
+    def test_cache_serves_repeat_reads(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(
+            {"auto_thresholds": {"strategy_crossover_n": 77}}))
+        _reset_threshold_cache()
+        first = load_thresholds(path)
+        path.unlink()
+        assert load_thresholds(path) == first
+        _reset_threshold_cache()

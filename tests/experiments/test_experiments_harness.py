@@ -219,3 +219,27 @@ class TestCli:
     def test_unknown_experiment_exits_2(self, capsys):
         assert main(["run", "E99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestBackendDispatchAndProfiles:
+    def test_e4_huge_profile_resolves_to_population_scale(self):
+        spec = get_spec("E4")
+        resolved = spec.resolve("huge")
+        assert resolved["n"] == 10_000_000
+        # everything else stays at the fast defaults
+        assert resolved["m_urn"] == spec.resolve("fast")["m_urn"]
+
+    def test_e16_declares_population_knobs(self):
+        spec = get_spec("E16")
+        resolved = spec.resolve("fast")
+        assert resolved["n_pop"] >= 80
+        assert spec.resolve("full")["n_pop"] > resolved["n_pop"]
+
+    def test_run_experiment_accepts_auto_backend(self):
+        report = run_experiment("E6", backend="auto",
+                                params={"samples": 20, "tol": 0.2})
+        assert report.experiment_id == "E6"
+
+    def test_run_experiment_rejects_unknown_backend(self):
+        with pytest.raises(InvalidParameterError):
+            run_experiment("E6", backend="gpu")

@@ -163,9 +163,53 @@ class TestAgentBackendBitCompat:
         assert np.array_equal(recorded, np.stack(ref_recorded))
 
 
+class TestVectorizedAgentBitCompat:
+    """The chunked kernel is the seed simulator bit for bit, forced on.
+
+    The auto heuristics would decline these small populations; forcing
+    ``vectorized=True`` pins the kernel's conflict resolution itself
+    against the frozen pre-engine loops — states, counts, observation
+    snapshots, everything.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 7, 2024])
+    def test_simulator_trajectories_identical(self, seed):
+        protocol = TransitionFunctionProtocol(
+            n_states=4, fn=lambda u, v: (max(u, v), v))
+        states = np.zeros(300, dtype=np.int64)
+        states[:5] = 3
+        states[5:40] = 1
+        ref_states, ref_counts, ref_obs = reference_simulator_run(
+            protocol, states, seed, 30_000, observe_every=7001)
+        sim = Simulator(protocol, states, seed=seed, vectorized=True)
+        result = sim.run(30_000, observe_every=7001)
+        assert np.array_equal(result.states, ref_states)
+        assert np.array_equal(result.counts, ref_counts)
+        assert len(result.observations) == len(ref_obs)
+        for (s1, c1), (s2, c2) in zip(result.observations, ref_obs):
+            assert s1 == s2 and np.array_equal(c1, c2)
+
+    def test_two_way_protocol_identical(self):
+        protocol = TransitionFunctionProtocol(
+            n_states=3, fn=lambda u, v: (max(u, v), max(u, v)))
+        states = (np.arange(100) % 3).astype(np.int64)
+        ref_states, ref_counts, _ = reference_simulator_run(
+            protocol, states, 13, 5000)
+        result = Simulator(protocol, states, seed=13,
+                           vectorized=True).run(5000)
+        assert np.array_equal(result.states, ref_states)
+        assert np.array_equal(result.counts, ref_counts)
+
+
 class TestCountBackendExactLaw:
-    def test_matches_exact_ehrenfest_chain(self):
-        """Empirical T-step distribution vs the exact chain from markov/."""
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_matches_exact_ehrenfest_chain(self, vectorized):
+        """Empirical T-step distribution vs the exact chain from markov/.
+
+        Parametrized over both count paths: the array-proxy kernel
+        (``vectorized=True``, the small-n default) and the birthday
+        batching (``vectorized=False``) must both realize the exact law.
+        """
         n, n_ac, n_ad, k = 8, 1, 2, 2
         m = n - n_ac - n_ad
         beta_hat = n_ad / (n - 1)
@@ -179,7 +223,8 @@ class TestCountBackendExactLaw:
         rng = np.random.default_rng(2024)
         histogram = np.zeros(len(space))
         for _ in range(runs):
-            backend = CountBackend(model, start, seed=rng)
+            backend = CountBackend(model, start, seed=rng,
+                                   vectorized=vectorized)
             final = backend.run(steps).counts
             histogram[space.index(tuple(final[:k]))] += 1
         histogram /= runs
@@ -224,7 +269,8 @@ class TestCountBackendCheckpointLaw:
     compared against the exact chains from :mod:`repro.markov`.
     """
 
-    def test_interior_snapshot_matches_exact_chain(self):
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_interior_snapshot_matches_exact_chain(self, vectorized):
         n, n_ac, n_ad, k = 8, 1, 2, 2
         m = n - n_ac - n_ad
         beta_hat = n_ad / (n - 1)
@@ -240,7 +286,8 @@ class TestCountBackendCheckpointLaw:
         rng = np.random.default_rng(20240726)
         histogram = np.zeros(len(space))
         for _ in range(runs):
-            backend = CountBackend(model, start, seed=rng)
+            backend = CountBackend(model, start, seed=rng,
+                                   vectorized=vectorized)
             result = backend.run(steps, observe_every=snapshot_at)
             interior = dict(result.observations)[snapshot_at]
             histogram[space.index(tuple(interior[:k]))] += 1
@@ -251,7 +298,9 @@ class TestCountBackendCheckpointLaw:
         tv = 0.5 * np.abs(histogram - exact).sum()
         assert tv < 0.05, f"TV of interior snapshot to exact chain {tv:.4f}"
 
-    def test_per_step_stop_probability_matches_absorbing_chain(self):
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_per_step_stop_probability_matches_absorbing_chain(
+            self, vectorized):
         n, n_ac, n_ad, k = 8, 1, 2, 2
         m = n - n_ac - n_ad
         beta_hat = n_ad / (n - 1)
@@ -266,7 +315,8 @@ class TestCountBackendCheckpointLaw:
         rng = np.random.default_rng(77)
         stopped = 0
         for _ in range(runs):
-            backend = CountBackend(model, start, seed=rng)
+            backend = CountBackend(model, start, seed=rng,
+                                   vectorized=vectorized)
             result = backend.run(horizon, stop_when=lambda c: c[0] == 0,
                                  check_stop_every=1)
             stopped += result.converged

@@ -269,3 +269,58 @@ class TestHumanUnits:
     def test_malformed_rejected(self, parse, bad):
         with pytest.raises(InvalidParameterError):
             parse(bad)
+
+
+class TestSweepOutputRecords:
+    def test_replicate_sweep_writes_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "records.jsonl"
+        arguments = [
+            "sweep",
+            "E1",
+            "--replicates",
+            "2",
+            "--output",
+            str(path),
+        ]
+        code = main(arguments)
+        assert code == 0
+        assert f"wrote 2 record(s) to {path}" in capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert [record["label"] for record in records] == ["r0", "r1"]
+        for record in records:
+            assert record["experiment"] == "E1"
+            assert record["from_cache"] is False
+            assert record["report"]["experiment_id"] == "E1"
+            assert record["report"]["checks"]
+
+    def test_grid_sweep_records_carry_points(self, capsys, tmp_path):
+        path = tmp_path / "grid.jsonl"
+        arguments = [
+            "sweep",
+            "E6",
+            "--grid",
+            "samples=20,30",
+            "--set",
+            "tol=0.2",
+            "--output",
+            str(path),
+        ]
+        assert main(arguments) == 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [record["params"]["samples"] for record in records] == [20, 30]
+        assert all(record["params"]["tol"] == 0.2 for record in records)
+
+    def test_records_are_strict_json(self, tmp_path):
+        path = tmp_path / "strict.jsonl"
+        arguments = ["sweep", "E1", "--replicates", "1", "--output", str(path)]
+        assert main(arguments) == 0
+
+        def reject(token):
+            raise AssertionError(f"non-strict literal {token}")
+
+        # strict decode: json.loads with a parse_constant hook that
+        # rejects the non-portable NaN/Infinity literals
+        for line in path.read_text().splitlines():
+            json.loads(line, parse_constant=reject)

@@ -1,0 +1,72 @@
+"""The benchmark regression gate: agent and count cases are both gated."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parents[2] / "scripts"
+           / "check_bench_regression.py")
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("bench_gate", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write(path, cases):
+    payload = {"cases": [
+        {"workload": w, "backend": b, "n": n, "interactions_per_sec": ips}
+        for (w, b, n, ips) in cases]}
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_agent_and_count_both_gated(gate, tmp_path):
+    baseline = write(tmp_path / "base.json", [
+        ("igt", "agent", 10_000, 20_000_000),
+        ("igt", "count", 10_000, 20_000_000),
+        ("igt-observed", "count", 1000, 5_000_000),
+    ])
+    healthy = write(tmp_path / "ok.json", [
+        ("igt", "agent", 10_000, 11_000_000),
+        ("igt", "count", 10_000, 19_000_000),
+        ("igt-observed", "count", 1000, 4_000_000),
+    ])
+    assert gate.main([healthy, baseline]) == 0
+    agent_regressed = write(tmp_path / "bad.json", [
+        ("igt", "agent", 10_000, 9_000_000),   # below baseline / 2
+        ("igt", "count", 10_000, 19_000_000),
+        ("igt-observed", "count", 1000, 4_000_000),
+    ])
+    assert gate.main([agent_regressed, baseline]) == 1
+
+
+def test_baseline_backends_not_gated(gate, tmp_path):
+    baseline = write(tmp_path / "base.json", [
+        ("igt", "agent-seq", 1000, 5_000_000),
+        ("igt", "seed-loop", 1000, 130_000),
+        ("igt-observed", "count-perstep", 1000, 40_000),
+        ("igt", "auto", 1000, 9_000_000),
+        ("igt", "count", 1000, 9_000_000),
+    ])
+    slower_baselines = write(tmp_path / "cur.json", [
+        ("igt", "agent-seq", 1000, 1),
+        ("igt", "seed-loop", 1000, 1),
+        ("igt-observed", "count-perstep", 1000, 1),
+        ("igt", "auto", 1000, 1),
+        ("igt", "count", 1000, 8_000_000),
+    ])
+    assert gate.main([slower_baselines, baseline]) == 0
+
+
+def test_vacuous_gate_fails(gate, tmp_path):
+    baseline = write(tmp_path / "base.json",
+                     [("igt", "count", 1000, 1_000_000)])
+    unrelated = write(tmp_path / "cur.json",
+                      [("igt", "count", 2000, 1_000_000)])
+    assert gate.main([unrelated, baseline]) == 1
