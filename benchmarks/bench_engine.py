@@ -18,6 +18,16 @@ per-interaction loops:
   applies the exact per-pair classification law vectorized.
 * ``epidemic`` — a generic 3-state one-way protocol; seed baseline: the
   seed ``Simulator`` table loop.
+* ``igt-weighted`` — the heterogeneous-activity extension: the same
+  k-IGT dynamics under a power-law ``WeightedScheduler``.  Cases: the
+  agent backend's kernel fed weighted pair blocks, and the
+  ``WeightedCountBackend`` product-space count chain; their crossover
+  feeds ``auto_thresholds["weighted_crossover_n"]``.
+* ``logit`` / ``imitation`` — the *generic* (stochastic) models.
+  ``agent-seq`` is the per-interaction ``apply_scalar`` loop;
+  ``agent`` is the batched kernel path (``vectorized=True``,
+  distribution-identical), whose ``speedup_vs_agent_seq`` is the
+  generic-model vectorization claim.
 
 The file also records host metadata (python/numpy versions, CPU count)
 and the ``auto_thresholds`` section the ``backend="auto"`` dispatcher
@@ -62,10 +72,15 @@ from repro.core.igt import AgentType  # noqa: E402
 from repro.engine import (  # noqa: E402
     AgentBackend,
     CountBackend,
+    ImitationModel,
+    LogitResponseModel,
+    WeightedCountBackend,
     igt_action_model,
     igt_model,
     protocol_model,
+    weights_from_spec,
 )
+from repro.population.scheduler import WeightedScheduler  # noqa: E402
 
 OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 HISTORY = OUTPUT.parent / "BENCH_history.jsonl"
@@ -283,13 +298,18 @@ def main(argv=None) -> None:
     steps = 1_000_000
     perstep_steps = 20_000 if args.smoke else 50_000
     action_agent_steps = 5_000 if args.smoke else 20_000
+    generic_seq_steps = 100_000 if args.smoke else 200_000
     repeats = 3 if args.smoke else 1
     population_sizes = ((1000, 10_000, 100_000) if args.smoke
                         else (1000, 10_000, 100_000, 10_000_000))
     with_seed_loops = not args.smoke
     strategy_points = []
     action_points = []
+    weighted_points = []
     igt_case_throughput = {}
+    # Fixed payoff matrix of the generic-model workloads (8 strategies,
+    # deterministic across runs).
+    generic_payoffs = np.random.default_rng(0).normal(size=(8, 8))
     for n in population_sizes:
         # Small-n cases finish in milliseconds where jitter dominates;
         # best-of-3 stabilizes them even in full mode.
@@ -394,10 +414,45 @@ def main(argv=None) -> None:
                                           seed=1).run(steps), n_repeats),
                baseline)
 
+        # --- weighted k-IGT workload (heterogeneous activity) --------
+        model = igt_model(GRID.k)
+        states = igt_states(n)
+        activity = weights_from_spec("powerlaw", n)
+        weighted_agent = record(
+            "igt-weighted", "agent", n, steps,
+            timed(lambda: AgentBackend(
+                model, states,
+                scheduler=WeightedScheduler(activity, seed=1)).run(steps),
+                n_repeats))
+        weighted_count = record(
+            "igt-weighted", "count", n, steps,
+            timed(lambda: WeightedCountBackend.from_agent_states(
+                model, states, activity, seed=1).run(steps),
+                n_repeats))
+        weighted_points.append((n, weighted_agent, weighted_count))
+
+        # --- generic stochastic models: per-interaction loop vs the
+        # batched kernel path (vectorized=True, law-identical) --------
+        for workload, generic_model in (
+                ("logit", LogitResponseModel(generic_payoffs)),
+                ("imitation", ImitationModel(generic_payoffs))):
+            generic_states = (np.arange(n) % 8).astype(np.int64)
+            sequential = record(
+                workload, "agent-seq", n, generic_seq_steps,
+                timed(lambda: AgentBackend(
+                    generic_model, generic_states,
+                    seed=1).run(generic_seq_steps), n_repeats))
+            record(workload, "agent", n, steps,
+                   timed(lambda: AgentBackend(
+                       generic_model, generic_states, seed=1,
+                       vectorized=True).run(steps), n_repeats),
+                   agent_seq_baseline=sequential)
+
     thresholds = {
         "strategy_crossover_n": crossover_n(strategy_points),
         "action_crossover_n": crossover_n(action_points)
         if action_points else 1000,
+        "weighted_crossover_n": crossover_n(weighted_points),
     }
     # The dispatcher's pick per size, annotated for the record (the
     # timing is the resolved case's — dispatch itself is a dict lookup).

@@ -5,8 +5,10 @@ Compares a freshly generated ``BENCH_engine.json`` (typically from
 committed at the repo root.  Cases are matched on
 ``(workload, backend, n)`` and the ``"count"`` and ``"agent"`` entries
 are gated — they carry the engine's performance claims across every
-workload (including the ``igt-observed`` and ``igt-action`` count
-cases); seed-loop, ``agent-seq``, and per-step entries are baselines by
+workload (including the ``igt-observed`` / ``igt-action`` count cases,
+the ``igt-weighted`` heterogeneous-activity cases on both backends, and
+the ``logit`` / ``imitation`` generic-model vectorized cases);
+seed-loop, ``agent-seq``, and per-step entries are baselines by
 construction, and ``auto`` rows duplicate whichever gated case the
 dispatcher resolved to.  A case fails when its throughput drops below
 ``baseline / factor``; the default factor 2 absorbs the gap between CI

@@ -225,6 +225,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--seed", type=int, default=0,
                             help="random seed (default 0)")
     sim_parser.add_argument(
+        "--weights", default="uniform", metavar="SPEC",
+        help=("activity-weight spec for heterogeneous scheduling: "
+              "uniform (default), powerlaw[:alpha], or twoclass[:ratio]; "
+              "pairs are then sampled weight-proportionally"))
+    sim_parser.add_argument(
         "--backend", choices=["agent", "count", "auto"], default="agent",
         help=("simulation engine: 'agent' tracks every agent, 'count' "
               "simulates the exact count chain (much faster at large n), "
@@ -237,29 +242,62 @@ def _run_simulate(args) -> int:
     from repro.core.igt import GenerosityGrid
     from repro.core.population_igt import IGTSimulation, PopulationShares
     from repro.core.theory import igt_mixing_upper_bound
+    from repro.engine import weights_from_spec
+
+    import numpy as np
 
     gamma = 1.0 - args.alpha - args.beta
     shares = PopulationShares(alpha=args.alpha, beta=args.beta, gamma=gamma)
     grid = GenerosityGrid(k=args.k, g_max=args.g_max)
+    activity = weights_from_spec(args.weights, args.n)
     steps = args.steps
     if steps is None:
         steps = int(2 * igt_mixing_upper_bound(args.k, shares, args.n))
+        if activity is not None:
+            # The slowest agents initiate at rate w_min/W instead of
+            # 1/n; stretch the default budget accordingly (same
+            # correction E6 applies to its burn-in).
+            steps = int(steps * float(activity.sum())
+                        / (args.n * float(activity.min())))
     sim = IGTSimulation(n=args.n, shares=shares, grid=grid, seed=args.seed,
-                        observation_noise=args.noise, backend=args.backend)
+                        observation_noise=args.noise, backend=args.backend,
+                        weights=activity)
     print(f"k-IGT: n={args.n}, (alpha,beta,gamma)=({args.alpha}, "
           f"{args.beta}, {gamma:.3g}), k={args.k}, g_max={args.g_max}, "
-          f"noise={args.noise}, steps={steps}, backend={args.backend}")
+          f"noise={args.noise}, steps={steps}, backend={args.backend}, "
+          f"weights={args.weights}")
     sim.run(steps)
-    process = sim.equivalent_ehrenfest(exact=True)
-    weights = process.stationary_weights()
+    # Heterogeneous GTFT activity weights mix per-agent walk biases, so
+    # no single Ehrenfest chain matches — report simulation only.  Every
+    # other embedding error (e.g. beta=0 needs an AD agent) stays hard,
+    # weighted or not.
+    gtft_weights = (None if activity is None
+                    else activity[sim.n_ac + sim.n_ad:])
+    if gtft_weights is not None \
+            and not np.allclose(gtft_weights, gtft_weights[0]):
+        process = None
+        print("(no Ehrenfest embedding: GTFT agents carry heterogeneous "
+              "activity weights, so per-agent stationary biases mix)")
+    else:
+        process = sim.equivalent_ehrenfest(exact=True)
     mu = sim.empirical_mu()
-    rows = [[f"g_{j + 1} = {grid.value(j):.3f}", f"{weights[j]:.4f}",
-             f"{mu[j]:.4f}"] for j in range(args.k)]
-    print(format_table(["strategy", "stationary p_j", "simulated"], rows))
-    theory_generosity = float(grid.values @ weights)
-    print(f"average generosity: simulated {sim.average_generosity():.4f}, "
-          f"stationary theory {theory_generosity:.4f} "
-          f"(lambda = {process.lam:.3f})")
+    if process is not None:
+        weights = process.stationary_weights()
+        rows = [[f"g_{j + 1} = {grid.value(j):.3f}", f"{weights[j]:.4f}",
+                 f"{mu[j]:.4f}"] for j in range(args.k)]
+        print(format_table(["strategy", "stationary p_j", "simulated"],
+                           rows))
+        theory_generosity = float(grid.values @ weights)
+        print(f"average generosity: simulated "
+              f"{sim.average_generosity():.4f}, "
+              f"stationary theory {theory_generosity:.4f} "
+              f"(lambda = {process.lam:.3f})")
+    else:
+        rows = [[f"g_{j + 1} = {grid.value(j):.3f}", f"{mu[j]:.4f}"]
+                for j in range(args.k)]
+        print(format_table(["strategy", "simulated"], rows))
+        print(f"average generosity: simulated "
+              f"{sim.average_generosity():.4f}")
     return 0
 
 

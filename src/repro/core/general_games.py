@@ -36,12 +36,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine import AgentBackend, CountBackend, check_backend, \
-    resolve_backend, \
-    matrix_game_model
+from repro.engine import AgentBackend, CountBackend, WeightedCountBackend, \
+    check_backend, resolve_backend, matrix_game_model
+from repro.engine.weighted import resolve_weights
 from repro.games.base import MatrixGame
 from repro.games.nash import symmetric_de_gap
-from repro.population.scheduler import RandomScheduler
+from repro.population.scheduler import RandomScheduler, WeightedScheduler
 from repro.utils import as_generator, check_positive_int, check_probability
 from repro.utils.errors import InvalidParameterError
 
@@ -75,11 +75,25 @@ class PopulationGameSimulation:
         far faster at large ``n``, but ``strategies`` and ``step()`` are
         unavailable.  ``"auto"`` dispatches between them from ``n``
         (:func:`repro.engine.resolve_backend`).
+    weights:
+        Optional per-agent activity weights (length-``n`` positive array
+        or a :func:`repro.engine.weights_from_spec` spec string): pairs
+        are scheduled weight-proportionally instead of uniformly.  On
+        ``backend="count"`` the simulation runs the exact
+        ``(weight class × state)`` lift — available for the
+        ``best_response`` and ``logit`` rules; the ``imitation`` rule
+        reads extra observed agents and needs ``backend="agent"``.
+    vectorized:
+        Forwarded to :class:`~repro.engine.agent.AgentBackend`:
+        ``True`` opts the stochastic rules (``imitation``/``logit``)
+        into the batched kernel path — distribution-identical to the
+        sequential loop, several times its throughput.
     """
 
     def __init__(self, game: MatrixGame, n: int, rule: str = "imitation",
                  seed=None, initial_strategies=None, p_update: float = 0.5,
-                 eta: float = 1.0, backend: str = "agent"):
+                 eta: float = 1.0, backend: str = "agent", weights=None,
+                 vectorized: bool | None = None):
         if not game.is_symmetric():
             raise InvalidParameterError(
                 "population game dynamics require a symmetric game")
@@ -94,8 +108,14 @@ class PopulationGameSimulation:
         if eta <= 0:
             raise InvalidParameterError(f"eta must be positive, got {eta!r}")
         self.eta = float(eta)
+        self._weights = weights = resolve_weights(weights, self.n)
         check_backend(backend, allow_auto=True)
-        self.backend = backend = resolve_backend(backend, n=self.n)
+        # The weighted count lift is pairwise-only; the imitation rule
+        # reads extra observed agents, so "auto" must resolve it to the
+        # agent backend (an explicit backend="count" still errors).
+        self.backend = backend = resolve_backend(
+            backend, n=self.n, weighted=weights is not None,
+            needs_per_agent=weights is not None and rule == "imitation")
         self._rng = as_generator(seed)
         n_strategies = self.payoffs.shape[0]
         if initial_strategies is None:
@@ -117,16 +137,28 @@ class PopulationGameSimulation:
             imitation_scale=self._imitation_scale)
         if backend == "count":
             self._strategies = None
-            self._engine = CountBackend(
-                self._model,
-                np.bincount(strategies, minlength=n_strategies),
-                seed=self._rng)
+            self._scheduler = None
+            if weights is None:
+                self._engine = CountBackend(
+                    self._model,
+                    np.bincount(strategies, minlength=n_strategies),
+                    seed=self._rng)
+            else:
+                # Weights break exchangeability: run the exact
+                # (weight class × strategy) lift.  The imitation rule
+                # reads extra observed agents and is rejected by the
+                # lift's pairwise-model check.
+                self._engine = WeightedCountBackend.from_agent_states(
+                    self._model, strategies, weights, seed=self._rng)
         else:
             self._strategies = strategies
+            self._scheduler = (
+                RandomScheduler(self.n, seed=self._rng) if weights is None
+                else WeightedScheduler(weights, seed=self._rng))
             self._engine = AgentBackend(
                 self._model, strategies,
-                scheduler=RandomScheduler(self.n, seed=self._rng),
-                copy=False)
+                scheduler=self._scheduler,
+                copy=False, vectorized=vectorized)
         self._counts = self._engine.counts_live
         self.steps_run = 0
 
@@ -168,19 +200,27 @@ class PopulationGameSimulation:
         """One scheduled interaction (``backend="agent"``)."""
         strategies = self.strategies
         rng = self._rng
-        i = int(rng.integers(0, self.n))
-        j = int(rng.integers(0, self.n - 1))
-        if j >= i:
-            j += 1
+        if self._weights is None:
+            i = int(rng.integers(0, self.n))
+            j = int(rng.integers(0, self.n - 1))
+            if j >= i:
+                j += 1
+        else:
+            i, j = self._scheduler.next_pair()
         observed = None
         if self._model.slots_per_step == 4:
-            # The rule reads two independently sampled opponents.
-            oi = int(rng.integers(0, self.n - 1))
-            if oi >= i:
-                oi += 1
-            oj = int(rng.integers(0, self.n - 1))
-            if oj >= j:
-                oj += 1
+            # The rule reads two independently sampled opponents, drawn
+            # from the scheduler's law.
+            if self._weights is None:
+                oi = int(rng.integers(0, self.n - 1))
+                if oi >= i:
+                    oi += 1
+                oj = int(rng.integers(0, self.n - 1))
+                if oj >= j:
+                    oj += 1
+            else:
+                oi = int(self._scheduler.others_block([i])[0])
+                oj = int(self._scheduler.others_block([j])[0])
             observed = (int(strategies[oi]), int(strategies[oj]))
         new_u, _ = self._model.apply_scalar(int(strategies[i]),
                                             int(strategies[j]), rng, observed)

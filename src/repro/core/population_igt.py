@@ -41,11 +41,13 @@ from repro.core.igt import AgentType, GenerosityGrid, IGTRule
 from repro.engine import (
     AgentBackend,
     CountBackend,
+    WeightedCountBackend,
     check_backend,
     igt_action_model,
     igt_model,
     resolve_backend,
 )
+from repro.engine.weighted import resolve_weights
 from repro.games.repeated import RepeatedGameEngine
 from repro.games.strategies import (
     MemoryOneStrategy,
@@ -54,7 +56,7 @@ from repro.games.strategies import (
     generous_tit_for_tat,
 )
 from repro.markov.ehrenfest import EhrenfestProcess
-from repro.population.scheduler import RandomScheduler
+from repro.population.scheduler import RandomScheduler, WeightedScheduler
 from repro.utils import as_generator, check_fraction, check_positive_int
 from repro.utils.errors import InvalidParameterError
 
@@ -160,12 +162,26 @@ class IGTSimulation:
         accumulated per type pair (:meth:`mean_payoff_by_type`).
         ``"auto"`` dispatches between the engines from ``(n, mode)`` via
         :func:`repro.engine.resolve_backend`.
+    weights:
+        Optional per-agent activity weights — the heterogeneous-contact
+        extension: the scheduler draws initiator and responder
+        proportionally to weight (:class:`~repro.population.scheduler
+        .WeightedScheduler`'s law) instead of uniformly.  Either a
+        length-``n`` positive array aligned with the agent order
+        ``[AC block, AD block, GTFT block]``, or a spec string accepted
+        by :func:`repro.engine.weights_from_spec` (``"uniform"``,
+        ``"powerlaw[:alpha]"``, ``"twoclass[:ratio]"``).  On
+        ``backend="count"`` the simulation runs the exact
+        ``(weight class × state)`` lift
+        (:class:`~repro.engine.WeightedCountBackend`); ``"auto"``
+        dispatches on the measured weighted crossover.
     """
 
     def __init__(self, n: int, shares: PopulationShares, grid: GenerosityGrid,
                  seed=None, mode: str = "strategy", setting=None,
                  track_payoffs: bool = False, initial_indices="uniform",
-                 observation_noise: float = 0.0, backend: str = "agent"):
+                 observation_noise: float = 0.0, backend: str = "agent",
+                 weights=None):
         if mode not in _MODES:
             raise InvalidParameterError(
                 f"mode must be one of {_MODES}, got {mode!r}")
@@ -175,9 +191,10 @@ class IGTSimulation:
         self.mode = mode
         self.rule = IGTRule(grid, strict=(mode == "strict"))
         self.setting = setting
+        self._weights = weights = resolve_weights(weights, self.n)
         check_backend(backend, allow_auto=True)
-        self.backend = backend = resolve_backend(backend, n=self.n,
-                                                 mode=mode)
+        self.backend = backend = resolve_backend(
+            backend, n=self.n, mode=mode, weighted=weights is not None)
         self.observation_noise = check_fraction("observation_noise",
                                                 observation_noise)
         if self.observation_noise > 0 and mode != "strategy":
@@ -261,9 +278,22 @@ class IGTSimulation:
         self._engine = None
         if backend == "count":
             self._agent_states = None
-            self._engine = CountBackend(self._model, counts_full,
-                                        seed=self._rng,
-                                        track_pair_counts=self.track_payoffs)
+            self._scheduler = None
+            if self._weights is None:
+                self._engine = CountBackend(
+                    self._model, counts_full, seed=self._rng,
+                    track_pair_counts=self.track_payoffs)
+            else:
+                # Weights break exchangeability: run the exact
+                # (weight class × state) lift instead of the plain
+                # count chain.
+                states = np.empty(n, dtype=np.int64)
+                states[:n_ac] = k
+                states[n_ac:n_ac + n_ad] = k + 1
+                states[self._gtft_slice] = gtft_start
+                self._engine = WeightedCountBackend.from_agent_states(
+                    self._model, states, self._weights, seed=self._rng,
+                    track_pair_counts=self.track_payoffs)
             self._counts_full = self._engine.counts_live
         else:
             states = np.empty(n, dtype=np.int64)
@@ -272,6 +302,10 @@ class IGTSimulation:
             states[self._gtft_slice] = gtft_start
             self._agent_states = states
             self._counts_full = counts_full
+            self._scheduler = (
+                RandomScheduler(self.n, seed=self._rng)
+                if self._weights is None
+                else WeightedScheduler(self._weights, seed=self._rng))
         self._counts = self._counts_full[:k]
         self.steps_run = 0
 
@@ -291,7 +325,7 @@ class IGTSimulation:
         if self._engine is None:
             self._engine = AgentBackend(
                 self._model, self._agent_states,
-                scheduler=RandomScheduler(self.n, seed=self._rng),
+                scheduler=self._scheduler,
                 copy=False)
             # Adopt the engine's count vector so step() and engine runs
             # mutate the same storage.
@@ -369,12 +403,14 @@ class IGTSimulation:
                 else AgentType.GTFT)
 
     def step(self) -> None:
-        """Execute a single scheduled interaction (``backend="agent"``)."""
+        """Execute a single scheduled interaction (``backend="agent"``).
+
+        The pair is drawn through the simulation's scheduler, so
+        weighted populations step with the weighted law (and uniform
+        ones bit-for-bit like the pre-scheduler code path).
+        """
         self._require_agent_states()
-        i = int(self._rng.integers(0, self.n))
-        j = int(self._rng.integers(0, self.n - 1))
-        if j >= i:
-            j += 1
+        i, j = self._scheduler.next_pair()
         self._interact(i, j)
         self.steps_run += 1
 
@@ -572,13 +608,48 @@ class IGTSimulation:
         and the exact stationary bias ``λ = (n−1−n_ad)/n_ad`` — an
         ``O(1/n)`` correction to ``(1−β)/β`` that matters for the small
         populations used in exact validation.
+
+        Under a weighted scheduler (``weights=``) the count chain is
+        still an Ehrenfest process *when all GTFT agents share one
+        activity weight* ``w_g`` (heterogeneous GTFT weights give each
+        agent its own bias; the aggregate is then a mixture, not a
+        single Ehrenfest chain — an error here).  With ``W`` the total
+        weight and ``W_ad`` the AD weight mass, a GTFT initiator reads
+        AD with probability ``W_ad/(W − w_g)`` and initiates at rate
+        ``m·w_g/W``, so ``β̂ = W_ad/(W − w_g)``, ``scale = m·w_g/W``,
+        and the stationary bias becomes ``λ_w = (W − w_g − W_ad)/W_ad``
+        — the activity-share generalization of the uniform formula
+        (equal weights recover it exactly).  Requires ``exact=True``.
         """
         if self.mode == "strict":
             raise InvalidParameterError(
                 "the strict variant has its own embedding; use "
                 "strict_equivalent_ehrenfest()")
         m = self.n_gtft
-        if exact:
+        if self._weights is not None:
+            if not exact:
+                raise InvalidParameterError(
+                    "the idealized (exact=False) embedding assumes the "
+                    "uniform scheduler; weighted populations use "
+                    "exact=True")
+            gtft_weights = self._weights[self._gtft_slice]
+            if not np.allclose(gtft_weights, gtft_weights[0]):
+                raise InvalidParameterError(
+                    "the weighted Ehrenfest embedding needs all GTFT "
+                    "agents to share one activity weight; heterogeneous "
+                    "GTFT weights mix per-agent biases")
+            total_weight = float(self._weights.sum())
+            ad_weight = float(
+                self._weights[self.n_ac:self.n_ac + self.n_ad].sum())
+            if ad_weight == 0 and self.observation_noise == 0:
+                raise InvalidParameterError(
+                    "the Ehrenfest embedding needs b > 0, i.e. at least "
+                    "one AD agent (or positive observation noise)")
+            w_gtft = float(gtft_weights[0])
+            beta_hat = ad_weight / (total_weight - w_gtft)
+            up = 1.0 - beta_hat
+            down = beta_hat
+        elif exact:
             if self.n_ad == 0 and self.observation_noise == 0:
                 raise InvalidParameterError(
                     "the Ehrenfest embedding needs b > 0, i.e. at least one "
@@ -599,7 +670,10 @@ class IGTSimulation:
         eps = self.observation_noise
         up_eff = (1.0 - eps) * up + eps * down
         down_eff = (1.0 - eps) * down + eps * up
-        scale = m / self.n if exact else self.shares.gamma
+        if self._weights is not None:
+            scale = m * w_gtft / total_weight
+        else:
+            scale = m / self.n if exact else self.shares.gamma
         a = scale * up_eff
         b = scale * down_eff
         if a <= 0 or b <= 0:
@@ -617,6 +691,10 @@ class IGTSimulation:
         ``λ_strict = (m−1)/n_ad`` — strictly below the standard rule's bias
         whenever AC agents exist.
         """
+        if self._weights is not None:
+            raise InvalidParameterError(
+                "the strict embedding is derived for the uniform "
+                "scheduler; weighted populations are not supported here")
         m = self.n_gtft
         if self.n_ad == 0 or m < 2:
             raise InvalidParameterError(

@@ -18,9 +18,20 @@ uniform-scheduler process:
   counts — the count-level route to payoff observables and
   ``mode="action"`` experiments.
 
+Heterogeneous-activity scheduling is first-class: any duck-compatible
+scheduler (``n`` / ``rng`` / ``pair_block``, plus ``weights`` /
+``others_block`` for non-uniform laws) plugs into :class:`AgentBackend`,
+and :class:`WeightedCountBackend` (:mod:`repro.engine.weighted`) runs
+the exact ``(weight class × state)`` count chain that replaces the
+exchangeable count vector under a
+:class:`~repro.population.scheduler.WeightedScheduler`.  Surfaces that
+cannot honor a weighted scheduler refuse loudly instead of silently
+downgrading to the uniform law.
+
 ``backend="auto"`` (resolved by :mod:`repro.engine.dispatch` against the
 measured crossovers in ``BENCH_engine.json``) picks between them from
-``(n, mode, observables)``; pass a concrete name to pin the engine.
+``(n, mode, observables, weights)``; pass a concrete name to pin the
+engine.
 """
 
 from repro.engine.adapters import (
@@ -39,7 +50,12 @@ from repro.engine.base import (
 )
 from repro.engine.count import CountBackend
 from repro.engine.dispatch import choose_backend, resolve_backend
-from repro.engine.sampling import UniformPairSampler, ordered_pair_block
+from repro.engine.sampling import (
+    UniformPairSampler,
+    WeightedPairSampler,
+    ordered_pair_block,
+    weighted_pair_block,
+)
 from repro.engine.model import (
     ImitationModel,
     InteractionModel,
@@ -49,6 +65,13 @@ from repro.engine.model import (
     TableModel,
 )
 from repro.engine.vectorized import ConflictFreeKernel
+from repro.engine.weighted import (
+    ProductStateModel,
+    WeightedCountBackend,
+    resolve_weights,
+    weight_classes,
+    weights_from_spec,
+)
 
 __all__ = [
     "BACKENDS",
@@ -60,6 +83,7 @@ __all__ = [
     "EngineResult",
     "AgentBackend",
     "CountBackend",
+    "WeightedCountBackend",
     "ConflictFreeKernel",
     "InteractionModel",
     "TableModel",
@@ -67,10 +91,16 @@ __all__ = [
     "PairMixtureTableModel",
     "LogitResponseModel",
     "ImitationModel",
+    "ProductStateModel",
     "protocol_model",
     "igt_model",
     "igt_action_model",
     "matrix_game_model",
     "ordered_pair_block",
+    "weighted_pair_block",
     "UniformPairSampler",
+    "WeightedPairSampler",
+    "resolve_weights",
+    "weight_classes",
+    "weights_from_spec",
 ]

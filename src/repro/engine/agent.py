@@ -28,8 +28,21 @@ Three inner loops:
 * **generic loop** — stochastic models are applied per interaction through
   :meth:`~repro.engine.model.InteractionModel.apply_scalar`; models that
   read extra agents (``slots_per_step == 4``) get their observed agents
-  sampled per block with the same shift trick.  The ``vectorized`` knob
-  does not apply to these models.
+  sampled per block through the scheduler's ``others_block`` (the same
+  shift trick under the uniform scheduler; weighted rejection draws under
+  a weighted one).  ``vectorized=True`` opts one-way generic models into
+  the chunked kernel's batched stochastic path — *distribution*-identical
+  to this loop (each interaction still gets an independent model draw and
+  conflicting interactions execute in sampling order) but not bit-identical,
+  because model randomness is consumed per round rather than per step.
+
+The scheduler is pluggable: anything exposing ``n`` / ``rng`` /
+``pair_block`` works (e.g. a
+:class:`~repro.population.scheduler.WeightedScheduler` for heterogeneous
+contact processes), and every inner loop draws its pairs through it.  A
+scheduler advertising non-uniform ``weights`` but lacking the
+``others_block`` method is rejected loudly for 4-slot models rather than
+silently pairing weighted interactions with uniformly sampled observers.
 """
 
 from __future__ import annotations
@@ -74,13 +87,16 @@ class AgentBackend(SimulationEngine):
         When false, adopt ``initial_states`` in place (it must be a 1-D
         ``int64`` array); the caller then observes state updates directly.
     vectorized:
-        Path selection for table models: ``None`` (default) uses the
+        Path selection.  For table models: ``None`` (default) uses the
         chunked NumPy kernel when ``n`` and the run's observation/stop
         cadences make it profitable, ``True`` forces it, ``False`` keeps
         the sequential loop (bit-for-bit the seed simulator; the kernel
         produces identical trajectories, so this knob is about
-        performance and auditability, not results).  Ignored by models
-        without component tables.
+        performance and auditability, not results).  For generic
+        (stochastic) one-way models ``True`` opts into the kernel's
+        batched stochastic path — distribution-identical to the
+        sequential loop but not bit-identical — while ``None``/``False``
+        keep the per-interaction loop (the reproducibility default).
     """
 
     def __init__(self, model: InteractionModel, initial_states, seed=None,
@@ -108,6 +124,26 @@ class AgentBackend(SimulationEngine):
                 f"scheduler is over n={scheduler.n} agents, "
                 f"population has n={self.n}")
         self.scheduler = scheduler
+        # Observed-agent draws for 4-slot models: route through the
+        # scheduler so weighted schedulers tilt the observers with the
+        # same law as the pair itself.  A scheduler advertising
+        # non-uniform weights without an others_block cannot be honored
+        # — refuse, never silently sample observers uniformly.
+        self._others_block = None
+        if model.slots_per_step == 4:
+            others = getattr(scheduler, "others_block", None)
+            if others is not None:
+                self._others_block = others
+            elif getattr(scheduler, "weights", None) is None:
+                self._others_block = (
+                    lambda first: ordered_pair_block(
+                        scheduler.rng, self.n, len(first), first=first)[1])
+            else:
+                raise InvalidParameterError(
+                    "this model reads extra observed agents, but the "
+                    "weighted scheduler exposes no others_block to draw "
+                    "them from its law; refusing to downgrade the "
+                    "observer draws to the uniform law")
         self._counts = np.bincount(states,
                                    minlength=model.n_states).astype(np.int64)
         # Flat per-component lookup tables for the fast loop, built once
@@ -154,6 +190,13 @@ class AgentBackend(SimulationEngine):
                                             observations)
             return self._run_tables(max_steps, stop_when, observe_every,
                                     check_stop_every, observations)
+        if self.vectorized is True:
+            # Opt-in batched stochastic path (law-identical, not
+            # bit-identical): the kernel rejects models it cannot
+            # vectorize (two-way stochastic laws) loudly.
+            return self._run_vectorized(max_steps, stop_when,
+                                        observe_every, check_stop_every,
+                                        observations)
         return self._run_generic(max_steps, stop_when, observe_every,
                                  check_stop_every, observations)
 
@@ -182,13 +225,14 @@ class AgentBackend(SimulationEngine):
     def _run_vectorized(self, max_steps, stop_when, observe_every,
                         check_stop_every, observations) -> EngineResult:
         if self._kernel is None:
-            self._kernel = ConflictFreeKernel(self.model, self._states,
-                                              self._counts)
+            self._kernel = ConflictFreeKernel(
+                self.model, self._states, self._counts,
+                allow_stochastic=self._flats_np is None)
         executed, converged = run_kernel(
             self._kernel, self.scheduler.pair_block,
             self.model.sample_components, self.scheduler.rng, max_steps,
             self.steps_run, stop_when, observe_every, check_stop_every,
-            observations, BLOCK_SIZE)
+            observations, BLOCK_SIZE, others_block=self._others_block)
         self.steps_run += executed
         return self._result(converged, observations)
 
@@ -287,18 +331,16 @@ class AgentBackend(SimulationEngine):
         states = self._states
         counts = self._counts
         rng = self.scheduler.rng
-        n = self.n
         done = 0
         while done < max_steps:
             batch = min(BLOCK_SIZE, max_steps - done)
             initiators, responders = self.scheduler.pair_block(batch)
             if four:
-                # Observed opponents: uniform over the other n-1 agents,
-                # relative to the initiator / responder respectively.
-                _, obs_i = ordered_pair_block(rng, n, batch,
-                                              first=initiators)
-                _, obs_j = ordered_pair_block(rng, n, batch,
-                                              first=responders)
+                # Observed opponents: one *other* agent relative to the
+                # initiator / responder respectively, drawn from the
+                # scheduler's law (shift trick when uniform).
+                obs_i = self._others_block(initiators)
+                obs_j = self._others_block(responders)
             for offset in range(batch):
                 i = initiators[offset]
                 j = responders[offset]

@@ -171,11 +171,22 @@ class CountBackend(SimulationEngine):
         kernel for supported models up to :data:`PROXY_MAX_N` agents,
         ``True`` forces it (still requires a supported model), ``False``
         forces the birthday path.  Both paths simulate the same law.
+    scheduler:
+        Optional pair scheduler to share a randomness stream with the
+        caller.  The count chain *is* the uniform scheduler's law, so
+        only uniform-law schedulers (``weights is None`` / absent) can
+        be honored — their ``rng`` is adopted; the batched paths never
+        call ``pair_block``, which is exactly distribution-preserving.
+        A scheduler advertising non-uniform ``weights`` breaks the
+        exchangeability this backend is built on and is rejected loudly
+        (use :class:`~repro.engine.weighted.WeightedCountBackend`, the
+        ``(weight class × state)`` lift, instead) — never silently
+        downgraded to the uniform law.
     """
 
     def __init__(self, model: InteractionModel, initial_counts, seed=None,
                  track_pair_counts: bool = False,
-                 vectorized: bool | None = None):
+                 vectorized: bool | None = None, scheduler=None):
         self.model = model
         counts = np.asarray(initial_counts, dtype=np.int64).copy()
         if counts.ndim != 1 or counts.size != model.n_states:
@@ -189,6 +200,18 @@ class CountBackend(SimulationEngine):
             raise InvalidParameterError(
                 f"population must have at least 2 agents, got n={self.n}")
         self._counts = counts
+        if scheduler is not None:
+            if getattr(scheduler, "weights", None) is not None:
+                raise InvalidParameterError(
+                    "CountBackend simulates the exchangeable count chain; "
+                    "a weighted scheduler breaks exchangeability and "
+                    "cannot be honored here — use WeightedCountBackend "
+                    "(the weight-class × state lift) or the agent backend")
+            if scheduler.n != self.n:
+                raise InvalidParameterError(
+                    f"scheduler is over n={scheduler.n} agents, "
+                    f"population has n={self.n}")
+            seed = scheduler.rng
         self._rng = as_generator(seed)
         self._spp = model.slots_per_step
         if self._spp not in (2, 4):

@@ -4,19 +4,25 @@ Chooses between the per-agent and count-level engines from the workload
 coordinates that actually decide the race:
 
 * **per-agent observables** (agent trajectories, per-agent payoffs)
-  force ``"agent"`` — the count backend tracks no identities;
+  force ``"agent"`` — the count backends track no identities;
 * otherwise the population size ``n`` decides against a measured
   crossover: below it the (vectorized) agent backend wins, above it the
-  count backend's ``Θ(√n)`` birthday batching does.  ``mode="action"``
-  workloads get their own, much lower crossover — the agent backend must
-  *play* a Monte-Carlo repeated game per interaction there, while the
-  count backend applies the exact classification law vectorized.
+  count backend's batched kernels do.  ``mode="action"`` workloads get
+  their own, much lower crossover — the agent backend must *play* a
+  Monte-Carlo repeated game per interaction there, while the count
+  backend applies the exact classification law vectorized.  **Weighted**
+  (heterogeneous-activity) workloads use a third crossover: both engines
+  then run the conflict-resolution kernel on weighted pair blocks, but
+  the count side folds the population into ``(weight class × state)``
+  counts and keeps its lead at scale.
 
 The crossovers are read from the ``auto_thresholds`` section that
 ``benchmarks/bench_engine.py`` writes into ``BENCH_engine.json`` (the
 committed machine-readable perf record), falling back to built-in
-defaults when the file is absent — e.g. in a wheel install.  Thresholds
-are cached per path after the first read.
+defaults when the file is absent — e.g. in a wheel install.  Reads are
+cached per path and invalidated when the file's mtime changes, so a
+benchmark run that regenerates the file in-process (or a test writing a
+fresh one) is picked up instead of being served stale crossovers.
 """
 
 from __future__ import annotations
@@ -29,12 +35,13 @@ from repro.engine.base import check_backend
 #: Fallback crossovers (population size above which ``"count"`` is
 #: chosen) when no benchmark file is readable.  Values match the shipped
 #: ``BENCH_engine.json`` (count wins from the smallest measured size on
-#: both workloads — its array-proxy path ties the agent kernel at small
-#: ``n`` and birthday batching wins beyond); see the file's
+#: all three workloads — its array-proxy/product kernels tie the agent
+#: kernel at small ``n`` and win beyond); see the file's
 #: ``auto_thresholds`` section for the live numbers.
 DEFAULT_THRESHOLDS = {
     "strategy_crossover_n": 1000,
     "action_crossover_n": 1000,
+    "weighted_crossover_n": 1000,
 }
 
 #: Default location of the benchmark record: the repository root, three
@@ -42,8 +49,18 @@ DEFAULT_THRESHOLDS = {
 #: what the fallback defaults are for).
 BENCH_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_engine.json"
 
-#: ``path -> thresholds`` cache (one file read per process).
-_THRESHOLD_CACHE: dict[str, dict] = {}
+#: ``path -> (mtime_ns, thresholds)`` cache: one file read per process
+#: *per file version* — a changed mtime (e.g. ``bench_engine.py``
+#: regenerating the record mid-process) invalidates the entry.
+_THRESHOLD_CACHE: dict[str, tuple[int | None, dict]] = {}
+
+
+def _mtime_ns(path: pathlib.Path) -> int | None:
+    """The file's st_mtime_ns, or ``None`` when it cannot be stat'd."""
+    try:
+        return path.stat().st_mtime_ns
+    except OSError:
+        return None
 
 
 def load_thresholds(path=None) -> dict:
@@ -51,12 +68,16 @@ def load_thresholds(path=None) -> dict:
 
     Unknown keys are ignored and missing keys filled from
     :data:`DEFAULT_THRESHOLDS`, so older benchmark files stay usable.
+    Results are cached per ``(path, mtime)``; rewriting the file serves
+    fresh values, while an unreadable file keeps serving the last good
+    read (or the defaults when there never was one).
     """
     path = BENCH_PATH if path is None else pathlib.Path(path)
     key = str(path)
+    mtime = _mtime_ns(path)
     cached = _THRESHOLD_CACHE.get(key)
-    if cached is not None:
-        return dict(cached)
+    if cached is not None and (mtime is None or cached[0] == mtime):
+        return dict(cached[1])
     thresholds = dict(DEFAULT_THRESHOLDS)
     try:
         recorded = json.loads(path.read_text()).get("auto_thresholds", {})
@@ -66,13 +87,14 @@ def load_thresholds(path=None) -> dict:
         value = recorded.get(name)
         if isinstance(value, (int, float)) and value > 0:
             thresholds[name] = int(value)
-    _THRESHOLD_CACHE[key] = dict(thresholds)
+    _THRESHOLD_CACHE[key] = (mtime, dict(thresholds))
     return thresholds
 
 
 def choose_backend(n: int, mode: str = "strategy",
                    needs_per_agent: bool = False,
-                   thresholds: dict | None = None) -> str:
+                   thresholds: dict | None = None,
+                   weighted: bool = False) -> str:
     """The backend ``"auto"`` resolves to for one workload.
 
     Parameters
@@ -88,19 +110,28 @@ def choose_backend(n: int, mode: str = "strategy",
     thresholds:
         Optional override of :func:`load_thresholds` (tests, callers
         with their own measurements).
+    weighted:
+        Heterogeneous-activity workload — selects the weighted
+        crossover (the count side is then the product-space lift of
+        :class:`~repro.engine.weighted.WeightedCountBackend`).
     """
     if needs_per_agent:
         return "agent"
     if thresholds is None:
         thresholds = load_thresholds()
-    key = ("action_crossover_n" if mode == "action"
-           else "strategy_crossover_n")
+    if weighted:
+        key = "weighted_crossover_n"
+    elif mode == "action":
+        key = "action_crossover_n"
+    else:
+        key = "strategy_crossover_n"
     crossover = thresholds.get(key, DEFAULT_THRESHOLDS[key])
     return "count" if int(n) >= crossover else "agent"
 
 
 def resolve_backend(backend: str | None, n: int, mode: str = "strategy",
-                    needs_per_agent: bool = False) -> str:
+                    needs_per_agent: bool = False,
+                    weighted: bool = False) -> str:
     """Resolve a user-facing ``backend`` knob to a concrete engine name.
 
     ``None`` and ``"auto"`` dispatch via :func:`choose_backend`;
@@ -109,7 +140,8 @@ def resolve_backend(backend: str | None, n: int, mode: str = "strategy",
     facades raise their own, more specific errors.
     """
     if backend is None or backend == "auto":
-        return choose_backend(n, mode=mode, needs_per_agent=needs_per_agent)
+        return choose_backend(n, mode=mode, needs_per_agent=needs_per_agent,
+                              weighted=weighted)
     return check_backend(backend)
 
 

@@ -1,20 +1,39 @@
 """Shared ordered-pair sampling primitives.
 
-The single home of the "shift trick": drawing the second member of an
-ordered pair from ``n − 1`` values and bumping ties upward is exactly
-uniform over the agents distinct from the first.  Both engines and the
-population-level :class:`~repro.population.scheduler.RandomScheduler`
-route their pair randomness through :func:`ordered_pair_block`, so a fixed
-seed yields the same interaction schedule everywhere.
+Two pair laws live here, each used identically by the engines and by the
+population-level schedulers:
+
+* **uniform** — the single home of the "shift trick": drawing the second
+  member of an ordered pair from ``n − 1`` values and bumping ties upward
+  is exactly uniform over the agents distinct from the first.  Both
+  engines and :class:`~repro.population.scheduler.RandomScheduler` route
+  their pair randomness through :func:`ordered_pair_block`, so a fixed
+  seed yields the same interaction schedule everywhere.
+* **activity-weighted** — the initiator is drawn proportionally to a
+  per-agent weight (one cumulative-sum inversion per draw) and the
+  responder proportionally to weight among the *remaining* agents, by
+  vectorized rejection of clashes.
+  :class:`~repro.population.scheduler.WeightedScheduler` delegates its
+  blocks to :func:`weighted_pair_block`, so the scheduler and the engine
+  sampler share one law — and, under a shared seed, one bitstream.
+
+Engines accept any duck-compatible scheduler exposing ``n`` / ``rng`` /
+``pair_block``; schedulers whose law is *not* uniform must also expose a
+``weights`` attribute (the per-agent weights; ``None`` means uniform) so
+surfaces that cannot honor them can refuse loudly instead of silently
+falling back to the uniform law, and an ``others_block`` method when
+4-slot models (which read extra sampled agents) are to be supported.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.errors import InvalidParameterError
+
 
 def ordered_pair_block(rng, n: int, size: int, first=None):
-    """Vectorized batch of ``size`` ordered pairs of distinct agents.
+    """Vectorized batch of ``size`` uniform ordered pairs of distinct agents.
 
     Parameters
     ----------
@@ -35,14 +54,75 @@ def ordered_pair_block(rng, n: int, size: int, first=None):
     return first, second
 
 
+def check_weights(weights) -> np.ndarray:
+    """Validate a per-agent activity-weight vector and return it as float.
+
+    Weights must be 1-D, cover at least 2 agents, and be positive and
+    finite; the returned array is the caller's to normalize.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 1 or w.size < 2:
+        raise InvalidParameterError(
+            "weights must be a 1-D array of at least 2 agents")
+    if np.any(~np.isfinite(w)) or np.any(w <= 0):
+        raise InvalidParameterError("weights must be positive and finite")
+    return w
+
+
+def weight_cdf(weights: np.ndarray) -> np.ndarray:
+    """Cumulative distribution over agents with an exact 1.0 endpoint.
+
+    The single construction behind every weighted draw — the engine
+    sampler and the population scheduler both build their inversion
+    tables here, which is what keeps their bitstreams identical.
+    """
+    cdf = np.cumsum(weights / weights.sum())
+    cdf[-1] = 1.0
+    return cdf
+
+
+def weighted_draw_block(rng, cdf: np.ndarray, size: int) -> np.ndarray:
+    """``size`` independent agent draws from a weight CDF (inversion).
+
+    One uniform per draw inverted through ``searchsorted`` — the same
+    consumption as ``Generator.choice(n, p=weights)``, kept explicit so
+    every weighted consumer shares the bitstream.
+    """
+    return cdf.searchsorted(rng.random(size), side="right")
+
+
+def weighted_pair_block(rng, cdf: np.ndarray, size: int, first=None):
+    """``size`` weighted ordered pairs of distinct agents.
+
+    The initiator is weight-proportional; the responder is
+    weight-proportional among the remaining agents, realized by redrawing
+    clashes (vectorized rejection) — exactly the law of
+    :meth:`~repro.population.scheduler.WeightedScheduler.next_pair`.
+    ``first`` supplies pre-drawn initiators (the 4-slot "observed other
+    agent" use), in which case only responders are drawn.
+    """
+    if first is None:
+        first = weighted_draw_block(rng, cdf, size)
+    second = weighted_draw_block(rng, cdf, size)
+    clashes = first == second
+    while np.any(clashes):
+        second[clashes] = weighted_draw_block(rng, cdf, int(clashes.sum()))
+        clashes = first == second
+    return first, second
+
+
 class UniformPairSampler:
     """Minimal uniform pair scheduler (duck-compatible with the engines).
 
-    Provides the ``n`` / ``rng`` / ``pair_block`` surface the engines need
-    without importing the population package (which would be circular);
+    Provides the ``n`` / ``rng`` / ``pair_block`` / ``others_block``
+    surface the engines need without importing the population package
+    (which would be circular);
     :class:`~repro.population.scheduler.RandomScheduler` offers the same
     surface with validation and a scalar API on top.
     """
+
+    #: Uniform law — engines read this to know no weighting is in play.
+    weights = None
 
     def __init__(self, n: int, rng: np.random.Generator):
         self.n = int(n)
@@ -56,3 +136,43 @@ class UniformPairSampler:
     def pair_block(self, size: int):
         """``size`` ordered pairs of distinct agents."""
         return ordered_pair_block(self._rng, self.n, size)
+
+    def others_block(self, first) -> np.ndarray:
+        """One uniform *other* agent per entry of ``first`` (shift trick)."""
+        return ordered_pair_block(self._rng, self.n, len(first),
+                                  first=first)[1]
+
+
+class WeightedPairSampler:
+    """Activity-weighted pair scheduler (duck-compatible with the engines).
+
+    Each agent carries a positive activity weight; the initiator is drawn
+    proportionally to weight and the responder proportionally to weight
+    among the remaining agents (rejection only on clashes).  With equal
+    weights this is exactly the uniform scheduler's *law* (though not its
+    bitstream — inversion draws, not the shift trick).
+    :class:`~repro.population.scheduler.WeightedScheduler` delegates its
+    blocks here, so a shared seed gives scheduler and sampler identical
+    blocks.
+    """
+
+    def __init__(self, weights, rng: np.random.Generator):
+        w = check_weights(weights)
+        self.n = w.size
+        self.weights = w / w.sum()
+        self._cdf = weight_cdf(w)
+        self._rng = rng
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The underlying generator (shared with the simulation)."""
+        return self._rng
+
+    def pair_block(self, size: int):
+        """``size`` weighted ordered pairs of distinct agents."""
+        return weighted_pair_block(self._rng, self._cdf, size)
+
+    def others_block(self, first) -> np.ndarray:
+        """One weighted *other* agent per entry of ``first`` (rejection)."""
+        return weighted_pair_block(self._rng, self._cdf, len(first),
+                                   first=np.asarray(first))[1]

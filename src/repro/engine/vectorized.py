@@ -40,6 +40,17 @@ the count vector is exposed.  In that mode stochastic one-way models may
 be applied round-vectorized too — each interaction still receives an
 independent model draw, so the trajectory law is untouched even though
 generator consumption differs from the scalar loop.
+
+The sampler is pluggable: the kernel never draws pairs itself, so
+weighted (heterogeneous-activity) pair blocks flow through the exact
+same conflict resolution — this is what makes
+:class:`~repro.population.scheduler.WeightedScheduler` a first-class
+engine citizen.  One-way *stochastic* models that read two extra
+sampled agents per interaction (``slots_per_step == 4``, e.g.
+:class:`~repro.engine.model.ImitationModel`) are vectorizable too: the
+observed agents join the conflict analysis as read cells, and
+:func:`run_kernel` draws them per block through the caller's
+``others_block`` (uniform shift trick or weighted rejection).
 """
 
 from __future__ import annotations
@@ -121,12 +132,19 @@ class ConflictFreeKernel:
         if self._stochastic and not allow_stochastic:
             raise InvalidParameterError(
                 "the vectorized kernel needs component tables; stochastic "
-                "models require allow_stochastic=True (count-level only)")
+                "models require allow_stochastic=True (the trajectory law "
+                "is exact but generator consumption differs from the "
+                "scalar loop)")
         one_way = bool(model.one_way)
         if self._stochastic and not one_way:
             raise InvalidParameterError(
                 "stochastic models are only vectorizable when one-way "
                 "(responder never changes state)")
+        self.four = model.slots_per_step == 4
+        if self.four and not self._stochastic:
+            raise InvalidParameterError(
+                "4-slot models with component tables are not supported; "
+                "tables cannot encode observed-agent reads")
         self.one_way = one_way
         s = self.s
         if tables is not None:
@@ -160,7 +178,14 @@ class ConflictFreeKernel:
             for t in tables:
                 reached[np.unique(t[~self._inert, :, 0])] = True
             self._inert_closed = not (reached & self._inert).any()
-        self.chunk = auto_chunk(self.n) if chunk is None else int(chunk)
+        if chunk is None:
+            chunk = auto_chunk(self.n)
+            if self.four:
+                # 4-slot interactions occupy twice the agents per pair,
+                # so conflict density at a given chunk size doubles;
+                # halving restores the measured sweet spot at every n.
+                chunk = max(MIN_CHUNK // 2, chunk // 2)
+        self.chunk = int(chunk)
         if self.chunk < 1:
             raise InvalidParameterError(
                 f"chunk must be positive, got {self.chunk}")
@@ -171,6 +196,11 @@ class ConflictFreeKernel:
         if one_way:
             self._pos_i = np.full(self.n, -1, dtype=np.int64)
             self._pos_r = np.full(self.n, -1, dtype=np.int64)
+            if self.four:
+                # Interleaved (responder, observed_i, observed_j) read
+                # slots so equal-agent collisions resolve to the highest
+                # pair stamp (scatter order = pair order).
+                self._read_buf = np.empty(3 * self.chunk, dtype=np.int64)
         else:
             self._pos = np.empty(2 * self.n, dtype=np.int64)
             self._slot_buf = np.empty(2 * self.chunk, dtype=np.int64)
@@ -180,16 +210,17 @@ class ConflictFreeKernel:
     # ------------------------------------------------------------------
     # Conflict peeling (index-only; no state reads)
     # ------------------------------------------------------------------
-    def _peel(self, ii, jj, comps):
+    def _peel(self, ii, jj, comps, oi=None, oj=None):
         """Split a chunk into execution rounds.
 
-        Returns ``(head, rounds)``: the un-peeled head triple (scalar
+        Returns ``(head, rounds)``: the un-peeled head 5-tuple (scalar
         loop, executed first, in pair order) and the peeled rounds
-        (applied in *reverse* list order after the head).  Every pair of
-        arrays carries the matching ``comps`` slice (``None`` without
-        components).
+        (applied in *reverse* list order after the head).  Every round
+        carries the matching ``comps`` and observed-agent slices
+        (``None`` when absent).
         """
         one_way = self.one_way
+        four = self.four
         rounds = []
         while ii.size > TAIL_THRESHOLD:
             m = ii.size
@@ -199,10 +230,26 @@ class ConflictFreeKernel:
             if one_way:
                 pos_i, pos_r = self._pos_i, self._pos_r
                 pos_i[ii] = pid
-                pos_r[jj] = pid
-                ok = pos_i[ii] == pid     # last write to own cell
-                ok &= pos_i[jj] <= pid    # no later write to read cell
-                ok &= pos_r[ii] <= pid    # no later read of write cell
+                if four:
+                    # All read cells (responder + both observed agents)
+                    # interleaved in pair order: a shared agent keeps the
+                    # *latest* reader's stamp, exactly like the single
+                    # responder scatter below.
+                    reads = self._read_buf[:3 * m]
+                    reads[0::3] = jj
+                    reads[1::3] = oi
+                    reads[2::3] = oj
+                    rpid = np.repeat(pid, 3)
+                    pos_r[reads] = rpid
+                    ok = pos_i[ii] == pid     # last write to own cell
+                    unread = pos_i[reads] <= rpid  # no later write to reads
+                    ok &= unread[0::3] & unread[1::3] & unread[2::3]
+                    ok &= pos_r[ii] <= pid    # no later read of write cell
+                else:
+                    pos_r[jj] = pid
+                    ok = pos_i[ii] == pid     # last write to own cell
+                    ok &= pos_i[jj] <= pid    # no later write to read cell
+                    ok &= pos_r[ii] <= pid    # no later read of write cell
             else:
                 slots = self._slot_buf[:2 * m]
                 slots[0::2] = ii
@@ -212,21 +259,27 @@ class ConflictFreeKernel:
                 ok = self._pos[slots] == spid
                 ok = ok[0::2] & ok[1::2]  # both agents unused later
             if ok.all():
-                rounds.append((ii, jj, comps))
-                return (None, None, None), rounds
+                rounds.append((ii, jj, comps, oi, oj))
+                return (None, None, None, None, None), rounds
             w = np.flatnonzero(ok)
-            rounds.append((ii[w], jj[w], None if comps is None else comps[w]))
+            rounds.append((ii[w], jj[w],
+                           None if comps is None else comps[w],
+                           None if oi is None else oi[w],
+                           None if oj is None else oj[w]))
             rem = np.flatnonzero(~ok)
             ii = ii[rem]
             jj = jj[rem]
             if comps is not None:
                 comps = comps[rem]
-        return (ii, jj, comps), rounds
+            if oi is not None:
+                oi = oi[rem]
+                oj = oj[rem]
+        return (ii, jj, comps, oi, oj), rounds
 
     # ------------------------------------------------------------------
     # Application
     # ------------------------------------------------------------------
-    def _apply_head(self, ii, jj, comps, update_counts, rng):
+    def _apply_head(self, ii, jj, comps, oi, oj, update_counts, rng):
         """Scalar loop over the hard conflict chains, in pair order."""
         states, s = self.states, self.s
         counts = self.counts
@@ -243,7 +296,11 @@ class ConflictFreeKernel:
             if track is not None:
                 track[pair] += 1
             if stochastic:
-                nu, _ = self.model.apply_scalar(int(u), int(v), rng)
+                observed = None
+                if oi is not None:
+                    observed = (int(states[oi[t]]), int(states[oj[t]]))
+                nu, _ = self.model.apply_scalar(int(u), int(v), rng,
+                                                observed)
                 nv = v
             else:
                 flat = pair if cl is None else cl[t] * s * s + pair
@@ -260,7 +317,7 @@ class ConflictFreeKernel:
                     counts[v] -= 1
                     counts[nv] += 1
 
-    def _apply_round(self, ii, jj, comps, update_counts, rng):
+    def _apply_round(self, ii, jj, comps, oi, oj, update_counts, rng):
         """Vectorized application of one mutually-independent round."""
         states, s = self.states, self.s
         u = states[ii]
@@ -282,7 +339,10 @@ class ConflictFreeKernel:
         if self.pair_counts is not None:
             self.pair_counts += np.bincount(pair, minlength=s * s)
         if self._stochastic:
-            nu, _ = self.model.apply(u, v, rng)
+            observed = None
+            if oi is not None:
+                observed = (states[oi], states[oj])
+            nu, _ = self.model.apply(u, v, rng, observed)
             states[ii] = nu
             if update_counts:
                 self.counts += (np.bincount(nu, minlength=s)
@@ -304,12 +364,13 @@ class ConflictFreeKernel:
                 - np.bincount(np.concatenate((u, v)), minlength=s))
 
     def apply_chunk(self, ii, jj, comps=None, update_counts: bool = True,
-                    rng=None) -> None:
+                    rng=None, oi=None, oj=None) -> None:
         """Execute one chunk of sampled pairs, exactly as if sequential.
 
         With ``update_counts`` false the count vector is left stale for
         speed; call :meth:`sync_counts` before reading it.  ``rng`` is
-        required for stochastic models (their per-interaction draws).
+        required for stochastic models (their per-interaction draws);
+        ``oi``/``oj`` carry the observed-agent indices of 4-slot models.
         """
         if self._inert_bound is not None or self._inert is not None:
             if self._inert_bound is not None:
@@ -325,11 +386,14 @@ class ConflictFreeKernel:
                 jj = jj[act]
                 if comps is not None:
                     comps = comps[act]
-        (hi, hj, hc), rounds = self._peel(ii, jj, comps)
+                if oi is not None:
+                    oi = oi[act]
+                    oj = oj[act]
+        (hi, hj, hc, ho_i, ho_j), rounds = self._peel(ii, jj, comps, oi, oj)
         if hi is not None and hi.size:
-            self._apply_head(hi, hj, hc, update_counts, rng)
-        for pi, pj, pc in reversed(rounds):
-            self._apply_round(pi, pj, pc, update_counts, rng)
+            self._apply_head(hi, hj, hc, ho_i, ho_j, update_counts, rng)
+        for pi, pj, pc, po_i, po_j in reversed(rounds):
+            self._apply_round(pi, pj, pc, po_i, po_j, update_counts, rng)
 
     def begin_run(self) -> None:
         """Refresh run-scoped caches (call once per engine ``run``)."""
@@ -352,7 +416,7 @@ class ConflictFreeKernel:
 def run_kernel(kernel: ConflictFreeKernel, pair_block, sample_components,
                rng, max_steps: int, steps_done: int, stop_when,
                observe_every, check_stop_every, observations,
-               block_size: int):
+               block_size: int, others_block=None):
     """Drive a kernel through up to ``max_steps`` interactions.
 
     The shared engine loop of the vectorized paths: pair randomness is
@@ -363,15 +427,24 @@ def run_kernel(kernel: ConflictFreeKernel, pair_block, sample_components,
     like the sequential loops do.  Returns ``(executed, converged)``.
 
     ``steps_done`` is the engine's cumulative pre-call step count (used
-    only to label observations).
+    only to label observations).  ``others_block`` draws, per block, one
+    extra observed agent relative to each given agent — required for
+    4-slot models and ignored otherwise.
     """
     counts = kernel.counts
     track = observe_every is not None or stop_when is not None
     kernel.begin_run()
+    if kernel.four and others_block is None:
+        raise InvalidParameterError(
+            "4-slot models need an others_block to draw observed agents")
     done = 0
     while done < max_steps:
         batch = min(block_size, max_steps - done)
         initiators, responders = pair_block(batch)
+        obs_i = obs_j = None
+        if kernel.four:
+            obs_i = others_block(initiators)
+            obs_j = others_block(responders)
         comps = sample_components(rng, batch)
         off = 0
         while off < batch:
@@ -386,7 +459,11 @@ def run_kernel(kernel: ConflictFreeKernel, pair_block, sample_components,
             kernel.apply_chunk(initiators[off:off + m],
                                responders[off:off + m],
                                None if comps is None else comps[off:off + m],
-                               update_counts=track, rng=rng)
+                               update_counts=track, rng=rng,
+                               oi=None if obs_i is None
+                               else obs_i[off:off + m],
+                               oj=None if obs_j is None
+                               else obs_j[off:off + m])
             off += m
             step = done + off
             if observe_every is not None and step % observe_every == 0:

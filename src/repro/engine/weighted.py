@@ -1,0 +1,410 @@
+"""Heterogeneous-activity (weighted-scheduler) count-level simulation.
+
+Under the uniform scheduler the state-count vector is a Markov chain
+because agents are exchangeable.  Activity weights break that: two agents
+in the same state but with different weights are *not* interchangeable,
+so the plain count vector loses the Markov property.  Exchangeability
+survives, however, *within* each set of equally weighted agents — so the
+chain is recovered by lifting the type space to the product
+``(weight class × state)``:
+
+* agents are grouped into discrete **weight classes** (agents sharing an
+  activity weight), fixed for the whole run;
+* the **product model** runs the inner interaction law on the state
+  component and carries the class component through unchanged
+  (:class:`ProductStateModel`);
+* the backend expands the ``(C, S)`` class-state counts into an
+  arbitrary fixed per-agent assignment and drives the
+  :mod:`repro.engine.vectorized` kernel with a
+  :class:`~repro.engine.sampling.WeightedPairSampler` whose per-agent
+  weights repeat each class weight — by within-class exchangeability the
+  projection onto ``(class, state)`` counts is *exactly* the lifted
+  chain, with no approximation (property-tested against exact chains in
+  ``tests/engine/test_weighted_engine.py``).
+
+This is the array-proxy strategy of :class:`~repro.engine.count
+.CountBackend` extended to the product type space.  The birthday-run
+batching does **not** extend: the first-collision law under weighted
+sampling depends on *which* agents were already drawn (a heterogeneous
+birthday problem), so its count-only CDF precomputation is unsound — the
+proxy kernel, whose throughput matches the vectorized agent backend, is
+used at every ``n`` instead (``O(n)`` internal memory, ``O(C·S)``
+observables).
+
+Facade-facing counts are the *inner* model's: :attr:`WeightedCountBackend
+.counts` has length ``S`` (stop predicates and observations see the same
+shape as every other engine), while :attr:`~WeightedCountBackend
+.class_state_counts` exposes the full ``(C, S)`` product view.
+
+:func:`weights_from_spec` parses the user-facing weight spellings
+(``"uniform"``, ``"powerlaw[:alpha]"``, ``"twoclass[:ratio]"``) that the
+experiment parameter spaces and the CLI accept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.base import BLOCK_SIZE, EngineResult, SimulationEngine
+from repro.engine.model import InteractionModel
+from repro.engine.sampling import WeightedPairSampler, check_weights
+from repro.engine.vectorized import ConflictFreeKernel, run_kernel
+from repro.utils import as_generator
+from repro.utils.errors import InvalidParameterError
+
+#: Hard cap on distinct weight classes: the product space is ``C × S``
+#: and a continuum of weights would silently degrade the lift into a
+#: per-agent state space.
+MAX_WEIGHT_CLASSES = 64
+
+#: Number of discrete activity levels the ``powerlaw`` spec generates.
+POWERLAW_LEVELS = 8
+
+
+def weights_from_spec(spec: str, n: int):
+    """Per-agent activity weights named by a textual spec.
+
+    * ``"uniform"`` — ``None`` (the uniform scheduler; no weighting).
+    * ``"powerlaw"`` / ``"powerlaw:alpha"`` — :data:`POWERLAW_LEVELS`
+      discrete activity levels with weight ``level^-alpha``
+      (``alpha = 1`` by default), assigned round-robin so every
+      population stratum mixes all levels.
+    * ``"twoclass"`` / ``"twoclass:ratio"`` — the first half of the
+      population at weight 1, the second half at ``ratio`` (default 4).
+
+    Discrete levels keep the weight-class product space small (the
+    count-level lift is ``C × S``); the assignment is deterministic so
+    identical specs give identical populations under any seed.
+    """
+    name, _, argument = str(spec).partition(":")
+    name = name.strip().lower()
+    if name == "uniform":
+        if argument:
+            raise InvalidParameterError(
+                f"weight spec 'uniform' takes no argument, got {spec!r}")
+        return None
+    if name == "powerlaw":
+        alpha = 1.0
+        if argument:
+            try:
+                alpha = float(argument)
+            except ValueError as error:
+                raise InvalidParameterError(
+                    f"malformed powerlaw exponent in {spec!r}") from error
+        if not np.isfinite(alpha) or alpha <= 0:
+            raise InvalidParameterError(
+                f"powerlaw exponent must be positive and finite, "
+                f"got {alpha!r}")
+        levels = np.arange(1, POWERLAW_LEVELS + 1, dtype=float) ** -alpha
+        return levels[np.arange(int(n)) % POWERLAW_LEVELS]
+    if name == "twoclass":
+        ratio = 4.0
+        if argument:
+            try:
+                ratio = float(argument)
+            except ValueError as error:
+                raise InvalidParameterError(
+                    f"malformed twoclass ratio in {spec!r}") from error
+        if not np.isfinite(ratio) or ratio <= 0:
+            raise InvalidParameterError(
+                f"twoclass ratio must be positive and finite, got {ratio!r}")
+        weights = np.ones(int(n))
+        weights[int(n) // 2:] = ratio
+        return weights
+    raise InvalidParameterError(
+        f"unknown weight spec {spec!r}; expected 'uniform', "
+        f"'powerlaw[:alpha]', or 'twoclass[:ratio]'")
+
+
+def resolve_weights(weights, n: int):
+    """The facades' one ``weights=`` parser: spec or array -> weights.
+
+    ``None`` passes through (uniform); a string resolves via
+    :func:`weights_from_spec`; anything else is validated as a
+    length-``n`` positive 1-D array.  Every facade funnels its knob
+    through here so the validation (and its messages) exist once.
+    """
+    if weights is None:
+        return None
+    if isinstance(weights, str):
+        return weights_from_spec(weights, n)
+    weights = check_weights(weights)
+    if weights.size != n:
+        raise InvalidParameterError(
+            f"weights must have length n={n}, got {weights.size}")
+    return weights
+
+
+def weight_classes(weights) -> tuple[np.ndarray, np.ndarray]:
+    """Discretize per-agent weights into ``(class_weights, class_of)``.
+
+    ``class_weights`` holds the distinct weight values (ascending) and
+    ``class_of[i]`` the class index of agent ``i``.  More than
+    :data:`MAX_WEIGHT_CLASSES` distinct values is rejected — the
+    count-level lift needs a small discrete class set.
+    """
+    w = check_weights(weights)
+    class_weights, class_of = np.unique(w, return_inverse=True)
+    if class_weights.size > MAX_WEIGHT_CLASSES:
+        raise InvalidParameterError(
+            f"{class_weights.size} distinct weight values exceed the "
+            f"{MAX_WEIGHT_CLASSES}-class cap of the count-level lift; "
+            f"discretize the weights (e.g. via weights_from_spec) or use "
+            f"the agent backend")
+    return class_weights, class_of
+
+
+class ProductStateModel(InteractionModel):
+    """An interaction law lifted to ``(weight class × state)`` products.
+
+    Product state ``c·S + s`` encodes class ``c`` and inner state ``s``;
+    the inner law acts on the state component and the class component is
+    carried through untouched (weights are immutable agent attributes).
+    Component tables, one-way structure, and inert states all lift — so
+    whatever kernel path the inner model supports, the product does too.
+    """
+
+    def __init__(self, inner: InteractionModel, n_classes: int):
+        if inner.slots_per_step != 2:
+            raise InvalidParameterError(
+                "the weighted count lift supports pairwise models only "
+                "(models reading extra observed agents need the agent "
+                "backend)")
+        self._inner = inner
+        self._classes = int(n_classes)
+        if self._classes < 1:
+            raise InvalidParameterError(
+                f"n_classes must be positive, got {n_classes!r}")
+        self._s = inner.n_states
+        self.slots_per_step = inner.slots_per_step
+
+    @property
+    def inner(self) -> InteractionModel:
+        """The lifted interaction law."""
+        return self._inner
+
+    @property
+    def n_classes(self) -> int:
+        """Number of weight classes ``C``."""
+        return self._classes
+
+    @property
+    def n_states(self) -> int:
+        return self._classes * self._s
+
+    @property
+    def one_way(self) -> bool:
+        return self._inner.one_way
+
+    @property
+    def inert_states(self):
+        inert = self._inner.inert_states
+        # Class never changes, so a product state is inert exactly when
+        # its inner state is.
+        return None if inert is None else np.tile(inert, self._classes)
+
+    @property
+    def component_tables(self):
+        tables = self._inner.component_tables
+        if tables is None:
+            return None
+        return [self._lift_table(table) for table in tables]
+
+    def _lift_table(self, table) -> np.ndarray:
+        s, c = self._s, self._classes
+        p = c * s
+        ids = np.arange(p)
+        class_part = (ids // s) * s
+        inner_ids = ids % s
+        lifted = np.empty((p, p, 2), dtype=np.int64)
+        gathered = table[np.ix_(inner_ids, inner_ids)]
+        lifted[:, :, 0] = class_part[:, None] + gathered[:, :, 0]
+        lifted[:, :, 1] = class_part[None, :] + gathered[:, :, 1]
+        return lifted
+
+    def sample_components(self, rng, size: int):
+        return self._inner.sample_components(rng, size)
+
+    def apply(self, initiators, responders, rng, observed=None):
+        s = self._s
+        class_u = initiators - initiators % s
+        class_v = responders - responders % s
+        new_u, new_v = self._inner.apply(initiators % s, responders % s,
+                                         rng, observed)
+        return class_u + new_u, class_v + new_v
+
+    def apply_scalar(self, u: int, v: int, rng, observed=None) -> tuple:
+        s = self._s
+        new_u, new_v = self._inner.apply_scalar(u % s, v % s, rng, observed)
+        return (u - u % s + new_u, v - v % s + new_v)
+
+
+class WeightedCountBackend(SimulationEngine):
+    """Count-level engine for activity-weighted populations.
+
+    Tracks the exact ``(weight class × state)`` count chain of an
+    :class:`~repro.engine.model.InteractionModel` under the
+    :class:`~repro.population.scheduler.WeightedScheduler` law, via the
+    product-space array-proxy kernel (see the module docstring).  The
+    engine-facing :attr:`counts` are the *inner* model's length-``S``
+    state counts — stop predicates and observations see the familiar
+    shape — with the full product view on :attr:`class_state_counts`.
+
+    Parameters
+    ----------
+    model:
+        The (inner) interaction law.  Pairwise models with component
+        tables or a one-way stochastic law are supported — the same
+        family the vectorized kernel accepts.
+    initial_counts:
+        ``(C, S)`` non-negative integers: agents per weight class and
+        state, summing to the population size ``n >= 2``.
+    class_weights:
+        Length-``C`` positive activity weights, one per class.  With a
+        single class (or equal weights) the chain coincides with
+        :class:`~repro.engine.count.CountBackend`'s law.
+    seed:
+        Seed or generator.
+    track_pair_counts:
+        Accumulate executed interactions per ordered *inner*-state pair
+        into :attr:`pair_counts` (count-level payoff accounting, the
+        projection of the product-pair counts).
+    """
+
+    def __init__(self, model: InteractionModel, initial_counts,
+                 class_weights, seed=None,
+                 track_pair_counts: bool = False):
+        self.model = model
+        weights = np.asarray(class_weights, dtype=float)
+        if weights.ndim != 1 or weights.size < 1:
+            raise InvalidParameterError(
+                "class_weights must be a 1-D array of at least one class")
+        if np.any(~np.isfinite(weights)) or np.any(weights <= 0):
+            raise InvalidParameterError(
+                "class weights must be positive and finite")
+        counts = np.asarray(initial_counts, dtype=np.int64).copy()
+        if counts.ndim != 2 or counts.shape != (weights.size,
+                                                model.n_states):
+            raise InvalidParameterError(
+                f"initial_counts must have shape (C, S) = "
+                f"({weights.size}, {model.n_states}), got {counts.shape}")
+        if counts.min() < 0:
+            raise InvalidParameterError("counts must be non-negative")
+        self.n = int(counts.sum())
+        if self.n < 2:
+            raise InvalidParameterError(
+                f"population must have at least 2 agents, got n={self.n}")
+        self._class_weights = weights
+        self._classes = weights.size
+        self._product = ProductStateModel(model, self._classes)
+        if model.component_tables is None and not model.one_way:
+            raise InvalidParameterError(
+                "the weighted count lift needs a model with component "
+                "tables or a one-way stochastic law (the vectorized "
+                "kernel's family); use the agent backend otherwise")
+        self._rng = as_generator(seed)
+        # Fixed per-agent expansion: within-class exchangeability makes
+        # weighted pair sampling over any fixed assignment project to
+        # exactly the (class × state) count chain.
+        product_states = np.repeat(
+            np.arange(self._classes * model.n_states, dtype=np.int64),
+            counts.ravel())
+        per_agent_weights = np.repeat(weights, counts.sum(axis=1))
+        self._sampler = WeightedPairSampler(per_agent_weights, self._rng)
+        self._product_counts = np.bincount(
+            product_states, minlength=self._classes * model.n_states)
+        self._track_pairs = bool(track_pair_counts)
+        self._kernel = ConflictFreeKernel(
+            self._product, product_states, self._product_counts,
+            allow_stochastic=model.component_tables is None,
+            track_pairs=self._track_pairs)
+        self._counts = counts.sum(axis=0)
+        self.steps_run = 0
+
+    @classmethod
+    def from_agent_states(cls, model: InteractionModel, states, weights,
+                          **kwargs) -> "WeightedCountBackend":
+        """Build the lift from per-agent states and per-agent weights.
+
+        Discretizes ``weights`` into classes (:func:`weight_classes`),
+        histograms ``states`` per class, and constructs the backend —
+        the one implementation of the facades' agent-view-to-lift
+        conversion.  ``kwargs`` pass through to the constructor.
+        """
+        states = np.asarray(states, dtype=np.int64)
+        class_weights, class_of = weight_classes(weights)
+        if class_of.size != states.size:
+            raise InvalidParameterError(
+                f"weights cover {class_of.size} agents, states "
+                f"{states.size}")
+        class_counts = np.zeros((class_weights.size, model.n_states),
+                                dtype=np.int64)
+        np.add.at(class_counts, (class_of, states), 1)
+        return cls(model, class_counts, class_weights, **kwargs)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The backend's generator."""
+        return self._rng
+
+    @property
+    def class_weights(self) -> np.ndarray:
+        """Per-class activity weights (copy)."""
+        return self._class_weights.copy()
+
+    @property
+    def class_state_counts(self) -> np.ndarray:
+        """Current ``(C, S)`` weight-class × state counts (copy)."""
+        return self._product_counts.reshape(self._classes, -1).copy()
+
+    @property
+    def pair_counts(self) -> np.ndarray:
+        """Executed interactions per ordered *inner*-state pair, ``(S, S)``.
+
+        The product-pair accumulator contracted over both class axes;
+        requires ``track_pair_counts=True``.
+        """
+        if not self._track_pairs:
+            raise InvalidParameterError(
+                "pair counts were not tracked; construct the backend with "
+                "track_pair_counts=True")
+        c, s = self._classes, self.model.n_states
+        product = self._kernel.pair_count_matrix().reshape(c, s, c, s)
+        return product.sum(axis=(0, 2))
+
+    def _project(self, product_counts) -> np.ndarray:
+        """Inner-state counts of a product count vector."""
+        return product_counts.reshape(self._classes, -1).sum(axis=0)
+
+    def run(self, max_steps: int, stop_when=None,
+            observe_every: int | None = None,
+            check_stop_every: int = 1) -> EngineResult:
+        (max_steps, observe_every, check_stop_every, observations,
+         stopped) = self._prepare_run(max_steps, stop_when, observe_every,
+                                      check_stop_every)
+        done = 0
+        converged = stopped
+        if not stopped and max_steps > 0:
+            wrapped = None
+            if stop_when is not None:
+                def wrapped(product):
+                    # Refresh the live inner counts before the predicate
+                    # runs, so predicates reading backend state (instead
+                    # of their argument) see current values — the same
+                    # guarantee the other engines give.
+                    self._counts[:] = self._project(product)
+                    return stop_when(self._counts)
+            product_observations: list = []
+            done, converged = run_kernel(
+                self._kernel, self._sampler.pair_block,
+                self._product.sample_components, self._rng, max_steps,
+                self.steps_run, wrapped, observe_every, check_stop_every,
+                product_observations, BLOCK_SIZE)
+            self.steps_run += done
+            observations.extend(
+                (step, self._project(product))
+                for step, product in product_observations)
+            self._counts[:] = self._project(self._product_counts)
+        return EngineResult(counts=self._counts.copy(),
+                            steps=self.steps_run, converged=converged,
+                            observations=observations)

@@ -7,7 +7,10 @@ through two parsers:
 * :func:`parse_grid` — grid axes, each ``name=v1,v2,...`` (an explicit
   value list) or ``name=start:stop:count`` (``count`` evenly spaced
   values, endpoints included — ``eps=0.01:0.05:5`` is
-  ``[0.01, 0.02, 0.03, 0.04, 0.05]``).
+  ``[0.01, 0.02, 0.03, 0.04, 0.05]``).  Degenerate ranges collapse
+  exactly: ``start == stop`` yields the single endpoint once (any
+  ``count``), while ``count=1`` over a non-trivial range is rejected
+  with a schema-aware message rather than guessing an endpoint.
 
 Both validate against a :class:`~repro.params.ParamSpace` so every
 error message names the experiment's actual knobs, and both return
@@ -59,14 +62,25 @@ def _parse_axis_values(name: str, spec: str, space: ParamSpace) -> list:
                 f"malformed --grid range {name}={spec!r}: expected "
                 f"start:stop:count with numeric endpoints"
             ) from error
-        if count < 2:
+        if count < 1:
             raise InvalidParameterError(
-                f"--grid range {name}={spec!r} needs count >= 2"
+                f"--grid range {name}={spec!r} needs count >= 1"
             )
-        step = (stop - start) / (count - 1)
-        raw = [start + index * step for index in range(count)]
-        # Exact endpoints, immune to float accumulation.
-        raw[-1] = stop
+        if start == stop:
+            # Degenerate range: one exact endpoint, never `count`
+            # duplicated grid points from zero-step arithmetic.
+            raw = [start]
+        elif count == 1:
+            raise InvalidParameterError(
+                f"--grid range {name}={spec!r} is ambiguous: count=1 "
+                f"with start != stop names no single point; use "
+                f"{name}={colon_parts[0]} or count >= 2"
+            )
+        else:
+            step = (stop - start) / (count - 1)
+            raw = [start + index * step for index in range(count)]
+            # Exact endpoints, immune to float accumulation.
+            raw[-1] = stop
     elif len(colon_parts) == 1:
         raw = [part.strip() for part in spec.split(",") if part.strip()]
         if not raw:

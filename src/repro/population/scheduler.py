@@ -1,18 +1,29 @@
-"""The uniform random pairwise scheduler.
+"""Pairwise interaction schedulers.
 
 At every time step an *ordered* pair of distinct agents (initiator,
-responder) is sampled uniformly at random from the ``n(n−1)`` possibilities —
-the standard probabilistic scheduler of the population-protocol literature
-and the source of all randomness in the paper's dynamics.
+responder) is sampled — uniformly at random from the ``n(n−1)``
+possibilities by :class:`RandomScheduler` (the standard probabilistic
+scheduler of the population-protocol literature and the source of all
+randomness in the paper's dynamics), or proportionally to per-agent
+activity weights by :class:`WeightedScheduler` (the heterogeneous-contact
+robustness extension).  Both delegate their vectorized blocks to the
+shared samplers in :mod:`repro.engine.sampling`, so every consumer —
+scalar scheduler API or engine block loop — draws pairs from one law and,
+under a shared seed, one bitstream.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.sampling import ordered_pair_block
+from repro.engine.sampling import (
+    check_weights,
+    ordered_pair_block,
+    weight_cdf,
+    weighted_draw_block,
+    weighted_pair_block,
+)
 from repro.utils import as_generator, check_positive_int
-from repro.utils.errors import InvalidParameterError
 
 __all__ = ["ordered_pair_block", "RandomScheduler", "WeightedScheduler"]
 
@@ -27,6 +38,9 @@ class RandomScheduler:
     seed:
         Seed or generator for reproducible schedules.
     """
+
+    #: Uniform law — engines read this to know no weighting is in play.
+    weights = None
 
     def __init__(self, n: int, seed=None):
         self.n = check_positive_int("n", n, minimum=2)
@@ -54,6 +68,11 @@ class RandomScheduler:
         size = check_positive_int("size", size)
         return ordered_pair_block(self._rng, self.n, size)
 
+    def others_block(self, first) -> np.ndarray:
+        """One uniform *other* agent per entry of ``first`` (shift trick)."""
+        return ordered_pair_block(self._rng, self.n, len(first),
+                                  first=first)[1]
+
 
 class WeightedScheduler:
     """Activity-weighted pairwise scheduler (a robustness extension).
@@ -64,17 +83,21 @@ class WeightedScheduler:
     proportionally to weight among the remaining agents (by rejection, so
     the pair is always distinct).  With equal weights this reduces exactly
     to :class:`RandomScheduler`'s law.
+
+    Blocks delegate to
+    :func:`~repro.engine.sampling.weighted_pair_block` — the same sampler
+    :class:`~repro.engine.sampling.WeightedPairSampler` wraps for the
+    engines — so scheduler and engine draws are bit-identical under a
+    shared seed.  The normalized weights are exposed as :attr:`weights`;
+    engine surfaces that cannot honor a non-uniform law (the exchangeable
+    count chain) read it to refuse loudly rather than silently downgrade.
     """
 
     def __init__(self, weights, seed=None):
-        w = np.asarray(weights, dtype=float)
-        if w.ndim != 1 or w.size < 2:
-            raise InvalidParameterError(
-                "weights must be a 1-D array of at least 2 agents")
-        if np.any(~np.isfinite(w)) or np.any(w <= 0):
-            raise InvalidParameterError("weights must be positive and finite")
+        w = check_weights(weights)
         self.n = w.size
         self._weights = w / w.sum()
+        self._cdf = weight_cdf(w)
         self._rng = as_generator(seed)
 
     @property
@@ -82,22 +105,25 @@ class WeightedScheduler:
         """The underlying generator."""
         return self._rng
 
+    @property
+    def weights(self) -> np.ndarray:
+        """The normalized per-agent activity weights (copy)."""
+        return self._weights.copy()
+
     def next_pair(self) -> tuple[int, int]:
         """One ordered pair of distinct agents, weight-proportional."""
-        i = int(self._rng.choice(self.n, p=self._weights))
+        i = int(weighted_draw_block(self._rng, self._cdf, 1)[0])
         while True:
-            j = int(self._rng.choice(self.n, p=self._weights))
+            j = int(weighted_draw_block(self._rng, self._cdf, 1)[0])
             if j != i:
                 return i, j
 
     def pair_block(self, size: int) -> tuple[np.ndarray, np.ndarray]:
         """Batch of ``size`` weighted ordered pairs (vectorized rejection)."""
         size = check_positive_int("size", size)
-        initiators = self._rng.choice(self.n, size=size, p=self._weights)
-        responders = self._rng.choice(self.n, size=size, p=self._weights)
-        clashes = initiators == responders
-        while np.any(clashes):
-            responders[clashes] = self._rng.choice(
-                self.n, size=int(clashes.sum()), p=self._weights)
-            clashes = initiators == responders
-        return initiators, responders
+        return weighted_pair_block(self._rng, self._cdf, size)
+
+    def others_block(self, first) -> np.ndarray:
+        """One weighted *other* agent per entry of ``first`` (rejection)."""
+        return weighted_pair_block(self._rng, self._cdf, len(first),
+                                   first=np.asarray(first))[1]

@@ -63,20 +63,27 @@ class Simulator:
     initial_states:
         Length-``n`` integer array of initial agent states.
     seed:
-        Seed or generator.
+        Seed or generator (ignored when ``scheduler`` is given).
     vectorized:
         Forwarded to :class:`~repro.engine.agent.AgentBackend`: ``None``
         (default) picks the chunked NumPy kernel adaptively, ``False``
         pins the sequential loop, ``True`` forces the kernel.  Both paths
         produce bit-for-bit identical trajectories.
+    scheduler:
+        Optional pair scheduler — e.g. a
+        :class:`~repro.population.scheduler.WeightedScheduler` for
+        heterogeneous contact processes; the engine draws every pair
+        through it (the uniform default is
+        :class:`~repro.population.scheduler.RandomScheduler`'s law).
     """
 
     def __init__(self, protocol: PopulationProtocol, initial_states, seed=None,
-                 vectorized: bool | None = None):
+                 vectorized: bool | None = None, scheduler=None):
         self.protocol = protocol
         self._backend = AgentBackend(protocol_model(protocol), initial_states,
                                      seed=as_generator(seed),
-                                     vectorized=vectorized)
+                                     vectorized=vectorized,
+                                     scheduler=scheduler)
         self.states = self._backend.states_live
         self.n = self._backend.n
         self._counts = self._backend.counts_live

@@ -44,6 +44,19 @@ class TestChooseBackend:
         assert choose_backend(10 ** 9, needs_per_agent=True,
                               thresholds=thresholds) == "agent"
 
+    def test_weighted_crossover_decides(self):
+        thresholds = {"strategy_crossover_n": 10,
+                      "weighted_crossover_n": 5000}
+        assert choose_backend(100, weighted=True,
+                              thresholds=thresholds) == "agent"
+        assert choose_backend(5000, weighted=True,
+                              thresholds=thresholds) == "count"
+        # Without the weighted flag the strategy crossover rules.
+        assert choose_backend(100, thresholds=thresholds) == "count"
+        assert choose_backend(10 ** 9, weighted=True,
+                              needs_per_agent=True,
+                              thresholds=thresholds) == "agent"
+
     def test_resolve_passthrough_and_auto(self):
         assert resolve_backend("agent", n=10 ** 9) == "agent"
         assert resolve_backend("count", n=2) == "count"
@@ -88,4 +101,31 @@ class TestThresholdFile:
         first = load_thresholds(path)
         path.unlink()
         assert load_thresholds(path) == first
+        _reset_threshold_cache()
+
+    def test_rewritten_file_invalidates_cache(self, tmp_path):
+        """Regression: a regenerated BENCH_engine.json (same process,
+        e.g. bench_engine.py --output) must not be served stale."""
+        import os
+
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(
+            {"auto_thresholds": {"strategy_crossover_n": 111}}))
+        _reset_threshold_cache()
+        assert load_thresholds(path)["strategy_crossover_n"] == 111
+        path.write_text(json.dumps(
+            {"auto_thresholds": {"strategy_crossover_n": 222}}))
+        # Force a visible mtime change even on coarse filesystems.
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10_000_000))
+        assert load_thresholds(path)["strategy_crossover_n"] == 222
+        _reset_threshold_cache()
+
+    def test_file_appearing_after_miss_is_picked_up(self, tmp_path):
+        path = tmp_path / "bench.json"
+        _reset_threshold_cache()
+        assert load_thresholds(path) == DEFAULT_THRESHOLDS
+        path.write_text(json.dumps(
+            {"auto_thresholds": {"weighted_crossover_n": 4321}}))
+        assert load_thresholds(path)["weighted_crossover_n"] == 4321
         _reset_threshold_cache()

@@ -243,3 +243,16 @@ class TestBackendDispatchAndProfiles:
     def test_run_experiment_rejects_unknown_backend(self):
         with pytest.raises(InvalidParameterError):
             run_experiment("E6", backend="gpu")
+
+    def test_e6_weighted_variant_runs_both_backends(self):
+        for backend in ("agent", "count"):
+            report = run_experiment(
+                "E6", backend=backend,
+                params={"samples": 20, "tol": 0.2,
+                        "weights": "twoclass:3"})
+            assert report.all_checks_pass
+            assert any("twoclass:3" in row for row in report.rows)
+
+    def test_e6_rejects_malformed_weight_spec(self):
+        with pytest.raises(InvalidParameterError):
+            run_experiment("E6", params={"weights": "zipf"})

@@ -75,3 +75,26 @@ class TestParseGrid:
             parse_grid(["n=0,5"], space)
         with pytest.raises(InvalidParameterError, match="unknown parameter"):
             parse_grid(["zz=1,2"], space)
+
+
+class TestDegenerateRanges:
+    """``count=1`` and ``start == stop`` collapse to one exact endpoint
+    instead of hitting zero-step linspace arithmetic."""
+
+    def test_equal_endpoints_single_count(self, space):
+        assert parse_grid(["eps=0.25:0.25:1"], space) == {"eps": [0.25]}
+
+    def test_equal_endpoints_larger_count(self, space):
+        # Zero-step arithmetic used to emit `count` duplicated points.
+        assert parse_grid(["eps=0.25:0.25:3"], space) == {"eps": [0.25]}
+
+    def test_equal_endpoints_exact_int(self, space):
+        assert parse_grid(["n=5:5:1"], space) == {"n": [5]}
+
+    def test_count_one_over_real_range_rejected(self, space):
+        with pytest.raises(InvalidParameterError, match="ambiguous"):
+            parse_grid(["eps=0.1:0.2:1"], space)
+
+    def test_count_zero_rejected(self, space):
+        with pytest.raises(InvalidParameterError, match="count >= 1"):
+            parse_grid(["eps=0.1:0.2:0"], space)
