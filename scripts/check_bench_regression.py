@@ -32,6 +32,16 @@ import sys
 
 GATED_BACKENDS = ("agent", "count")
 
+#: Cases that must be present in BOTH files for the gate to pass at all
+#: — the headline performance claims whose silent disappearance from
+#: either matrix would otherwise un-gate them.  The weighted pair sits
+#: at the proxy ceiling (n = 10^6), the largest size the smoke matrix
+#: measures.
+REQUIRED_CASES = (
+    ("igt-weighted", "agent", 1_000_000),
+    ("igt-weighted", "count", 1_000_000),
+)
+
 
 def load_cases(path: pathlib.Path) -> dict:
     """Map ``(workload, backend, n) -> interactions_per_sec`` of a file."""
@@ -77,6 +87,12 @@ def main(argv=None) -> int:
         )
     if compared == 0:
         print("no comparable gated cases; the gate would be vacuous")
+        return 1
+    missing = [key for key in REQUIRED_CASES
+               if key not in current or key not in baseline]
+    if missing:
+        for workload, backend, n in missing:
+            print(f"required case missing: {workload}/{backend} n={n}")
         return 1
     if regressions:
         print(f"{regressions}/{compared} gated case(s) regressed")

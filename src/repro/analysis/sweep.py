@@ -104,9 +104,9 @@ def grid_sweep(experiment_id: str, grid: dict, *, profile: str = "fast",
     :class:`~repro.params.ParamSpace`) to value lists; the cartesian
     product runs through the plan executor, so ``jobs > 1`` fans points
     out across worker processes and ``cache_dir`` makes re-sweeps
-    incremental.  Every point runs with the same ``seed`` — sweep a
-    ``seed`` axis via :func:`parameter_sweep` or replicate plans when
-    you want seed variation.
+    incremental.  A ``seed`` axis is first-class: its values become the
+    task seeds (replicate grids in one call); without one, every point
+    runs with the same ``seed``.
 
     Each record merges the grid point with the executed report's wire
     form: ``{"<param>": value, ..., "checks": {...},
@@ -121,7 +121,11 @@ def grid_sweep(experiment_id: str, grid: dict, *, profile: str = "fast",
 
     spec = get_spec(experiment_id)
     coerced_grid = {
-        name: [spec.params.coerce_value(name, value) for value in values]
+        name: (
+            [int(value) for value in values]
+            if name == "seed" and "seed" not in spec.params.names
+            else [spec.params.coerce_value(name, value) for value in values]
+        )
         for name, values in dict(grid).items()
     }
     plan = grid_plan(spec.experiment_id, coerced_grid, base_params=params,
@@ -134,7 +138,12 @@ def grid_sweep(experiment_id: str, grid: dict, *, profile: str = "fast",
         # reading it back keeps records correct whatever order grid_plan
         # enumerates in.
         task_params = task_result.task.params_dict()
-        point = {name: task_params[name] for name in coerced_grid}
+        # A seed axis lives on the task coordinate, not in the params.
+        point = {
+            name: (task_params[name] if name in task_params
+                   else task_result.task.seed)
+            for name in coerced_grid
+        }
         task_report = task_result.report
         result.records.append({
             **point,

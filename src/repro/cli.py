@@ -131,7 +131,12 @@ def _build_parser() -> argparse.ArgumentParser:
     params_parser = subparsers.add_parser(
         "params",
         help="print an experiment's declared parameter schema")
-    params_parser.add_argument("experiment", help="experiment id (E1..E16)")
+    params_parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment id (E1..E16); omit with --all")
+    params_parser.add_argument(
+        "--all", action="store_true",
+        help="dump every registered experiment's schema")
     params_parser.add_argument(
         "--json", action="store_true",
         help="emit the schema as JSON instead of a table")
@@ -450,26 +455,48 @@ def _run_sweep(args) -> int:
     return 0 if report.all_checks_pass else 1
 
 
-def _run_params(args) -> int:
-    """Print one experiment's declared parameter schema."""
-    spec = get_spec(args.experiment)
-    if args.json:
-        import json
-
-        print(json.dumps(spec.params.to_dict(), indent=2, sort_keys=True))
-        return 0
+def _print_params_table(spec) -> None:
     from repro.analysis.tables import format_table
 
     print(f"{spec.experiment_id}: {spec.title}")
     if len(spec.params) == 0:
         print("(no declared parameters; profiles fast/full are identical)")
-        return 0
+        return
     headers, rows = spec.params.describe_table()
     print(format_table(headers, rows))
     extras = [name for name in spec.params.profiles
               if name not in ("fast", "full")]
     if extras:
         print(f"extra profiles: {', '.join(extras)}")
+
+
+def _run_params(args) -> int:
+    """Print parameter schemas: one experiment's, or every registered
+    experiment's with ``--all``."""
+    if args.all and args.experiment is not None:
+        raise InvalidParameterError(
+            "give an experiment id or --all, not both")
+    if not args.all and args.experiment is None:
+        raise InvalidParameterError(
+            "params needs an experiment id (or --all for every schema)")
+    if args.all:
+        specs = [get_spec(eid) for eid, _ in all_experiments()]
+    else:
+        specs = [get_spec(args.experiment)]
+    if args.json:
+        import json
+
+        if args.all:
+            payload = {spec.experiment_id: spec.params.to_dict()
+                       for spec in specs}
+        else:
+            payload = specs[0].params.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for index, spec in enumerate(specs):
+        if index:
+            print()
+        _print_params_table(spec)
     return 0
 
 

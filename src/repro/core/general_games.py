@@ -80,9 +80,9 @@ class PopulationGameSimulation:
         or a :func:`repro.engine.weights_from_spec` spec string): pairs
         are scheduled weight-proportionally instead of uniformly.  On
         ``backend="count"`` the simulation runs the exact
-        ``(weight class × state)`` lift — available for the
-        ``best_response`` and ``logit`` rules; the ``imitation`` rule
-        reads extra observed agents and needs ``backend="agent"``.
+        ``(weight class × state)`` lift — available for every rule,
+        including ``imitation`` (observed agents lift to the product
+        space).
     vectorized:
         Forwarded to :class:`~repro.engine.agent.AgentBackend`:
         ``True`` opts the stochastic rules (``imitation``/``logit``)
@@ -110,12 +110,8 @@ class PopulationGameSimulation:
         self.eta = float(eta)
         self._weights = weights = resolve_weights(weights, self.n)
         check_backend(backend, allow_auto=True)
-        # The weighted count lift is pairwise-only; the imitation rule
-        # reads extra observed agents, so "auto" must resolve it to the
-        # agent backend (an explicit backend="count" still errors).
         self.backend = backend = resolve_backend(
-            backend, n=self.n, weighted=weights is not None,
-            needs_per_agent=weights is not None and rule == "imitation")
+            backend, n=self.n, weighted=weights is not None)
         self._rng = as_generator(seed)
         n_strategies = self.payoffs.shape[0]
         if initial_strategies is None:
@@ -145,9 +141,7 @@ class PopulationGameSimulation:
                     seed=self._rng)
             else:
                 # Weights break exchangeability: run the exact
-                # (weight class × strategy) lift.  The imitation rule
-                # reads extra observed agents and is rejected by the
-                # lift's pairwise-model check.
+                # (weight class × strategy) lift.
                 self._engine = WeightedCountBackend.from_agent_states(
                     self._model, strategies, weights, seed=self._rng)
         else:

@@ -51,6 +51,7 @@ from repro.engine.base import (
 from repro.engine.count import CountBackend
 from repro.engine.dispatch import choose_backend, resolve_backend
 from repro.engine.sampling import (
+    AliasTable,
     UniformPairSampler,
     WeightedPairSampler,
     ordered_pair_block,
@@ -66,6 +67,7 @@ from repro.engine.model import (
 )
 from repro.engine.vectorized import ConflictFreeKernel
 from repro.engine.weighted import (
+    WEIGHTED_PROXY_MAX_N,
     ProductStateModel,
     WeightedCountBackend,
     resolve_weights,
@@ -98,9 +100,11 @@ __all__ = [
     "matrix_game_model",
     "ordered_pair_block",
     "weighted_pair_block",
+    "AliasTable",
     "UniformPairSampler",
     "WeightedPairSampler",
     "resolve_weights",
     "weight_classes",
     "weights_from_spec",
+    "WEIGHTED_PROXY_MAX_N",
 ]

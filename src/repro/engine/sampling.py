@@ -10,12 +10,16 @@ population-level schedulers:
   their pair randomness through :func:`ordered_pair_block`, so a fixed
   seed yields the same interaction schedule everywhere.
 * **activity-weighted** — the initiator is drawn proportionally to a
-  per-agent weight (one cumulative-sum inversion per draw) and the
-  responder proportionally to weight among the *remaining* agents, by
-  vectorized rejection of clashes.
+  per-agent weight (one uniform per draw through a Walker alias table,
+  O(1) per draw regardless of population size) and the responder
+  proportionally to weight among the *remaining* agents, by vectorized
+  rejection of clashes.
   :class:`~repro.population.scheduler.WeightedScheduler` delegates its
   blocks to :func:`weighted_pair_block`, so the scheduler and the engine
   sampler share one law — and, under a shared seed, one bitstream.
+  The pre-alias cumulative-sum inversion draw survives as
+  :func:`inversion_draw_block` (with :func:`weight_cdf`): it is the
+  reference law the alias table is chi-square-tested against.
 
 Engines accept any duck-compatible scheduler exposing ``n`` / ``rng`` /
 ``pair_block``; schedulers whose law is *not* uniform must also expose a
@@ -72,26 +76,151 @@ def check_weights(weights) -> np.ndarray:
 def weight_cdf(weights: np.ndarray) -> np.ndarray:
     """Cumulative distribution over agents with an exact 1.0 endpoint.
 
-    The single construction behind every weighted draw — the engine
-    sampler and the population scheduler both build their inversion
-    tables here, which is what keeps their bitstreams identical.
+    The inversion table behind :func:`inversion_draw_block` — kept as the
+    independently-simple reference law the alias table is tested against.
     """
     cdf = np.cumsum(weights / weights.sum())
     cdf[-1] = 1.0
     return cdf
 
 
-def weighted_draw_block(rng, cdf: np.ndarray, size: int) -> np.ndarray:
+def inversion_draw_block(rng, cdf: np.ndarray, size: int) -> np.ndarray:
     """``size`` independent agent draws from a weight CDF (inversion).
 
-    One uniform per draw inverted through ``searchsorted`` — the same
-    consumption as ``Generator.choice(n, p=weights)``, kept explicit so
-    every weighted consumer shares the bitstream.
+    One uniform per draw inverted through ``searchsorted`` — O(log n)
+    per draw.  This was the production weighted draw before the alias
+    table; it survives as the reference implementation the chi-square
+    law-equality tests compare :meth:`AliasTable.draw_block` against.
     """
     return cdf.searchsorted(rng.random(size), side="right")
 
 
-def weighted_pair_block(rng, cdf: np.ndarray, size: int, first=None):
+#: Vectorized alias-build rounds before falling back to the sequential
+#: Vose loop (adversarial weight chains only; see :meth:`AliasTable`).
+_ALIAS_MAX_ROUNDS = 64
+
+#: Relative slack below/above 1.0 when classifying bucket residuals.
+_ALIAS_TOL = 1e-12
+
+
+class AliasTable:
+    """Walker alias table over ``k`` outcomes: O(1) weighted draws.
+
+    The table splits the scaled distribution ``p_i * k`` into ``k``
+    unit-width buckets, each holding at most two outcomes: bucket ``i``
+    keeps outcome ``i`` with threshold ``prob[i]`` and donates the rest
+    to ``alias[i]``.  A draw spends **one** uniform: ``u * k`` selects
+    the bucket (integer part) and the acceptance fraction (fractional
+    part) simultaneously, so a block of ``size`` draws costs exactly
+    ``size`` uniforms — the same stream consumption as the inversion
+    sampler, but with different values (a different bitstream).
+
+    The build is vectorized: per round, deficits of below-capacity
+    buckets and excesses of above-capacity buckets are cumulative-summed
+    and matched with one ``searchsorted``, so each small bucket takes
+    its entire deficit from a single donor (the donor's residual stays
+    positive because any over-donation is bounded by one deficit < 1).
+    Rounds strictly shrink the unresolved set; pathological chains that
+    exceed :data:`_ALIAS_MAX_ROUNDS` finish in the classic sequential
+    Vose loop.  The build is deterministic, so a fixed seed still yields
+    one schedule everywhere.
+    """
+
+    def __init__(self, weights):
+        w = np.asarray(weights, dtype=float)
+        if w.ndim != 1 or w.size < 1:
+            raise InvalidParameterError(
+                "alias table weights must be a non-empty 1-D array")
+        if np.any(~np.isfinite(w)) or np.any(w <= 0):
+            raise InvalidParameterError(
+                "alias table weights must be positive and finite")
+        self.k = w.size
+        self.probabilities = w / w.sum()
+        prob = self.probabilities * self.k
+        alias = np.arange(self.k, dtype=np.int64)
+        small = np.flatnonzero(prob < 1.0 - _ALIAS_TOL)
+        large = np.flatnonzero(prob > 1.0 + _ALIAS_TOL)
+        # The loop carries the unresolved buckets *compactly* (indices
+        # plus their residual scaled mass) so each round touches only
+        # the shrinking frontier, never the full-size arrays.
+        small_mass = prob[small]
+        large_mass = prob[large]
+        rounds = 0
+        while small.size and large.size and rounds < _ALIAS_MAX_ROUNDS:
+            deficits = 1.0 - small_mass
+            excesses = large_mass - 1.0
+            # Water-filling: donor j covers cumulative-deficit interval
+            # (E[j-1], E[j]]; assign each small to the donor containing
+            # its cumulative-deficit endpoint.
+            donor = np.minimum(
+                np.searchsorted(np.cumsum(excesses), np.cumsum(deficits),
+                                side="left"),
+                large.size - 1)
+            alias[small] = large[donor]
+            prob[small] = small_mass
+            taken = np.bincount(donor, weights=deficits,
+                                minlength=large.size)
+            residual = large_mass - taken
+            shrunk = residual < 1.0 - _ALIAS_TOL
+            still = residual > 1.0 + _ALIAS_TOL
+            small = large[shrunk]
+            small_mass = residual[shrunk]
+            large = large[still]
+            large_mass = residual[still]
+            rounds += 1
+        if small.size and large.size:
+            prob[small] = small_mass
+            prob[large] = large_mass
+            self._finish_sequential(prob, alias, list(small), list(large))
+        else:
+            # Float dust: the leftovers' scaled mass is 1 up to rounding.
+            prob[small] = 1.0
+            prob[large] = 1.0
+        self.prob = np.clip(prob, 0.0, 1.0)
+        self.alias = alias
+
+    @staticmethod
+    def _finish_sequential(prob, alias, small, large):
+        """Classic Vose pairing for adversarial leftover chains."""
+        while small and large:
+            s = small.pop()
+            g = large[-1]
+            alias[s] = g
+            prob[g] -= 1.0 - prob[s]
+            if prob[g] < 1.0 - _ALIAS_TOL:
+                small.append(large.pop())
+            elif prob[g] <= 1.0 + _ALIAS_TOL:
+                large.pop()
+        for leftover in small:
+            prob[leftover] = 1.0
+        for leftover in large:
+            prob[leftover] = 1.0
+
+    def draw_block(self, rng, size: int) -> np.ndarray:
+        """``size`` independent draws, one uniform each.
+
+        ``u * k`` yields the bucket (integer part) and the acceptance
+        fraction (fractional part) in one multiply; the bucket keeps the
+        draw when the fraction clears its threshold, else its alias
+        takes it.
+        """
+        scaled = rng.random(size) * self.k
+        bucket = np.minimum(scaled.astype(np.int64), self.k - 1)
+        keep = (scaled - bucket) < self.prob[bucket]
+        return np.where(keep, bucket, self.alias[bucket])
+
+
+def weighted_draw_block(rng, table: AliasTable, size: int) -> np.ndarray:
+    """``size`` independent weight-proportional draws through ``table``.
+
+    One uniform per draw through the shared alias table — kept as the
+    single module-level draw function so every weighted consumer
+    (engine sampler *and* population scheduler) shares the bitstream.
+    """
+    return table.draw_block(rng, size)
+
+
+def weighted_pair_block(rng, table: AliasTable, size: int, first=None):
     """``size`` weighted ordered pairs of distinct agents.
 
     The initiator is weight-proportional; the responder is
@@ -102,11 +231,11 @@ def weighted_pair_block(rng, cdf: np.ndarray, size: int, first=None):
     agent" use), in which case only responders are drawn.
     """
     if first is None:
-        first = weighted_draw_block(rng, cdf, size)
-    second = weighted_draw_block(rng, cdf, size)
+        first = weighted_draw_block(rng, table, size)
+    second = weighted_draw_block(rng, table, size)
     clashes = first == second
     while np.any(clashes):
-        second[clashes] = weighted_draw_block(rng, cdf, int(clashes.sum()))
+        second[clashes] = weighted_draw_block(rng, table, int(clashes.sum()))
         clashes = first == second
     return first, second
 
@@ -150,7 +279,7 @@ class WeightedPairSampler:
     proportionally to weight and the responder proportionally to weight
     among the remaining agents (rejection only on clashes).  With equal
     weights this is exactly the uniform scheduler's *law* (though not its
-    bitstream — inversion draws, not the shift trick).
+    bitstream — alias draws, not the shift trick).
     :class:`~repro.population.scheduler.WeightedScheduler` delegates its
     blocks here, so a shared seed gives scheduler and sampler identical
     blocks.
@@ -160,7 +289,7 @@ class WeightedPairSampler:
         w = check_weights(weights)
         self.n = w.size
         self.weights = w / w.sum()
-        self._cdf = weight_cdf(w)
+        self.table = AliasTable(w)
         self._rng = rng
 
     @property
@@ -170,9 +299,9 @@ class WeightedPairSampler:
 
     def pair_block(self, size: int):
         """``size`` weighted ordered pairs of distinct agents."""
-        return weighted_pair_block(self._rng, self._cdf, size)
+        return weighted_pair_block(self._rng, self.table, size)
 
     def others_block(self, first) -> np.ndarray:
         """One weighted *other* agent per entry of ``first`` (rejection)."""
-        return weighted_pair_block(self._rng, self._cdf, len(first),
+        return weighted_pair_block(self._rng, self.table, len(first),
                                    first=np.asarray(first))[1]

@@ -22,14 +22,34 @@ chain is recovered by lifting the type space to the product
   chain, with no approximation (property-tested against exact chains in
   ``tests/engine/test_weighted_engine.py``).
 
-This is the array-proxy strategy of :class:`~repro.engine.count
-.CountBackend` extended to the product type space.  The birthday-run
-batching does **not** extend: the first-collision law under weighted
-sampling depends on *which* agents were already drawn (a heterogeneous
-birthday problem), so its count-only CDF precomputation is unsound — the
-proxy kernel, whose throughput matches the vectorized agent backend, is
-used at every ``n`` instead (``O(n)`` internal memory, ``O(C·S)``
-observables).
+Both of :class:`~repro.engine.count.CountBackend`'s execution
+strategies extend to the product type space:
+
+* the **array-proxy kernel** expands the counts into a fixed per-agent
+  assignment (``O(n)`` internal memory) and is the default up to
+  :data:`WEIGHTED_PROXY_MAX_N` agents — a *measured* crossover, higher
+  than the uniform path's :data:`~repro.engine.count.PROXY_MAX_N`
+  because weighted batches must sample a per-slot class sequence the
+  uniform birthday path never needs, which shifts the proxy/birthday
+  break-even point upward (see ``BENCH_engine.json``);
+* **birthday-run batching** extends to the *heterogeneous* birthday
+  problem: the first-collision law under weighted sampling depends on
+  which weight classes the draws land in, so no count-only CDF can be
+  precomputed — instead each batch samples the per-slot weight-class
+  sequence first (classes are iid ``m_c·w_c/W`` categorical draws,
+  partner-clash corrected by an exact per-class rejection), then the
+  per-slot *freshness* factors ``(m_c − seen_c)/(m_c − δ)`` given that
+  sequence, whose running product is the exact survival function of the
+  first collision.  One uniform inverted through that product yields
+  the collision slot; the all-distinct prefix executes in one
+  vectorized shot per class (``multivariate_hypergeometric`` + shuffle,
+  exactly as the uniform path), and the collision interaction is
+  resolved agent-exactly at class granularity.  This restores
+  ``O(√n_eff)``-batched, ``O(k)``-memory weighted runs beyond
+  ``WEIGHTED_PROXY_MAX_N`` (``n_eff = W²/Σᵢwᵢ²`` is the
+  heterogeneity-corrected collision scale), distribution-identical to
+  the proxy kernel and the enumerated weighted chains
+  (property-tested).
 
 Facade-facing counts are the *inner* model's: :attr:`WeightedCountBackend
 .counts` has length ``S`` (stop predicates and observations see the same
@@ -43,11 +63,18 @@ experiment parameter spaces and the CLI accept.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.engine.base import BLOCK_SIZE, EngineResult, SimulationEngine
+from repro.engine.count import _cadence_offsets
 from repro.engine.model import InteractionModel
-from repro.engine.sampling import WeightedPairSampler, check_weights
+from repro.engine.sampling import (
+    AliasTable,
+    WeightedPairSampler,
+    check_weights,
+)
 from repro.engine.vectorized import ConflictFreeKernel, run_kernel
 from repro.utils import as_generator
 from repro.utils.errors import InvalidParameterError
@@ -56,6 +83,18 @@ from repro.utils.errors import InvalidParameterError
 #: and a continuum of weights would silently degrade the lift into a
 #: per-agent state space.
 MAX_WEIGHT_CLASSES = 64
+
+#: Default proxy-kernel ceiling for the *weighted* lift.  Unlike the
+#: uniform chain — whose birthday batches need no per-slot randomness
+#: beyond one precomputed-CDF inversion, and which therefore overtakes
+#: the proxy kernel at :data:`~repro.engine.count.PROXY_MAX_N` — a
+#: heterogeneous batch must sample and rank a per-slot weight-class
+#: sequence, so the alias-fed proxy kernel stays faster well past 10^7
+#: agents (measured: ~3.8M vs ~1.3M interactions/s at n = 10^7; see
+#: ``BENCH_engine.json``).  The proxy's O(n) memory matches the agent
+#: backend's at equal ``n``; beyond this ceiling the O(C·S) birthday
+#: path takes over.
+WEIGHTED_PROXY_MAX_N = 10_000_000
 
 #: Number of discrete activity levels the ``powerlaw`` spec generates.
 POWERLAW_LEVELS = 8
@@ -160,16 +199,17 @@ class ProductStateModel(InteractionModel):
     Product state ``c·S + s`` encodes class ``c`` and inner state ``s``;
     the inner law acts on the state component and the class component is
     carried through untouched (weights are immutable agent attributes).
-    Component tables, one-way structure, and inert states all lift — so
-    whatever kernel path the inner model supports, the product does too.
+    Component tables, one-way structure, inert states, and the 4-slot
+    observed-agent surface all lift — so whatever kernel path the inner
+    model supports, the product does too (observed product states are
+    projected to their inner component before the inner law reads them).
     """
 
     def __init__(self, inner: InteractionModel, n_classes: int):
-        if inner.slots_per_step != 2:
+        if inner.slots_per_step not in (2, 4):
             raise InvalidParameterError(
-                "the weighted count lift supports pairwise models only "
-                "(models reading extra observed agents need the agent "
-                "backend)")
+                f"slots_per_step must be 2 or 4, "
+                f"got {inner.slots_per_step}")
         self._inner = inner
         self._classes = int(n_classes)
         if self._classes < 1:
@@ -229,12 +269,18 @@ class ProductStateModel(InteractionModel):
         s = self._s
         class_u = initiators - initiators % s
         class_v = responders - responders % s
+        if observed is not None:
+            # Observed agents are read-only: project their product
+            # states to the inner component the inner law consumes.
+            observed = (observed[0] % s, observed[1] % s)
         new_u, new_v = self._inner.apply(initiators % s, responders % s,
                                          rng, observed)
         return class_u + new_u, class_v + new_v
 
     def apply_scalar(self, u: int, v: int, rng, observed=None) -> tuple:
         s = self._s
+        if observed is not None:
+            observed = (observed[0] % s, observed[1] % s)
         new_u, new_v = self._inner.apply_scalar(u % s, v % s, rng, observed)
         return (u - u % s + new_u, v - v % s + new_v)
 
@@ -245,7 +291,8 @@ class WeightedCountBackend(SimulationEngine):
     Tracks the exact ``(weight class × state)`` count chain of an
     :class:`~repro.engine.model.InteractionModel` under the
     :class:`~repro.population.scheduler.WeightedScheduler` law, via the
-    product-space array-proxy kernel (see the module docstring).  The
+    product-space array-proxy kernel at small ``n`` and heterogeneous
+    birthday-run batching beyond it (see the module docstring).  The
     engine-facing :attr:`counts` are the *inner* model's length-``S``
     state counts — stop predicates and observations see the familiar
     shape — with the full product view on :attr:`class_state_counts`.
@@ -253,9 +300,10 @@ class WeightedCountBackend(SimulationEngine):
     Parameters
     ----------
     model:
-        The (inner) interaction law.  Pairwise models with component
-        tables or a one-way stochastic law are supported — the same
-        family the vectorized kernel accepts.
+        The (inner) interaction law; 4-slot observed-agent models are
+        supported on both paths.  The proxy kernel additionally needs
+        the vectorized-kernel family (component tables or a one-way
+        stochastic law); the birthday path accepts any model.
     initial_counts:
         ``(C, S)`` non-negative integers: agents per weight class and
         state, summing to the population size ``n >= 2``.
@@ -269,11 +317,20 @@ class WeightedCountBackend(SimulationEngine):
         Accumulate executed interactions per ordered *inner*-state pair
         into :attr:`pair_counts` (count-level payoff accounting, the
         projection of the product-pair counts).
+    vectorized:
+        Proxy-path selection, mirroring
+        :class:`~repro.engine.count.CountBackend`: ``None`` (default)
+        uses the array-proxy kernel for supported models up to
+        :data:`WEIGHTED_PROXY_MAX_N` agents (the measured weighted
+        crossover), ``True`` forces it (still requires a supported
+        model), ``False`` forces the birthday path.  Both paths
+        simulate the same law.
     """
 
     def __init__(self, model: InteractionModel, initial_counts,
                  class_weights, seed=None,
-                 track_pair_counts: bool = False):
+                 track_pair_counts: bool = False,
+                 vectorized: bool | None = None):
         self.model = model
         weights = np.asarray(class_weights, dtype=float)
         if weights.ndim != 1 or weights.size < 1:
@@ -294,32 +351,84 @@ class WeightedCountBackend(SimulationEngine):
         if self.n < 2:
             raise InvalidParameterError(
                 f"population must have at least 2 agents, got n={self.n}")
+        self._spp = model.slots_per_step
+        if self._spp == 4 and self.n < 4:
+            raise InvalidParameterError(
+                "models observing extra agents need n >= 4 for an "
+                "all-distinct interaction to exist")
         self._class_weights = weights
         self._classes = weights.size
         self._product = ProductStateModel(model, self._classes)
-        if model.component_tables is None and not model.one_way:
-            raise InvalidParameterError(
-                "the weighted count lift needs a model with component "
-                "tables or a one-way stochastic law (the vectorized "
-                "kernel's family); use the agent backend otherwise")
         self._rng = as_generator(seed)
-        # Fixed per-agent expansion: within-class exchangeability makes
-        # weighted pair sampling over any fixed assignment project to
-        # exactly the (class × state) count chain.
-        product_states = np.repeat(
-            np.arange(self._classes * model.n_states, dtype=np.int64),
-            counts.ravel())
-        per_agent_weights = np.repeat(weights, counts.sum(axis=1))
-        self._sampler = WeightedPairSampler(per_agent_weights, self._rng)
-        self._product_counts = np.bincount(
-            product_states, minlength=self._classes * model.n_states)
         self._track_pairs = bool(track_pair_counts)
-        self._kernel = ConflictFreeKernel(
-            self._product, product_states, self._product_counts,
-            allow_stochastic=model.component_tables is None,
-            track_pairs=self._track_pairs)
+        if self._spp == 4:
+            proxy_ok = model.one_way and model.component_tables is None
+        else:
+            proxy_ok = (model.component_tables is not None
+                        or model.one_way)
+        if vectorized is True and not proxy_ok:
+            raise InvalidParameterError(
+                "the proxy fast path needs a model the vectorized kernel "
+                "accepts (component tables or a one-way law)")
+        if vectorized is None:
+            vectorized = proxy_ok and self.n <= WEIGHTED_PROXY_MAX_N
+        self._kernel = None
+        self._sampler = None
+        self._pair_counts = None
+        if vectorized:
+            # Fixed per-agent expansion: within-class exchangeability
+            # makes weighted pair sampling over any fixed assignment
+            # project to exactly the (class × state) count chain.
+            product_states = np.repeat(
+                np.arange(self._classes * model.n_states, dtype=np.int64),
+                counts.ravel())
+            per_agent_weights = np.repeat(weights, counts.sum(axis=1))
+            self._sampler = WeightedPairSampler(per_agent_weights,
+                                                self._rng)
+            self._product_counts = np.bincount(
+                product_states, minlength=self._classes * model.n_states)
+            self._kernel = ConflictFreeKernel(
+                self._product, product_states, self._product_counts,
+                allow_stochastic=model.component_tables is None,
+                track_pairs=self._track_pairs)
+        else:
+            # Birthday path: O(C·S) state only — no per-agent arrays.
+            self._product_counts = counts.ravel()
+            self._init_birthday(counts)
+            if self._track_pairs:
+                self._pair_counts = np.zeros(model.n_states ** 2,
+                                             dtype=np.int64)
         self._counts = counts.sum(axis=0)
         self.steps_run = 0
+
+    def _init_birthday(self, counts) -> None:
+        """Precompute the fixed per-run structures of the birthday path.
+
+        Class membership never changes, so the per-class member counts
+        ``m_c``, the class-draw alias table (classes weighted by their
+        total activity ``m_c·w_c``), and the heterogeneity-corrected
+        collision scale ``n_eff = W²/Σᵢwᵢ²`` are all run constants.
+        """
+        m = counts.sum(axis=1)
+        self._members = m
+        occupied = np.flatnonzero(m > 0)
+        self._occupied = occupied
+        mass = m[occupied] * self._class_weights[occupied]
+        self._class_alias = AliasTable(mass)
+        total = float(mass.sum())
+        self._n_eff = total ** 2 / float(
+            (m[occupied] * self._class_weights[occupied] ** 2).sum())
+        # Window length (in interactions): collisions arrive on the
+        # √n_eff slot scale, so a ~2.5·√n_eff-slot window collides
+        # inside with probability ≈ 95%; the occasional fully-clean
+        # window is executed whole (exact — only the event
+        # {T ≥ window} was consumed), so nothing is wasted.
+        slots = int(2.5 * math.sqrt(self._n_eff)) + 8 * self._spp
+        self._window = max(1, slots // self._spp)
+        # Partner slot offsets: responder ≠ initiator, observed_i ≠
+        # initiator, observed_j ≠ responder (count.py's exclusions).
+        self._partner_offset = ((None, 1, 2, 2) if self._spp == 4
+                                else (None, 1))
 
     @classmethod
     def from_agent_states(cls, model: InteractionModel, states, weights,
@@ -361,16 +470,19 @@ class WeightedCountBackend(SimulationEngine):
     def pair_counts(self) -> np.ndarray:
         """Executed interactions per ordered *inner*-state pair, ``(S, S)``.
 
-        The product-pair accumulator contracted over both class axes;
-        requires ``track_pair_counts=True``.
+        On the proxy path, the product-pair accumulator contracted over
+        both class axes; the birthday path accumulates inner pairs
+        directly.  Requires ``track_pair_counts=True``.
         """
         if not self._track_pairs:
             raise InvalidParameterError(
                 "pair counts were not tracked; construct the backend with "
                 "track_pair_counts=True")
         c, s = self._classes, self.model.n_states
-        product = self._kernel.pair_count_matrix().reshape(c, s, c, s)
-        return product.sum(axis=(0, 2))
+        if self._kernel is not None:
+            product = self._kernel.pair_count_matrix().reshape(c, s, c, s)
+            return product.sum(axis=(0, 2))
+        return self._pair_counts.reshape(s, s).copy()
 
     def _project(self, product_counts) -> np.ndarray:
         """Inner-state counts of a product count vector."""
@@ -384,7 +496,7 @@ class WeightedCountBackend(SimulationEngine):
                                       check_stop_every)
         done = 0
         converged = stopped
-        if not stopped and max_steps > 0:
+        if not stopped and self._kernel is not None and max_steps > 0:
             wrapped = None
             if stop_when is not None:
                 def wrapped(product):
@@ -399,12 +511,338 @@ class WeightedCountBackend(SimulationEngine):
                 self._kernel, self._sampler.pair_block,
                 self._product.sample_components, self._rng, max_steps,
                 self.steps_run, wrapped, observe_every, check_stop_every,
-                product_observations, BLOCK_SIZE)
+                product_observations, BLOCK_SIZE,
+                others_block=self._sampler.others_block)
             self.steps_run += done
             observations.extend(
                 (step, self._project(product))
                 for step, product in product_observations)
             self._counts[:] = self._project(self._product_counts)
+        elif not stopped:
+            while done < max_steps:
+                executed, converged = self._advance(
+                    max_steps - done, done, stop_when, observe_every,
+                    check_stop_every, observations)
+                done += executed
+                if converged:
+                    break
+            self.steps_run += done
+            self._counts[:] = self._project(self._product_counts)
         return EngineResult(counts=self._counts.copy(),
                             steps=self.steps_run, converged=converged,
                             observations=observations)
+
+    # ------------------------------------------------------------------
+    # Heterogeneous birthday-run batching
+    # ------------------------------------------------------------------
+    def _draw_window(self, interactions: int):
+        """Sample one batch window's class sequence and collision slot.
+
+        Returns ``(cls, tau)``: the per-slot weight classes of the
+        ``interactions·spp``-slot window and the index of the first slot
+        that repeats an already-touched agent (``tau == len(cls)`` means
+        the whole window is collision-free).
+
+        Classes are iid ``m_c·w_c/W`` categorical draws; slots with a
+        distinctness partner reject a same-class draw with probability
+        ``1/m_c`` and redraw, which leaves exactly the partner-excluded
+        class law ``(m_c·w_c − δ·w_c)/(W − w_a)``.  Given the class
+        sequence, slot ``t`` hits an untouched agent with probability
+        ``(m_c − seen_c)/(m_c − δ)`` (``seen_c`` = prior class-``c``
+        slots, ``δ`` = partner in the same class), so the running
+        product of those factors is the survival function of the first
+        collision — inverted with a single uniform.
+        """
+        rng = self._rng
+        spp = self._spp
+        window = interactions * spp
+        occupied = self._occupied
+        members = self._members
+        cls = occupied[self._class_alias.draw_block(rng, window)]
+        for position in range(1, spp):
+            offset = self._partner_offset[position]
+            pending = np.arange(position, window, spp)
+            while pending.size:
+                clash = cls[pending] == cls[pending - offset]
+                clashing = pending[clash]
+                if not clashing.size:
+                    break
+                # Reject a same-class draw with probability 1/m_c.
+                rejected = (rng.random(clashing.size)
+                            * members[cls[clashing]] < 1.0)
+                redraw = clashing[rejected]
+                if not redraw.size:
+                    break
+                cls[redraw] = occupied[
+                    self._class_alias.draw_block(rng, redraw.size)]
+                pending = redraw
+        # seen_c before each slot: the slot's rank among its class.
+        # Class ids fit in a byte (MAX_WEIGHT_CLASSES = 64), and numpy's
+        # stable sort on uint8 keys is a radix pass — ~10x cheaper per
+        # window than the int64 merge sort.
+        order = np.argsort(cls.astype(np.uint8), kind="stable")
+        sorted_cls = cls[order]
+        boundary = np.empty(window, dtype=bool)
+        if window:
+            boundary[0] = True
+            np.not_equal(sorted_cls[1:], sorted_cls[:-1],
+                         out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        sizes = np.diff(np.append(starts, window))
+        rank = np.arange(window) - np.repeat(starts, sizes)
+        seen = np.empty(window, dtype=np.int64)
+        seen[order] = rank
+        paired = np.zeros(window, dtype=np.int64)
+        for position in range(1, spp):
+            offset = self._partner_offset[position]
+            idx = np.arange(position, window, spp)
+            paired[idx] = cls[idx] == cls[idx - offset]
+        m_at = members[cls]
+        factors = (m_at - seen) / (m_at - paired)
+        np.clip(factors, 0.0, 1.0, out=factors)
+        survival = np.cumprod(factors)
+        tau = int(np.count_nonzero(survival > rng.random()))
+        return cls, tau
+
+    def _advance(self, budget: int, done: int, stop_when, observe_every,
+                 check_stop_every, observations) -> tuple[int, bool]:
+        """Execute one heterogeneous birthday batch of 1..``budget`` steps.
+
+        The uniform-path contract of :meth:`CountBackend._advance` holds
+        verbatim: checkpoints inside the batch are materialized from the
+        recorded per-slot product states without splitting it, and a
+        collision-free window executes whole (exact — only the event
+        {first collision ≥ window} was consumed, and the chain is Markov
+        in the product counts).
+        """
+        interactions = min(budget, self._window)
+        cls, tau = self._draw_window(interactions)
+        collides = tau < interactions * self._spp
+        t = tau // self._spp if collides else interactions
+        executed = t + 1 if collides else t
+        obs_at = _cadence_offsets(done, observe_every, executed)
+        stop_at = (_cadence_offsets(done, check_stop_every, executed)
+                   if stop_when is not None else range(0))
+        if obs_at or stop_at:
+            return self._run_with_checkpoints(t, cls, tau, collides, done,
+                                              stop_when, obs_at, stop_at,
+                                              observations)
+        if not collides:
+            self._run_clean(t, cls, want_state=False)
+            return executed, False
+        pids, updated, pool = self._run_clean(t, cls, want_state=True)
+        self._run_collision(t, cls, tau, pids, updated, pool)
+        return executed, False
+
+    def _run_with_checkpoints(self, t, cls, tau, collides, done, stop_when,
+                              obs_at, stop_at, observations):
+        """Batch execution with interior observation / stop checkpoints.
+
+        Mirrors :meth:`CountBackend._run_with_checkpoints` on product
+        states: interior count vectors are segment sums over the
+        recorded per-slot pre/post product ids, projected to inner
+        counts for the observer and the predicate; an early stop rewinds
+        the product counts (and pair counts) to the firing checkpoint.
+        """
+        spp = self._spp
+        p = self._classes * self.model.n_states
+        s = self.model.n_states
+        base = self.steps_run + done
+        before = self._product_counts.copy()
+        pids, updated, pool = self._run_clean(t, cls, want_state=True)
+        executed = t + 1 if collides else t
+        current = before
+        prev = 0
+        for offset in sorted(set(obs_at) | set(stop_at)):
+            if offset > t:
+                break
+            current += np.bincount(updated[prev * spp:offset * spp],
+                                   minlength=p)
+            current -= np.bincount(pids[prev * spp:offset * spp],
+                                   minlength=p)
+            prev = offset
+            inner = self._project(current)
+            if offset in obs_at:
+                observations.append((base + offset, inner.copy()))
+            if offset in stop_at:
+                # Refresh the live inner counts before the predicate
+                # runs (the same guarantee the proxy path gives).
+                self._counts[:] = inner
+            if offset in stop_at and stop_when(inner):
+                self._product_counts[:] = current
+                if self._pair_counts is not None and offset < t:
+                    discarded_u = pids[offset * spp::spp] % s
+                    discarded_v = pids[offset * spp + 1::spp] % s
+                    self._pair_counts -= np.bincount(
+                        discarded_u * s + discarded_v, minlength=s * s)
+                return offset, True
+        if collides:
+            self._run_collision(t, cls, tau, pids, updated, pool)
+            if executed in obs_at:
+                observations.append(
+                    (base + executed,
+                     self._project(self._product_counts)))
+            if executed in stop_at:
+                self._counts[:] = self._project(self._product_counts)
+                if stop_when(self._counts):
+                    return executed, True
+        return executed, False
+
+    def _run_clean(self, t: int, cls, want_state: bool):
+        """Execute ``t`` all-distinct interactions, vectorized per class.
+
+        The prefix slots hold distinct agents whose classes are given by
+        ``cls``; within each class the agents are exchangeable, so their
+        states are a without-replacement sample from that class's state
+        counts (``multivariate_hypergeometric`` + shuffle), exactly as
+        the uniform path samples from the global counts.  With
+        ``want_state`` returns ``(pids, updated, pool)``: per-slot
+        pre/post product ids and the untouched remainder's product
+        counts — the collision-resolution inputs.
+        """
+        s = self.model.n_states
+        p = self._classes * s
+        if t == 0:
+            if want_state:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty, self._product_counts.copy()
+            return None
+        spp = self._spp
+        n_slots = t * spp
+        rng = self._rng
+        prefix_cls = cls[:n_slots]
+        counts2 = self._product_counts.reshape(self._classes, s)
+        slots = np.empty(n_slots, dtype=np.int64)
+        state_ids = np.arange(s)
+        present = np.flatnonzero(np.bincount(prefix_cls,
+                                             minlength=self._classes))
+        for c in present:
+            positions = np.flatnonzero(prefix_cls == c)
+            composition = rng.multivariate_hypergeometric(counts2[c],
+                                                          positions.size)
+            values = np.repeat(state_ids, composition)
+            rng.shuffle(values)
+            slots[positions] = values
+        initiators = slots[0::spp]
+        responders = slots[1::spp]
+        observed = None
+        if spp == 4:
+            observed = (slots[2::spp], slots[3::spp])
+        new_u, new_v = self.model.apply(initiators, responders, rng,
+                                        observed)
+        if self._pair_counts is not None:
+            self._pair_counts += np.bincount(initiators * s + responders,
+                                             minlength=s * s)
+        pids = prefix_cls * s + slots
+        updated = pids.copy()
+        updated[0::spp] = prefix_cls[0::spp] * s + new_u
+        updated[1::spp] = prefix_cls[1::spp] * s + new_v
+        sampled = np.bincount(pids, minlength=p)
+        delta = np.bincount(updated, minlength=p) - sampled
+        if want_state:
+            pool = self._product_counts - sampled
+            self._product_counts += delta
+            return pids, updated, pool
+        self._product_counts += delta
+        return None
+
+    def _run_collision(self, t: int, cls, tau, pids, updated, pool) -> None:
+        """Resolve the interaction that ends a clean run, exactly.
+
+        Slot ``tau`` repeats an already-touched agent; its interaction's
+        other slots are fresh (before ``tau``, by the survival
+        conditioning) or drawn from their unconditioned touched/fresh
+        law (after ``tau``).  A touched slot hits a uniformly chosen
+        eligible touched member of its class (partner excluded when in
+        the same class): clean-prefix members read their recorded
+        post-state, same-interaction members their pre-state.  Fresh
+        slots draw their state from the untouched remainder ``pool``.
+        """
+        rng = self._rng
+        spp = self._spp
+        s = self.model.n_states
+        prefix_slots = t * spp
+        position_tau = tau - prefix_slots
+        pool = pool.reshape(self._classes, s).copy()
+        members = self._members
+        # Touched class-c agents: their prefix slot indices, plus the
+        # states of agents first seen in this very interaction.
+        prefix_by_class: dict[int, list] = {}
+        extra_by_class: dict[int, list] = {}
+
+        def touched_tokens(c):
+            if c not in prefix_by_class:
+                prefix_by_class[c] = np.flatnonzero(
+                    cls[:prefix_slots] == c).tolist()
+            return prefix_by_class[c], extra_by_class.setdefault(c, [])
+
+        def draw_fresh(c) -> int:
+            row = pool[c]
+            pick = int(rng.integers(int(row.sum())))
+            state = 0
+            acc = row[0]
+            while acc <= pick:
+                state += 1
+                acc += row[state]
+            row[state] -= 1
+            return int(state)
+
+        def pick_touched(c, barred):
+            prefix_tokens, extras = touched_tokens(c)
+            eligible = ([token for token in prefix_tokens
+                         if token != barred]
+                        if isinstance(barred, int) else prefix_tokens)
+            extra_count = len(extras) - (1 if isinstance(barred, tuple)
+                                         and barred[0] == c else 0)
+            index = int(rng.integers(len(eligible) + extra_count))
+            if index < len(eligible):
+                token = eligible[index]
+                return token, int(updated[token]) % s
+            extra_index = index - len(eligible)
+            if isinstance(barred, tuple) and barred[0] == c \
+                    and extra_index >= barred[1]:
+                extra_index += 1
+            return (c, extra_index), extras[extra_index]
+
+        slot_state = [0] * spp
+        slot_token: list = [None] * spp
+        slot_cls = [int(cls[prefix_slots + position])
+                    for position in range(spp)]
+        for position in range(spp):
+            c = slot_cls[position]
+            offset = self._partner_offset[position]
+            partner = position - offset if offset is not None else None
+            same_class = (partner is not None
+                          and slot_cls[partner] == c)
+            barred = slot_token[partner] if same_class else None
+            prefix_tokens, extras = touched_tokens(c)
+            seen = len(prefix_tokens) + len(extras)
+            if position < position_tau:
+                fresh = True
+            elif position == position_tau:
+                fresh = False
+            else:
+                delta = 1 if same_class else 0
+                fresh = (int(rng.integers(members[c] - delta))
+                         >= seen - delta)
+            if fresh:
+                state = draw_fresh(c)
+                extras.append(state)
+                slot_token[position] = (c, len(extras) - 1)
+                slot_state[position] = state
+            else:
+                token, state = pick_touched(c, barred)
+                slot_token[position] = token
+                slot_state[position] = state
+        u, v = slot_state[0], slot_state[1]
+        observed = None
+        if spp == 4:
+            observed = (slot_state[2], slot_state[3])
+        if self._pair_counts is not None:
+            self._pair_counts[u * s + v] += 1
+        new_u, new_v = self.model.apply_scalar(u, v, rng, observed)
+        counts = self._product_counts
+        counts[slot_cls[0] * s + u] -= 1
+        counts[slot_cls[1] * s + v] -= 1
+        counts[slot_cls[0] * s + new_u] += 1
+        counts[slot_cls[1] * s + new_v] += 1

@@ -16,6 +16,13 @@ Both validate against a :class:`~repro.params.ParamSpace` so every
 error message names the experiment's actual knobs, and both return
 *coerced* native values — ``n=1e4,1e5`` produces ints, never strings —
 which is what keeps grid records and cache keys spelling-independent.
+
+``seed`` is additionally a first-class grid axis even though no
+experiment declares it as a parameter: ``--grid seed=0:7:8`` sweeps the
+*task seed* (replicate grids in one spelling).  The axis coerces to
+exact ints and is consumed by :func:`repro.runner.plan.grid_plan`, which
+lifts it out of the per-point parameter overrides into each task's
+``seed`` coordinate.
 """
 
 from __future__ import annotations
@@ -92,7 +99,28 @@ def _parse_axis_values(name: str, spec: str, space: ParamSpace) -> list:
             f"malformed --grid axis {name}={spec!r}: expected "
             f"name=v1,v2,... or name=start:stop:count"
         )
+    if name == "seed" and "seed" not in space.names:
+        # Task-seed axis: not an experiment parameter, so coerce here
+        # (exact ints only — a fractional seed is always a typo).
+        return [_coerce_seed(name, spec, value) for value in raw]
     return [space.coerce_value(name, value) for value in raw]
+
+
+def _coerce_seed(name: str, spec: str, value) -> int:
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError) as error:
+        raise InvalidParameterError(
+            f"--grid axis {name}={spec!r}: seed values must be "
+            f"integers, got {value!r}"
+        ) from error
+    as_int = int(as_float)
+    if as_int != as_float:
+        raise InvalidParameterError(
+            f"--grid axis {name}={spec!r}: seed values must be "
+            f"integers, got {value!r}"
+        )
+    return as_int
 
 
 def parse_grid(specs, space: ParamSpace) -> dict[str, list]:

@@ -17,9 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.sampling import (
+    AliasTable,
     check_weights,
     ordered_pair_block,
-    weight_cdf,
     weighted_draw_block,
     weighted_pair_block,
 )
@@ -97,7 +97,7 @@ class WeightedScheduler:
         w = check_weights(weights)
         self.n = w.size
         self._weights = w / w.sum()
-        self._cdf = weight_cdf(w)
+        self._table = AliasTable(w)
         self._rng = as_generator(seed)
 
     @property
@@ -112,18 +112,18 @@ class WeightedScheduler:
 
     def next_pair(self) -> tuple[int, int]:
         """One ordered pair of distinct agents, weight-proportional."""
-        i = int(weighted_draw_block(self._rng, self._cdf, 1)[0])
+        i = int(weighted_draw_block(self._rng, self._table, 1)[0])
         while True:
-            j = int(weighted_draw_block(self._rng, self._cdf, 1)[0])
+            j = int(weighted_draw_block(self._rng, self._table, 1)[0])
             if j != i:
                 return i, j
 
     def pair_block(self, size: int) -> tuple[np.ndarray, np.ndarray]:
         """Batch of ``size`` weighted ordered pairs (vectorized rejection)."""
         size = check_positive_int("size", size)
-        return weighted_pair_block(self._rng, self._cdf, size)
+        return weighted_pair_block(self._rng, self._table, size)
 
     def others_block(self, first) -> np.ndarray:
         """One weighted *other* agent per entry of ``first`` (rejection)."""
-        return weighted_pair_block(self._rng, self._cdf, len(first),
+        return weighted_pair_block(self._rng, self._table, len(first),
                                    first=np.asarray(first))[1]

@@ -30,13 +30,22 @@ from repro.utils.errors import InvalidParameterError
 #: once per process is cheap; once per task is not).
 _CODE_VERSION: str | None = None
 
+#: Manual cache epoch, mixed into :func:`code_version`.  Bump it when a
+#: change alters sampled *trajectories* without necessarily changing the
+#: installed source seen by every consumer (editable installs, partial
+#: deployments).  Epoch 2: the weighted samplers moved from cumulative-sum
+#: inversion to a Walker alias table — the law is unchanged but every
+#: weighted bitstream (and thus every weighted trajectory) differs.
+CODE_EPOCH = 2
+
 
 def code_version() -> str:
     """Fingerprint of the installed ``repro`` source tree (memoized).
 
     A short digest over every ``*.py`` file's path and contents under the
-    imported package root.  Editing any library source therefore changes
-    the fingerprint and invalidates all cached results.
+    imported package root, plus the manual :data:`CODE_EPOCH`.  Editing
+    any library source (or bumping the epoch) therefore changes the
+    fingerprint and invalidates all cached results.
     """
     global _CODE_VERSION
     if _CODE_VERSION is None:
@@ -44,6 +53,8 @@ def code_version() -> str:
 
         root = pathlib.Path(repro.__file__).resolve().parent
         digest = hashlib.sha256()
+        digest.update(f"epoch:{CODE_EPOCH}".encode())
+        digest.update(b"\0")
         for path in sorted(root.rglob("*.py")):
             digest.update(str(path.relative_to(root)).encode())
             digest.update(b"\0")

@@ -306,11 +306,13 @@ def grid_plan(
     """One task per point of the cartesian product of ``grid`` axes.
 
     ``grid`` maps parameter names to value lists; axes iterate in
-    insertion order with the *last* axis fastest, and every point runs
-    with the same ``seed`` (sweep the ``seed`` axis explicitly for
-    replicate grids).  ``base_params`` overrides apply beneath every
-    point.  Each task is labeled with its point (``"n=10000,eps=0.02"``)
-    so grid records are self-describing.
+    insertion order with the *last* axis fastest.  A ``seed`` axis is
+    first-class: its values become each task's *seed coordinate* (never
+    a parameter override), so ``--grid seed=0:7:8`` sweeps replicates —
+    alone or crossed with parameter axes.  Without one, every point
+    runs with the same ``seed``.  ``base_params`` overrides apply
+    beneath every point.  Each task is labeled with its point
+    (``"n=10000,seed=3"``) so grid records are self-describing.
     """
     profile = resolve_profile(fast, profile)
     base = dict(_canonical_overrides(base_params))
@@ -320,18 +322,27 @@ def grid_plan(
     for name, values in axes:
         if not values:
             raise InvalidParameterError(f"grid axis {name!r} has no values")
+        if name == "seed":
+            for value in values:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise InvalidParameterError(
+                        f"grid axis 'seed' values must be ints, "
+                        f"got {value!r}"
+                    )
     tasks = []
     for combo in itertools.product(*(values for _, values in axes)):
         point = {name: value for (name, _), value in zip(axes, combo)}
+        point_seed = point.pop("seed", seed)
         tasks.append(
             RunTask(
                 experiment_id=experiment_id,
                 profile=profile,
                 params={**base, **point},
-                seed=seed,
+                seed=point_seed,
                 backend=backend,
                 label=",".join(
-                    f"{name}={value}" for name, value in point.items()
+                    f"{name}={value}"
+                    for (name, _), value in zip(axes, combo)
                 ),
             )
         )

@@ -225,10 +225,32 @@ class TestProductStateModel:
         assert np.array_equal(new_u // s, initiators // s)
         assert np.array_equal(new_v // s, responders // s)
 
-    def test_rejects_four_slot_models(self):
+    def test_four_slot_lift_projects_observed(self):
+        """Observed product states reach the inner law as inner states."""
         from repro.engine import ImitationModel
-        with pytest.raises(InvalidParameterError, match="pairwise"):
-            ProductStateModel(ImitationModel(np.eye(2)), 2)
+
+        class Probe(ImitationModel):
+            def apply(self, initiators, responders, rng, observed=None):
+                assert observed is not None
+                assert (observed[0] < self.n_states).all()
+                assert (observed[1] < self.n_states).all()
+                return super().apply(initiators, responders, rng, observed)
+
+        inner = Probe(np.array([[1.0, 0.0], [2.0, 1.0]]))
+        product = ProductStateModel(inner, 3)
+        assert product.slots_per_step == 4
+        rng = np.random.default_rng(0)
+        s = inner.n_states
+        initiators = rng.integers(0, product.n_states, size=300)
+        responders = rng.integers(0, product.n_states, size=300)
+        observed = (rng.integers(0, product.n_states, size=300),
+                    rng.integers(0, product.n_states, size=300))
+        new_u, new_v = product.apply(initiators, responders, rng, observed)
+        assert np.array_equal(new_u // s, initiators // s)
+        assert np.array_equal(new_v // s, responders // s)
+        u, v = product.apply_scalar(2 * s + 1, s, rng,
+                                    observed=(s + 1, 2 * s))
+        assert u // s == 2 and v // s == 1
 
 
 class TestWeightClassHelpers:
@@ -336,23 +358,39 @@ class TestFacadeIntegration:
                 sim.step()
                 assert sim.counts.sum() == 40
 
-    def test_game_simulation_weighted_imitation_count_rejected(self):
+    def test_game_simulation_weighted_imitation_count_accepted(self):
+        """The PR 5 refusal is closed: the 4-slot imitation rule runs on
+        the weighted count lift."""
         game = hawk_dove_game(2.0, 4.0)
-        with pytest.raises(InvalidParameterError, match="pairwise"):
-            PopulationGameSimulation(game, 40, rule="imitation", seed=0,
-                                     backend="count",
-                                     weights="twoclass:3")
+        sim = PopulationGameSimulation(game, 40, rule="imitation", seed=0,
+                                       backend="count",
+                                       weights="twoclass:3")
+        sim.run(2000)
+        assert sim.counts.sum() == 40
 
-    def test_auto_dispatch_weighted_imitation_forces_agent(self):
-        """Regression: 'auto' must never resolve a weighted imitation
-        workload to the count backend it cannot run."""
+    def test_weighted_imitation_count_matches_agent_law(self):
+        """Law equality, count lift vs agent backend, for the 4-slot
+        imitation rule under heterogeneous weights (mean final counts)."""
+        game = hawk_dove_game(2.0, 4.0)
+        runs, steps, n = 60, 400, 30
+        totals = {"agent": 0.0, "count": 0.0}
+        for backend in ("agent", "count"):
+            for r in range(runs):
+                sim = PopulationGameSimulation(
+                    game, n, rule="imitation", seed=1000 + r,
+                    backend=backend, weights="twoclass:4")
+                sim.run(steps)
+                totals[backend] += sim.counts[0]
+        difference = abs(totals["agent"] - totals["count"]) / runs
+        assert difference < 2.5, difference
+
+    def test_auto_dispatch_weighted_imitation_goes_count(self):
+        """'auto' is free to resolve weighted imitation count-level now
+        that the lift supports 4-slot models."""
         game = hawk_dove_game(2.0, 4.0)
         sim = PopulationGameSimulation(game, 100_000, rule="imitation",
                                        seed=0, backend="auto",
                                        weights="twoclass:3")
-        assert sim.backend == "agent"
-        # Pairwise rules stay free to dispatch count-level.
-        sim = PopulationGameSimulation(game, 100_000, rule="logit",
-                                       seed=0, backend="auto",
-                                       weights="twoclass:3")
-        assert sim.backend in ("agent", "count")
+        assert sim.backend == "count"
+        sim.run(500)
+        assert sim.counts.sum() == 100_000

@@ -98,3 +98,35 @@ class TestDegenerateRanges:
     def test_count_zero_rejected(self, space):
         with pytest.raises(InvalidParameterError, match="count >= 1"):
             parse_grid(["eps=0.1:0.2:0"], space)
+
+
+class TestSeedAxis:
+    """``seed`` is a first-class grid axis even though no experiment
+    declares it as a parameter: the parser coerces it to exact ints and
+    grid_plan lifts it into each task's seed coordinate."""
+
+    def test_seed_list_coerces_to_ints(self, space):
+        grid = parse_grid(["seed=1,2,1e2"], space)
+        assert grid == {"seed": [1, 2, 100]}
+        assert all(type(v) is int for v in grid["seed"])
+
+    def test_seed_range_spelling(self, space):
+        assert parse_grid(["seed=0:7:8"], space) == {
+            "seed": [0, 1, 2, 3, 4, 5, 6, 7]}
+
+    def test_seed_crossed_with_parameter_axes(self, space):
+        grid = parse_grid(["n=10,20", "seed=3,4"], space)
+        assert list(grid) == ["n", "seed"]
+
+    def test_fractional_seed_rejected(self, space):
+        with pytest.raises(InvalidParameterError, match="integers"):
+            parse_grid(["seed=0.5,1"], space)
+        with pytest.raises(InvalidParameterError, match="integers"):
+            parse_grid(["seed=0:1:3"], space)
+
+    def test_declared_seed_param_wins_over_special_case(self):
+        # If an experiment ever declares its own `seed` knob, schema
+        # coercion applies untouched.
+        space = ParamSpace(Param("seed", "float", 0.5, minimum=0.0))
+        assert parse_grid(["seed=0.25,0.75"], space) == {
+            "seed": [0.25, 0.75]}

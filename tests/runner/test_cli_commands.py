@@ -190,6 +190,33 @@ class TestParamsCommand:
         assert main(["params", "E404"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_params_all_prints_every_schema(self, capsys):
+        from repro.experiments import all_experiments
+
+        assert main(["params", "--all"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id, title in all_experiments():
+            assert f"{experiment_id}: {title}" in out
+
+    def test_params_all_json_keyed_by_id(self, capsys):
+        from repro.experiments import all_experiments
+        from repro.params import ParamSpace
+
+        assert main(["params", "--all", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == sorted(
+            eid for eid, _ in all_experiments())
+        for schema in payload.values():
+            assert ParamSpace.from_dict(schema).to_dict() == schema
+
+    def test_params_without_id_or_all_exits_2(self, capsys):
+        assert main(["params"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_params_id_and_all_conflict_exits_2(self, capsys):
+        assert main(["params", "E4", "--all"]) == 2
+        assert "not both" in capsys.readouterr().err
+
 
 class TestCacheCommand:
     def fill_cache(self, tmp_path) -> str:

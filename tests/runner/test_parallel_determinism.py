@@ -86,3 +86,24 @@ class TestSweepJobsEquivalence:
         for row in sweep.records:
             assert sum(row["final_counts"]) == 30  # GTFT head count at n=60
             assert np.isfinite(row["mean_generosity"])
+
+
+class TestSeedAxisJobsEquivalence:
+    """--grid seed=... replicate grids obey the same jobs-determinism
+    contract as parameter grids."""
+
+    def test_grid_plan_seed_axis_identical_across_jobs(self):
+        from repro.runner import grid_plan
+
+        payloads = {}
+        for jobs in (1, 4):
+            plan = grid_plan("E1", {"k": [3, 4], "seed": [0, 1, 2]},
+                             jobs=jobs)
+            assert [task.seed for task in plan.tasks] == [0, 1, 2, 0, 1, 2]
+            # The axis is a task coordinate, never a parameter override.
+            assert all("seed" not in task.params_dict()
+                       for task in plan.tasks)
+            assert plan.tasks[0].label == "k=3,seed=0"
+            report = execute(plan)
+            payloads[jobs] = [r.report.to_dict() for r in report.results]
+        assert canonical(payloads[1]) == canonical(payloads[4])

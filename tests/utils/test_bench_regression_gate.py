@@ -26,23 +26,32 @@ def write(path, cases):
     return str(path)
 
 
+#: Every fixture file carries the required headline cases so tests of
+#: the factor logic are not confounded by the presence check (which has
+#: its own test below).
+REQUIRED = [
+    ("igt-weighted", "agent", 1_000_000, 3_000_000),
+    ("igt-weighted", "count", 1_000_000, 4_000_000),
+]
+
+
 def test_agent_and_count_both_gated(gate, tmp_path):
     baseline = write(tmp_path / "base.json", [
         ("igt", "agent", 10_000, 20_000_000),
         ("igt", "count", 10_000, 20_000_000),
         ("igt-observed", "count", 1000, 5_000_000),
-    ])
+    ] + REQUIRED)
     healthy = write(tmp_path / "ok.json", [
         ("igt", "agent", 10_000, 11_000_000),
         ("igt", "count", 10_000, 19_000_000),
         ("igt-observed", "count", 1000, 4_000_000),
-    ])
+    ] + REQUIRED)
     assert gate.main([healthy, baseline]) == 0
     agent_regressed = write(tmp_path / "bad.json", [
         ("igt", "agent", 10_000, 9_000_000),   # below baseline / 2
         ("igt", "count", 10_000, 19_000_000),
         ("igt-observed", "count", 1000, 4_000_000),
-    ])
+    ] + REQUIRED)
     assert gate.main([agent_regressed, baseline]) == 1
 
 
@@ -53,14 +62,14 @@ def test_baseline_backends_not_gated(gate, tmp_path):
         ("igt-observed", "count-perstep", 1000, 40_000),
         ("igt", "auto", 1000, 9_000_000),
         ("igt", "count", 1000, 9_000_000),
-    ])
+    ] + REQUIRED)
     slower_baselines = write(tmp_path / "cur.json", [
         ("igt", "agent-seq", 1000, 1),
         ("igt", "seed-loop", 1000, 1),
         ("igt-observed", "count-perstep", 1000, 1),
         ("igt", "auto", 1000, 1),
         ("igt", "count", 1000, 8_000_000),
-    ])
+    ] + REQUIRED)
     assert gate.main([slower_baselines, baseline]) == 0
 
 
@@ -70,3 +79,32 @@ def test_vacuous_gate_fails(gate, tmp_path):
     unrelated = write(tmp_path / "cur.json",
                       [("igt", "count", 2000, 1_000_000)])
     assert gate.main([unrelated, baseline]) == 1
+
+
+def test_missing_required_weighted_case_fails(gate, tmp_path):
+    """Silently dropping a headline weighted case un-gates it — exit 1."""
+    baseline = write(tmp_path / "base.json",
+                     [("igt", "count", 1000, 1_000_000)] + REQUIRED)
+    no_weighted = write(tmp_path / "cur.json", [
+        ("igt", "count", 1000, 1_000_000),
+        ("igt-weighted", "agent", 1_000_000, 3_000_000),
+        # igt-weighted/count at n=1e6 absent
+    ])
+    assert gate.main([no_weighted, baseline]) == 1
+    # Present in both (even if only the required pair) passes.
+    current = write(tmp_path / "ok.json",
+                    [("igt", "count", 1000, 900_000)] + REQUIRED)
+    assert gate.main([current, baseline]) == 0
+
+
+def test_count_birthday_case_is_baseline_not_gated(gate, tmp_path):
+    """The forced-birthday record is informational, never gated."""
+    baseline = write(tmp_path / "base.json", [
+        ("igt", "count", 1000, 1_000_000),
+        ("igt-weighted", "count-birthday", 10_000_000, 2_000_000),
+    ] + REQUIRED)
+    slower = write(tmp_path / "cur.json", [
+        ("igt", "count", 1000, 900_000),
+        ("igt-weighted", "count-birthday", 10_000_000, 1),
+    ] + REQUIRED)
+    assert gate.main([slower, baseline]) == 0
