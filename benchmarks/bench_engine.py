@@ -28,6 +28,14 @@ per-interaction loops:
   its own size grid — the shared sizes plus ``n = 10^6`` in every mode
   — so CI gates the weighted path at the proxy ceiling and full runs
   record the ``n = 10^7`` birthday-territory claim.
+* ``igt-topology`` — the graph-restricted extension: the same k-IGT
+  dynamics on a circulant ring (half-width 2), pairs drawn uniformly
+  from the directed edges.  Cases: the agent backend's kernel fed
+  ``GraphScheduler`` blocks (CSR edge-table draws — the quenched graph
+  process), and ``CountBackend`` under the same vertex-transitive graph
+  (the degree-annealed chain).  Measured up to ``n = 10^5`` in smoke
+  and ``10^6`` in full mode — graph construction (O(n) CSR build) is
+  hoisted outside the timed lambdas like the weighted alias tables.
 * ``logit`` / ``imitation`` — the *generic* (stochastic) models.
   ``agent-seq`` is the per-interaction ``apply_scalar`` loop;
   ``agent`` is the batched kernel path (``vectorized=True``,
@@ -85,7 +93,11 @@ from repro.engine import (  # noqa: E402
     protocol_model,
     weights_from_spec,
 )
-from repro.population.scheduler import WeightedScheduler  # noqa: E402
+from repro.engine.topology import ring_graph  # noqa: E402
+from repro.population.scheduler import (  # noqa: E402
+    GraphScheduler,
+    WeightedScheduler,
+)
 
 OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 HISTORY = OUTPUT.parent / "BENCH_history.jsonl"
@@ -478,6 +490,32 @@ def main(argv=None) -> None:
             record(
                 "igt-weighted", "count-birthday", n, steps,
                 timed(lambda: birthday_backend.run(steps), n_repeats))
+
+    # --- graph-restricted workload (ring topology) -------------------
+    # Same hoisting rationale as the weighted section: the CSR edge
+    # table is a one-time O(n) build that would otherwise swamp the
+    # probe.  No crossover feeds dispatch from here — under a topology
+    # ``auto`` always resolves to "agent" (quenched semantics); the
+    # count case records the annealed chain's throughput for the
+    # explicit-opt-in route.
+    topology_sizes = (population_sizes if args.smoke
+                      else tuple(sorted(
+                          (set(population_sizes) | {1_000_000})
+                          - {10_000_000})))
+    for n in topology_sizes:
+        n_repeats = max(repeats, 3)
+        model = igt_model(GRID.k)
+        states = igt_states(n)
+        graph = ring_graph(n, half_width=2)
+        agent_backend = AgentBackend(
+            model, states, scheduler=GraphScheduler(graph, seed=1))
+        record("igt-topology", "agent", n, steps,
+               timed(lambda: agent_backend.run(steps), n_repeats))
+        count_backend = CountBackend(
+            model, np.bincount(states, minlength=model.n_states),
+            scheduler=GraphScheduler(graph, seed=1))
+        record("igt-topology", "count", n, steps,
+               timed(lambda: count_backend.run(steps), n_repeats))
 
     thresholds = {
         "strategy_crossover_n": crossover_n(strategy_points),

@@ -6,7 +6,8 @@ committed at the repo root.  Cases are matched on
 ``(workload, backend, n)`` and the ``"count"`` and ``"agent"`` entries
 are gated — they carry the engine's performance claims across every
 workload (including the ``igt-observed`` / ``igt-action`` count cases,
-the ``igt-weighted`` heterogeneous-activity cases on both backends, and
+the ``igt-weighted`` heterogeneous-activity cases on both backends,
+the ``igt-topology`` graph-restricted cases on both backends, and
 the ``logit`` / ``imitation`` generic-model vectorized cases);
 seed-loop, ``agent-seq``, and per-step entries are baselines by
 construction, and ``auto`` rows duplicate whichever gated case the
@@ -36,10 +37,13 @@ GATED_BACKENDS = ("agent", "count")
 #: — the headline performance claims whose silent disappearance from
 #: either matrix would otherwise un-gate them.  The weighted pair sits
 #: at the proxy ceiling (n = 10^6), the largest size the smoke matrix
-#: measures.
+#: measures; the topology pair sits at n = 10^5, the largest size its
+#: smoke matrix shares with the full run.
 REQUIRED_CASES = (
     ("igt-weighted", "agent", 1_000_000),
     ("igt-weighted", "count", 1_000_000),
+    ("igt-topology", "agent", 100_000),
+    ("igt-topology", "count", 100_000),
 )
 
 

@@ -235,6 +235,13 @@ def _build_parser() -> argparse.ArgumentParser:
               "uniform (default), powerlaw[:alpha], or twoclass[:ratio]; "
               "pairs are then sampled weight-proportionally"))
     sim_parser.add_argument(
+        "--topology", default="complete", metavar="SPEC",
+        help=("interaction-graph spec restricting which pairs may meet: "
+              "complete (default: the paper's uniform scheduler), "
+              "ring[:w], grid[:rows], smallworld[:p], or "
+              "powerlaw[:alpha]; non-complete graphs run the quenched "
+              "process on the agent backend"))
+    sim_parser.add_argument(
         "--backend", choices=["agent", "count", "auto"], default="agent",
         help=("simulation engine: 'agent' tracks every agent, 'count' "
               "simulates the exact count chain (much faster at large n), "
@@ -247,7 +254,7 @@ def _run_simulate(args) -> int:
     from repro.core.igt import GenerosityGrid
     from repro.core.population_igt import IGTSimulation, PopulationShares
     from repro.core.theory import igt_mixing_upper_bound
-    from repro.engine import weights_from_spec
+    from repro.engine import topology_from_spec, weights_from_spec
 
     import numpy as np
 
@@ -255,6 +262,7 @@ def _run_simulate(args) -> int:
     shares = PopulationShares(alpha=args.alpha, beta=args.beta, gamma=gamma)
     grid = GenerosityGrid(k=args.k, g_max=args.g_max)
     activity = weights_from_spec(args.weights, args.n)
+    graph = topology_from_spec(args.topology, args.n)
     steps = args.steps
     if steps is None:
         steps = int(2 * igt_mixing_upper_bound(args.k, shares, args.n))
@@ -266,19 +274,24 @@ def _run_simulate(args) -> int:
                         / (args.n * float(activity.min())))
     sim = IGTSimulation(n=args.n, shares=shares, grid=grid, seed=args.seed,
                         observation_noise=args.noise, backend=args.backend,
-                        weights=activity)
+                        weights=activity, topology=graph)
     print(f"k-IGT: n={args.n}, (alpha,beta,gamma)=({args.alpha}, "
           f"{args.beta}, {gamma:.3g}), k={args.k}, g_max={args.g_max}, "
           f"noise={args.noise}, steps={steps}, backend={args.backend}, "
-          f"weights={args.weights}")
+          f"weights={args.weights}, topology={args.topology}")
     sim.run(steps)
-    # Heterogeneous GTFT activity weights mix per-agent walk biases, so
-    # no single Ehrenfest chain matches — report simulation only.  Every
-    # other embedding error (e.g. beta=0 needs an AD agent) stays hard,
-    # weighted or not.
+    # Heterogeneous GTFT activity weights mix per-agent walk biases, and
+    # an interaction graph gives each GTFT agent its own AD-neighbor
+    # bias — no single Ehrenfest chain matches either, so report
+    # simulation only there.  Every other embedding error (e.g. beta=0
+    # needs an AD agent) stays hard.
     gtft_weights = (None if activity is None
                     else activity[sim.n_ac + sim.n_ad:])
-    if gtft_weights is not None \
+    if graph is not None:
+        process = None
+        print("(no Ehrenfest embedding: the interaction graph gives "
+              "each GTFT agent its own AD-neighbor bias)")
+    elif gtft_weights is not None \
             and not np.allclose(gtft_weights, gtft_weights[0]):
         process = None
         print("(no Ehrenfest embedding: GTFT agents carry heterogeneous "

@@ -38,10 +38,15 @@ import numpy as np
 
 from repro.engine import AgentBackend, CountBackend, WeightedCountBackend, \
     check_backend, resolve_backend, matrix_game_model
+from repro.engine.topology import resolve_topology
 from repro.engine.weighted import resolve_weights
 from repro.games.base import MatrixGame
 from repro.games.nash import symmetric_de_gap
-from repro.population.scheduler import RandomScheduler, WeightedScheduler
+from repro.population.scheduler import (
+    GraphScheduler,
+    RandomScheduler,
+    WeightedScheduler,
+)
 from repro.utils import as_generator, check_positive_int, check_probability
 from repro.utils.errors import InvalidParameterError
 
@@ -83,6 +88,15 @@ class PopulationGameSimulation:
         ``(weight class × state)`` lift — available for every rule,
         including ``imitation`` (observed agents lift to the product
         space).
+    topology:
+        Optional interaction graph restricting which pairs may meet —
+        a :func:`repro.engine.topology_from_spec` spec string
+        (``"ring"``, ``"grid:8"``, ``"smallworld:0.1"``, ...), an
+        :class:`~repro.engine.InteractionGraph`, or an ``(E, 2)`` edge
+        array.  ``"auto"`` then resolves to ``"agent"`` (the quenched
+        graph process); pinning ``backend="count"`` runs the
+        degree-annealed chain, accepted only for vertex-transitive
+        graphs.  Mutually exclusive with non-uniform ``weights``.
     vectorized:
         Forwarded to :class:`~repro.engine.agent.AgentBackend`:
         ``True`` opts the stochastic rules (``imitation``/``logit``)
@@ -93,7 +107,7 @@ class PopulationGameSimulation:
     def __init__(self, game: MatrixGame, n: int, rule: str = "imitation",
                  seed=None, initial_strategies=None, p_update: float = 0.5,
                  eta: float = 1.0, backend: str = "agent", weights=None,
-                 vectorized: bool | None = None):
+                 topology=None, vectorized: bool | None = None):
         if not game.is_symmetric():
             raise InvalidParameterError(
                 "population game dynamics require a symmetric game")
@@ -109,9 +123,15 @@ class PopulationGameSimulation:
             raise InvalidParameterError(f"eta must be positive, got {eta!r}")
         self.eta = float(eta)
         self._weights = weights = resolve_weights(weights, self.n)
+        self._topology = topology = resolve_topology(topology, self.n)
+        if topology is not None and weights is not None:
+            raise InvalidParameterError(
+                "pass either weights= or topology=, not both: the "
+                "weighted graph-restricted law is not defined here")
         check_backend(backend, allow_auto=True)
         self.backend = backend = resolve_backend(
-            backend, n=self.n, weighted=weights is not None)
+            backend, n=self.n, weighted=weights is not None,
+            graph_restricted=topology is not None)
         self._rng = as_generator(seed)
         n_strategies = self.payoffs.shape[0]
         if initial_strategies is None:
@@ -134,7 +154,14 @@ class PopulationGameSimulation:
         if backend == "count":
             self._strategies = None
             self._scheduler = None
-            if weights is None:
+            if topology is not None:
+                # The engine owns the vertex-transitivity check; an
+                # accepted graph runs its degree-annealed chain.
+                self._engine = CountBackend(
+                    self._model,
+                    np.bincount(strategies, minlength=n_strategies),
+                    scheduler=GraphScheduler(topology, seed=self._rng))
+            elif weights is None:
                 self._engine = CountBackend(
                     self._model,
                     np.bincount(strategies, minlength=n_strategies),
@@ -146,9 +173,12 @@ class PopulationGameSimulation:
                     self._model, strategies, weights, seed=self._rng)
         else:
             self._strategies = strategies
-            self._scheduler = (
-                RandomScheduler(self.n, seed=self._rng) if weights is None
-                else WeightedScheduler(weights, seed=self._rng))
+            if topology is not None:
+                self._scheduler = GraphScheduler(topology, seed=self._rng)
+            elif weights is None:
+                self._scheduler = RandomScheduler(self.n, seed=self._rng)
+            else:
+                self._scheduler = WeightedScheduler(weights, seed=self._rng)
             self._engine = AgentBackend(
                 self._model, strategies,
                 scheduler=self._scheduler,
@@ -194,7 +224,8 @@ class PopulationGameSimulation:
         """One scheduled interaction (``backend="agent"``)."""
         strategies = self.strategies
         rng = self._rng
-        if self._weights is None:
+        uniform_law = self._weights is None and self._topology is None
+        if uniform_law:
             i = int(rng.integers(0, self.n))
             j = int(rng.integers(0, self.n - 1))
             if j >= i:
@@ -205,7 +236,7 @@ class PopulationGameSimulation:
         if self._model.slots_per_step == 4:
             # The rule reads two independently sampled opponents, drawn
             # from the scheduler's law.
-            if self._weights is None:
+            if uniform_law:
                 oi = int(rng.integers(0, self.n - 1))
                 if oi >= i:
                     oi += 1

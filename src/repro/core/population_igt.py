@@ -47,6 +47,7 @@ from repro.engine import (
     igt_model,
     resolve_backend,
 )
+from repro.engine.topology import resolve_topology
 from repro.engine.weighted import resolve_weights
 from repro.games.repeated import RepeatedGameEngine
 from repro.games.strategies import (
@@ -56,7 +57,11 @@ from repro.games.strategies import (
     generous_tit_for_tat,
 )
 from repro.markov.ehrenfest import EhrenfestProcess
-from repro.population.scheduler import RandomScheduler, WeightedScheduler
+from repro.population.scheduler import (
+    GraphScheduler,
+    RandomScheduler,
+    WeightedScheduler,
+)
 from repro.utils import as_generator, check_fraction, check_positive_int
 from repro.utils.errors import InvalidParameterError
 
@@ -175,13 +180,27 @@ class IGTSimulation:
         ``(weight class × state)`` lift
         (:class:`~repro.engine.WeightedCountBackend`); ``"auto"``
         dispatches on the measured weighted crossover.
+    topology:
+        Optional interaction graph restricting which pairs may meet —
+        the graph-restricted scheduler extension.  A spec string
+        accepted by :func:`repro.engine.topology_from_spec`
+        (``"complete"``, ``"ring[:w]"``, ``"grid[:rows]"``,
+        ``"smallworld[:p]"``, ``"powerlaw[:alpha]"``), an
+        :class:`~repro.engine.InteractionGraph` over the agent order
+        ``[AC block, AD block, GTFT block]``, or an ``(E, 2)`` edge
+        array.  ``"auto"`` then resolves to ``"agent"`` — the quenched
+        process on the concrete graph; pinning ``backend="count"`` runs
+        the degree-annealed chain instead and is accepted only for
+        vertex-transitive graphs (irregular graphs refuse loudly).
+        Mutually exclusive with non-uniform ``weights`` — the combined
+        law is not defined here.
     """
 
     def __init__(self, n: int, shares: PopulationShares, grid: GenerosityGrid,
                  seed=None, mode: str = "strategy", setting=None,
                  track_payoffs: bool = False, initial_indices="uniform",
                  observation_noise: float = 0.0, backend: str = "agent",
-                 weights=None):
+                 weights=None, topology=None):
         if mode not in _MODES:
             raise InvalidParameterError(
                 f"mode must be one of {_MODES}, got {mode!r}")
@@ -192,9 +211,17 @@ class IGTSimulation:
         self.rule = IGTRule(grid, strict=(mode == "strict"))
         self.setting = setting
         self._weights = weights = resolve_weights(weights, self.n)
+        self._topology = topology = resolve_topology(topology, self.n)
+        if topology is not None and weights is not None:
+            raise InvalidParameterError(
+                "pass either weights= or topology=, not both: the "
+                "weighted graph-restricted law is not defined here "
+                "(an irregular graph's degree-proportional activity is "
+                "already captured by its topology)")
         check_backend(backend, allow_auto=True)
         self.backend = backend = resolve_backend(
-            backend, n=self.n, mode=mode, weighted=weights is not None)
+            backend, n=self.n, mode=mode, weighted=weights is not None,
+            graph_restricted=topology is not None)
         self.observation_noise = check_fraction("observation_noise",
                                                 observation_noise)
         if self.observation_noise > 0 and mode != "strategy":
@@ -279,7 +306,16 @@ class IGTSimulation:
         if backend == "count":
             self._agent_states = None
             self._scheduler = None
-            if self._weights is None:
+            if self._topology is not None:
+                # The engine owns the vertex-transitivity check (and the
+                # loud irregular-graph refusal); a count run on an
+                # accepted graph simulates its degree-annealed chain.
+                self._engine = CountBackend(
+                    self._model, counts_full,
+                    track_pair_counts=self.track_payoffs,
+                    scheduler=GraphScheduler(self._topology,
+                                             seed=self._rng))
+            elif self._weights is None:
                 self._engine = CountBackend(
                     self._model, counts_full, seed=self._rng,
                     track_pair_counts=self.track_payoffs)
@@ -302,10 +338,14 @@ class IGTSimulation:
             states[self._gtft_slice] = gtft_start
             self._agent_states = states
             self._counts_full = counts_full
-            self._scheduler = (
-                RandomScheduler(self.n, seed=self._rng)
-                if self._weights is None
-                else WeightedScheduler(self._weights, seed=self._rng))
+            if self._topology is not None:
+                self._scheduler = GraphScheduler(self._topology,
+                                                 seed=self._rng)
+            elif self._weights is None:
+                self._scheduler = RandomScheduler(self.n, seed=self._rng)
+            else:
+                self._scheduler = WeightedScheduler(self._weights,
+                                                    seed=self._rng)
         self._counts = self._counts_full[:k]
         self.steps_run = 0
 
@@ -625,6 +665,14 @@ class IGTSimulation:
             raise InvalidParameterError(
                 "the strict variant has its own embedding; use "
                 "strict_equivalent_ehrenfest()")
+        if self._topology is not None:
+            raise InvalidParameterError(
+                "the Ehrenfest embedding assumes the complete-graph "
+                "(uniform) scheduler; on an interaction graph each GTFT "
+                "agent carries its own AD-neighbor bias, so the count "
+                "chain is a product of per-agent walks, not one "
+                "Ehrenfest process (the E6 topology variant computes "
+                "that per-vertex quenched theory)")
         m = self.n_gtft
         if self._weights is not None:
             if not exact:
@@ -695,6 +743,11 @@ class IGTSimulation:
             raise InvalidParameterError(
                 "the strict embedding is derived for the uniform "
                 "scheduler; weighted populations are not supported here")
+        if self._topology is not None:
+            raise InvalidParameterError(
+                "the strict embedding is derived for the complete-graph "
+                "scheduler; graph-restricted populations are not "
+                "supported here")
         m = self.n_gtft
         if self.n_ad == 0 or m < 2:
             raise InvalidParameterError(

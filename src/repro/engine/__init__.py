@@ -18,20 +18,23 @@ uniform-scheduler process:
   counts — the count-level route to payoff observables and
   ``mode="action"`` experiments.
 
-Heterogeneous-activity scheduling is first-class: any duck-compatible
-scheduler (``n`` / ``rng`` / ``pair_block``, plus ``weights`` /
-``others_block`` for non-uniform laws) plugs into :class:`AgentBackend`,
-and :class:`WeightedCountBackend` (:mod:`repro.engine.weighted`) runs
-the exact ``(weight class × state)`` count chain that replaces the
+Non-uniform scheduling is first-class: any duck-compatible scheduler
+(``n`` / ``rng`` / ``pair_block``, plus the ``weights`` /
+``others_block`` / ``topology`` capability attributes for non-uniform
+laws) plugs into :class:`AgentBackend`;
+:class:`WeightedCountBackend` (:mod:`repro.engine.weighted`) runs the
+exact ``(weight class × state)`` count chain that replaces the
 exchangeable count vector under a
-:class:`~repro.population.scheduler.WeightedScheduler`.  Surfaces that
-cannot honor a weighted scheduler refuse loudly instead of silently
-downgrading to the uniform law.
+:class:`~repro.population.scheduler.WeightedScheduler`; and
+graph-restricted pair laws (:mod:`repro.engine.topology`) run quenched
+on :class:`AgentBackend` and degree-annealed on :class:`CountBackend`
+for vertex-transitive graphs.  Surfaces that cannot honor an advertised
+capability refuse loudly instead of silently downgrading the law.
 
 ``backend="auto"`` (resolved by :mod:`repro.engine.dispatch` against the
 measured crossovers in ``BENCH_engine.json``) picks between them from
-``(n, mode, observables, weights)``; pass a concrete name to pin the
-engine.
+``(n, mode, observables, weights, topology)``; pass a concrete name to
+pin the engine.
 """
 
 from repro.engine.adapters import (
@@ -64,6 +67,18 @@ from repro.engine.model import (
     MixtureTableModel,
     PairMixtureTableModel,
     TableModel,
+)
+from repro.engine.topology import (
+    GraphPairSampler,
+    InteractionGraph,
+    complete_graph,
+    graph_pair_block,
+    grid_graph,
+    powerlaw_graph,
+    resolve_topology,
+    ring_graph,
+    small_world_graph,
+    topology_from_spec,
 )
 from repro.engine.vectorized import ConflictFreeKernel
 from repro.engine.weighted import (
@@ -107,4 +122,14 @@ __all__ = [
     "weight_classes",
     "weights_from_spec",
     "WEIGHTED_PROXY_MAX_N",
+    "InteractionGraph",
+    "GraphPairSampler",
+    "complete_graph",
+    "ring_graph",
+    "grid_graph",
+    "small_world_graph",
+    "powerlaw_graph",
+    "topology_from_spec",
+    "resolve_topology",
+    "graph_pair_block",
 ]

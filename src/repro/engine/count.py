@@ -181,7 +181,17 @@ class CountBackend(SimulationEngine):
         exchangeability this backend is built on and is rejected loudly
         (use :class:`~repro.engine.weighted.WeightedCountBackend`, the
         ``(weight class × state)`` lift, instead) — never silently
-        downgraded to the uniform law.
+        downgraded to the uniform law.  A scheduler advertising a
+        ``topology`` is accepted exactly when the graph is
+        vertex-transitive: every agent is then equivalent, the graph's
+        directed-edge law has uniform single-interaction marginals, and
+        the count run simulates the graph's *degree-annealed* chain —
+        which coincides with the quenched graph process for the complete
+        graph and for partner-blind one-way models, and deliberately
+        differs from it otherwise (pin the agent backend to study the
+        quenched process).  Irregular graphs are rejected loudly with a
+        pointer to the agent backend and to
+        :meth:`~repro.engine.topology.InteractionGraph.degree_weights`.
     """
 
     def __init__(self, model: InteractionModel, initial_counts, seed=None,
@@ -207,6 +217,18 @@ class CountBackend(SimulationEngine):
                     "a weighted scheduler breaks exchangeability and "
                     "cannot be honored here — use WeightedCountBackend "
                     "(the weight-class × state lift) or the agent backend")
+            topology = getattr(scheduler, "topology", None)
+            if topology is not None and not topology.vertex_transitive:
+                degrees = topology.degrees
+                raise InvalidParameterError(
+                    f"CountBackend tracks exchangeable state counts; the "
+                    f"interaction graph '{topology.name}' (degrees "
+                    f"{int(degrees.min())}..{int(degrees.max())}) is not "
+                    f"vertex-transitive, so agents are distinguishable "
+                    f"and the count chain is not defined — use the agent "
+                    f"backend for the quenched graph process, or "
+                    f"WeightedCountBackend with the graph's "
+                    f"degree_weights() for its annealed mean-field chain")
             if scheduler.n != self.n:
                 raise InvalidParameterError(
                     f"scheduler is over n={scheduler.n} agents, "

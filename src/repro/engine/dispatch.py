@@ -94,7 +94,8 @@ def load_thresholds(path=None) -> dict:
 def choose_backend(n: int, mode: str = "strategy",
                    needs_per_agent: bool = False,
                    thresholds: dict | None = None,
-                   weighted: bool = False) -> str:
+                   weighted: bool = False,
+                   graph_restricted: bool = False) -> str:
     """The backend ``"auto"`` resolves to for one workload.
 
     Parameters
@@ -114,8 +115,15 @@ def choose_backend(n: int, mode: str = "strategy",
         Heterogeneous-activity workload — selects the weighted
         crossover (the count side is then the product-space lift of
         :class:`~repro.engine.weighted.WeightedCountBackend`).
+    graph_restricted:
+        Interaction-graph workload — forces ``"agent"``.  ``"auto"``
+        must never silently change the law: on a non-complete graph
+        only the agent backend simulates the quenched process, so the
+        count backends' annealed semantics are opt-in (pin
+        ``backend="count"`` explicitly, which the engine then accepts
+        only for vertex-transitive graphs).
     """
-    if needs_per_agent:
+    if needs_per_agent or graph_restricted:
         return "agent"
     if thresholds is None:
         thresholds = load_thresholds()
@@ -131,7 +139,8 @@ def choose_backend(n: int, mode: str = "strategy",
 
 def resolve_backend(backend: str | None, n: int, mode: str = "strategy",
                     needs_per_agent: bool = False,
-                    weighted: bool = False) -> str:
+                    weighted: bool = False,
+                    graph_restricted: bool = False) -> str:
     """Resolve a user-facing ``backend`` knob to a concrete engine name.
 
     ``None`` and ``"auto"`` dispatch via :func:`choose_backend`;
@@ -141,7 +150,8 @@ def resolve_backend(backend: str | None, n: int, mode: str = "strategy",
     """
     if backend is None or backend == "auto":
         return choose_backend(n, mode=mode, needs_per_agent=needs_per_agent,
-                              weighted=weighted)
+                              weighted=weighted,
+                              graph_restricted=graph_restricted)
     return check_backend(backend)
 
 

@@ -21,12 +21,22 @@ population-level schedulers:
   :func:`inversion_draw_block` (with :func:`weight_cdf`): it is the
   reference law the alias table is chi-square-tested against.
 
+A third pair law — uniform over the directed edges of an interaction
+graph — lives in :mod:`repro.engine.topology` and follows the same
+shared-function design (:class:`~repro.engine.topology.GraphPairSampler`
+and :class:`~repro.population.scheduler.GraphScheduler` draw from one
+bitstream).
+
 Engines accept any duck-compatible scheduler exposing ``n`` / ``rng`` /
-``pair_block``; schedulers whose law is *not* uniform must also expose a
-``weights`` attribute (the per-agent weights; ``None`` means uniform) so
-surfaces that cannot honor them can refuse loudly instead of silently
-falling back to the uniform law, and an ``others_block`` method when
-4-slot models (which read extra sampled agents) are to be supported.
+``pair_block``; schedulers whose law is *not* uniform must also
+advertise how it deviates so surfaces that cannot honor the law can
+refuse loudly instead of silently falling back to the uniform one: a
+``weights`` attribute (the per-agent activity weights; ``None`` means
+uniform activity), a ``topology`` attribute (the
+:class:`~repro.engine.topology.InteractionGraph` bounding the pair
+support; ``None`` means unrestricted), and an ``others_block`` method
+when 4-slot models (which read extra sampled agents) are to be
+supported.
 """
 
 from __future__ import annotations
@@ -253,6 +263,9 @@ class UniformPairSampler:
     #: Uniform law — engines read this to know no weighting is in play.
     weights = None
 
+    #: Unrestricted pair support — no interaction graph is in play.
+    topology = None
+
     def __init__(self, n: int, rng: np.random.Generator):
         self.n = int(n)
         self._rng = rng
@@ -284,6 +297,9 @@ class WeightedPairSampler:
     blocks here, so a shared seed gives scheduler and sampler identical
     blocks.
     """
+
+    #: Weighted but unrestricted: any pair remains possible.
+    topology = None
 
     def __init__(self, weights, rng: np.random.Generator):
         w = check_weights(weights)

@@ -23,8 +23,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine import AgentBackend, CountBackend, protocol_model
+from repro.engine.topology import resolve_topology
 from repro.population.protocol import PopulationProtocol
+from repro.population.scheduler import GraphScheduler
 from repro.utils import as_generator
+from repro.utils.errors import InvalidParameterError
 
 
 @dataclass
@@ -75,11 +78,29 @@ class Simulator:
         heterogeneous contact processes; the engine draws every pair
         through it (the uniform default is
         :class:`~repro.population.scheduler.RandomScheduler`'s law).
+        Mutually exclusive with ``topology``.
+    topology:
+        Optional interaction graph restricting which pairs may meet —
+        a spec string (``"ring"``, ``"grid:8"``, ``"smallworld:0.1"``,
+        ``"powerlaw:1.5"``; ``"complete"`` means unrestricted), an
+        :class:`~repro.engine.topology.InteractionGraph`, or an
+        ``(E, 2)`` edge array.  Builds a
+        :class:`~repro.population.scheduler.GraphScheduler`, so the run
+        simulates the quenched process on the concrete graph.
     """
 
     def __init__(self, protocol: PopulationProtocol, initial_states, seed=None,
-                 vectorized: bool | None = None, scheduler=None):
+                 vectorized: bool | None = None, scheduler=None,
+                 topology=None):
         self.protocol = protocol
+        initial_states = np.asarray(initial_states, dtype=np.int64)
+        graph = resolve_topology(topology, initial_states.size)
+        if graph is not None:
+            if scheduler is not None:
+                raise InvalidParameterError(
+                    "pass either scheduler= or topology=, not both — a "
+                    "topology builds its own GraphScheduler")
+            scheduler = GraphScheduler(graph, seed=as_generator(seed))
         self._backend = AgentBackend(protocol_model(protocol), initial_states,
                                      seed=as_generator(seed),
                                      vectorized=vectorized,

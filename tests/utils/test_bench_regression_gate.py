@@ -32,6 +32,8 @@ def write(path, cases):
 REQUIRED = [
     ("igt-weighted", "agent", 1_000_000, 3_000_000),
     ("igt-weighted", "count", 1_000_000, 4_000_000),
+    ("igt-topology", "agent", 100_000, 20_000_000),
+    ("igt-topology", "count", 100_000, 20_000_000),
 ]
 
 
