@@ -1,0 +1,284 @@
+"""Multi-process fault-injection smoke for the distributed sweep fabric.
+
+The scenario CI runs on every push — the whole fabric as separate OS
+processes, with a worker murdered mid-task:
+
+1. **Local baseline** — ``repro sweep`` over a small E4 grid with
+   ``--jobs 2``, records to JSONL.
+2. **Coordinator** — ``repro serve`` on an ephemeral localhost port
+   (URL parsed from its ``listening on`` line), short lease TTL so the
+   kill recovers quickly, checkpoint enabled.
+3. **Two workers** — ``repro worker --remote URL``; one is SIGKILLed
+   right after it leases its first task (we watch its stdout for the
+   ``leased`` line, so the kill is genuinely mid-task).
+4. **Remote sweep** — ``repro sweep --remote URL`` over the same grid
+   must finish despite the murder, and its records must be
+   **byte-identical** to the local baseline once the provenance fields
+   (``seconds``/``source``/``worker``/``from_cache``) are stripped.
+5. **Resubmission** — a second ``repro sweep --remote`` must be served
+   entirely from the coordinator's shared cache: every record carries
+   ``"source": "cache"`` and no worker attribution.
+6. **Drain** — ``--shutdown`` stops the coordinator; the surviving
+   worker and the coordinator both exit 0.
+
+Usage::
+
+    python scripts/run_fabric_smoke.py [--keep DIR]
+
+Exits non-zero (with a diagnostic) on the first violated contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The swept grid: 12 tasks of a few hundred ms each — long enough that
+#: killing a worker mid-task is meaningful, short enough for CI.
+GRID_ARGUMENTS = ["E4", "--grid", "n=2e5,3e5", "--grid", "seed=0:5:6"]
+
+#: Record fields that legitimately differ between local and fabric runs.
+PROVENANCE_FIELDS = ("seconds", "from_cache", "source", "worker")
+
+
+def repro(*arguments: str) -> list[str]:
+    return [sys.executable, "-m", "repro.cli", *arguments]
+
+
+def child_environment() -> dict:
+    environment = dict(os.environ)
+    source = str(REPO_ROOT / "src")
+    existing = environment.get("PYTHONPATH")
+    environment["PYTHONPATH"] = (
+        f"{source}{os.pathsep}{existing}" if existing else source
+    )
+    return environment
+
+
+def read_until(stream, needle: str, deadline: float) -> str:
+    """Echo ``stream`` lines until one contains ``needle``; return it."""
+    while time.monotonic() < deadline:
+        line = stream.readline()
+        if not line:
+            raise SystemExit(
+                f"process stream closed before {needle!r} appeared"
+            )
+        print(f"    | {line.rstrip()}", flush=True)
+        if needle in line:
+            return line
+    raise SystemExit(f"timed out waiting for {needle!r}")
+
+
+def load_records(path: pathlib.Path) -> list[dict]:
+    return [
+        json.loads(line) for line in path.read_text().splitlines() if line
+    ]
+
+
+def stripped(records: list[dict]) -> list[dict]:
+    return [
+        {
+            name: value
+            for name, value in record.items()
+            if name not in PROVENANCE_FIELDS
+        }
+        for record in records
+    ]
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"FABRIC SMOKE FAILED: {message}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--keep",
+        metavar="DIR",
+        default=None,
+        help="work under DIR and keep it (default: a temp dir, removed)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.keep is not None:
+        work = pathlib.Path(args.keep)
+        work.mkdir(parents=True, exist_ok=True)
+    else:
+        work = pathlib.Path(tempfile.mkdtemp(prefix="fabric-smoke-"))
+    environment = child_environment()
+    children: list[subprocess.Popen] = []
+
+    def spawn(*arguments: str, pipe: bool = False) -> subprocess.Popen:
+        process = subprocess.Popen(
+            repro(*arguments),
+            cwd=REPO_ROOT,
+            env=environment,
+            stdout=subprocess.PIPE if pipe else None,
+            stderr=subprocess.STDOUT if pipe else None,
+            text=pipe or None,
+        )
+        children.append(process)
+        return process
+
+    try:
+        print("[1/6] local baseline sweep (--jobs 2)", flush=True)
+        local_records_path = work / "local.jsonl"
+        subprocess.run(
+            repro(
+                "sweep",
+                *GRID_ARGUMENTS,
+                "--jobs",
+                "2",
+                "--output",
+                str(local_records_path),
+            ),
+            cwd=REPO_ROOT,
+            env=environment,
+            check=True,
+        )
+
+        print("[2/6] starting coordinator (ephemeral port)", flush=True)
+        coordinator = spawn(
+            "serve",
+            "--cache",
+            str(work / "shared-cache"),
+            "--checkpoint",
+            str(work / "fabric-checkpoint.json"),
+            "--port",
+            "0",
+            "--lease-ttl",
+            "2",
+            pipe=True,
+        )
+        listening = read_until(
+            coordinator.stdout,
+            "fabric coordinator listening on ",
+            time.monotonic() + 30,
+        )
+        url = listening.rsplit(" ", 1)[-1].strip()
+        print(f"    coordinator at {url}", flush=True)
+
+        print("[3/6] starting two workers; killing one mid-task", flush=True)
+        victim = spawn(
+            "worker", "--remote", url, "--id", "victim", "--poll", "0.1",
+            pipe=True,
+        )
+        survivor = spawn(
+            "worker", "--remote", url, "--id", "survivor", "--poll", "0.1",
+        )
+
+        remote_records_path = work / "remote.jsonl"
+        sweep = spawn(
+            "sweep",
+            *GRID_ARGUMENTS,
+            "--remote",
+            url,
+            "--output",
+            str(remote_records_path),
+        )
+        # Wait for the victim to actually hold a lease, then murder it.
+        read_until(victim.stdout, "leased", time.monotonic() + 60)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=10)
+        print("    victim worker SIGKILLed while holding a lease", flush=True)
+
+        print("[4/6] remote sweep must finish despite the kill", flush=True)
+        check(
+            sweep.wait(timeout=300) == 0,
+            "remote sweep did not complete after the worker kill",
+        )
+        local_records = load_records(local_records_path)
+        remote_records = load_records(remote_records_path)
+        check(
+            len(remote_records) == len(local_records) > 0,
+            f"record count mismatch: {len(remote_records)} remote "
+            f"vs {len(local_records)} local",
+        )
+        check(
+            stripped(remote_records) == stripped(local_records),
+            "remote records differ from the local baseline "
+            "(beyond provenance)",
+        )
+        executed = [r for r in remote_records if r["source"] == "executed"]
+        check(
+            len(executed) == len(remote_records),
+            "first remote sweep should have executed every task",
+        )
+        check(
+            all(r["worker"] for r in executed),
+            "executed records must carry worker attribution",
+        )
+        print(
+            f"    byte-identical: {len(remote_records)} records "
+            f"(workers: {sorted({r['worker'] for r in executed})})",
+            flush=True,
+        )
+
+        print("[5/6] resubmission must be served from cache", flush=True)
+        cached_records_path = work / "remote-cached.jsonl"
+        resweep = subprocess.run(
+            repro(
+                "sweep",
+                *GRID_ARGUMENTS,
+                "--remote",
+                url,
+                "--output",
+                str(cached_records_path),
+                "--shutdown",
+            ),
+            cwd=REPO_ROOT,
+            env=environment,
+        )
+        check(resweep.returncode == 0, "cached resubmission sweep failed")
+        cached_records = load_records(cached_records_path)
+        re_executed = [
+            r for r in cached_records if r["source"] != "cache"
+        ]
+        check(
+            not re_executed,
+            f"{len(re_executed)} task(s) re-executed on resubmission "
+            f"(expected 0 — everything should come from the cache)",
+        )
+        check(
+            all(r["worker"] is None for r in cached_records),
+            "cache-served records must not carry worker attribution",
+        )
+        check(
+            stripped(cached_records) == stripped(local_records),
+            "cache-served records drifted from the baseline",
+        )
+
+        print("[6/6] draining: survivor and coordinator must exit 0")
+        check(
+            survivor.wait(timeout=30) == 0,
+            f"surviving worker exited {survivor.returncode}",
+        )
+        coordinator_exit = coordinator.wait(timeout=30)
+        for line in coordinator.stdout:
+            print(f"    | {line.rstrip()}", flush=True)
+        check(coordinator_exit == 0, f"coordinator exited {coordinator_exit}")
+
+        print("fabric smoke passed: kill-recovery, byte-identity, "
+              "cache-served resubmission, clean drain")
+        return 0
+    finally:
+        for process in children:
+            if process.poll() is None:
+                process.kill()
+        if args.keep is None:
+            shutil.rmtree(work, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ Usage::
     python -m repro sweep E13 --replicates 8 --jobs 4 --backends count,agent
     python -m repro sweep E4 --grid n=1e4,1e5 --grid eps=0.01:0.05:5 --jobs 4
     python -m repro cache prune --cache .repro-cache --max-age 7d --max-size 100M
+    python -m repro serve --port 8731 --cache .fabric-cache --checkpoint .fabric.ckpt
+    python -m repro worker --remote http://127.0.0.1:8731
+    python -m repro sweep E4 --grid n=1e4,1e5 --remote http://127.0.0.1:8731
 
 Every experiment declares a typed :class:`~repro.params.ParamSpace`
 (``repro params <id>`` prints it): ``--profile`` picks a named override
@@ -21,6 +24,14 @@ execute through the run orchestrator (:mod:`repro.runner`): ``--jobs N``
 fans tasks out across worker processes (records are identical for every
 ``N``), and ``--cache DIR`` makes re-runs incremental through the
 on-disk result cache.
+
+Cross-machine fan-out runs on the distributed sweep fabric
+(:mod:`repro.fabric`): ``repro serve`` starts a coordinator that leases
+tasks over HTTP and dedups against a shared result cache,
+``repro worker --remote URL`` pulls and executes leases, and
+``repro sweep ... --remote URL`` submits a grid and blocks for a report
+that is byte-identical to a local ``--jobs N`` run (modulo the
+provenance fields).
 """
 
 from __future__ import annotations
@@ -90,8 +101,9 @@ def _overrides_of(args, experiment_id: str) -> dict:
                       get_spec(experiment_id).params)
 
 
-def _add_orchestration_arguments(parser) -> None:
-    """The runner knobs shared by ``run``, ``run-all``, and ``sweep``."""
+def _add_orchestration_arguments(parser, jobs: bool = True) -> None:
+    """The runner knobs shared by ``run``, ``run-all``, ``sweep``, and
+    ``serve`` (which takes no ``--jobs``: workers decide parallelism)."""
     parser.add_argument(
         "--full", action="store_true",
         help="shorthand for --profile full (slower, tighter tolerances)")
@@ -107,15 +119,36 @@ def _add_orchestration_arguments(parser) -> None:
     parser.add_argument(
         "--seed", type=int, default=12345,
         help="random seed (default 12345)")
-    parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help=("worker processes to fan tasks out across (default 1; "
-              "results are identical for any value)"))
+    if jobs:
+        parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help=("worker processes to fan tasks out across (default 1; "
+                  "results are identical for any value)"))
     parser.add_argument(
         "--cache", default=None, metavar="DIR",
         help=("directory of the on-disk result cache, keyed by "
               "(experiment, params, seed, backend, code-version); "
               "re-runs become incremental"))
+
+
+def _add_sweep_shape_arguments(parser) -> None:
+    """The plan-shaping knobs shared by ``sweep`` and ``serve``."""
+    parser.add_argument(
+        "--replicates", type=int, default=4, metavar="R",
+        help=("independent replicates per backend (default 4); replicate "
+              "i runs with the deterministic seed task_seed(seed, i); "
+              "ignored when --grid is given"))
+    parser.add_argument(
+        "--backends", default=None, metavar="B1,B2",
+        help=("comma-separated engine grid, e.g. 'count,agent' or "
+              "'default' for the experiment's own choice (the default)"))
+    parser.add_argument(
+        "--grid", action="append", default=None, metavar="NAME=SPEC",
+        help=("sweep a declared parameter over a value grid "
+              "(repeatable; axes combine as a cartesian product): "
+              "NAME=v1,v2,... lists values, NAME=start:stop:count is "
+              "count evenly spaced values, e.g. --grid n=1e4,1e5 "
+              "--grid eps=0.01:0.05:5"))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -162,6 +195,10 @@ def _build_parser() -> argparse.ArgumentParser:
     info_parser.add_argument(
         "--cache", required=True, metavar="DIR",
         help="cache directory to inspect")
+    info_parser.add_argument(
+        "--json", action="store_true",
+        help=("emit the stats as one strict-JSON object "
+              "(the fabric-dashboard / service-consumer feed)"))
 
     run_parser = subparsers.add_parser("run", help="run experiment(s)")
     run_parser.add_argument(
@@ -188,28 +225,84 @@ def _build_parser() -> argparse.ArgumentParser:
         help=("sweep one experiment: replicates over a backends grid, "
               "or a --grid over its declared parameters"))
     sweep_parser.add_argument("experiment", help="experiment id (E1..E16)")
-    sweep_parser.add_argument(
-        "--replicates", type=int, default=4, metavar="R",
-        help=("independent replicates per backend (default 4); replicate "
-              "i runs with the deterministic seed task_seed(seed, i); "
-              "ignored when --grid is given"))
-    sweep_parser.add_argument(
-        "--backends", default=None, metavar="B1,B2",
-        help=("comma-separated engine grid, e.g. 'count,agent' or "
-              "'default' for the experiment's own choice (the default)"))
+    _add_sweep_shape_arguments(sweep_parser)
     sweep_parser.add_argument(
         "--output", default=None, metavar="FILE",
         help=("dump one strict-JSON record per task to FILE (JSON "
-              "Lines): the task coordinates, timing, cache status, and "
-              "the full report — the offline-analysis feed"))
+              "Lines): the task coordinates, timing, provenance "
+              "(source/worker), and the full report — the "
+              "offline-analysis feed"))
     sweep_parser.add_argument(
-        "--grid", action="append", default=None, metavar="NAME=SPEC",
-        help=("sweep a declared parameter over a value grid "
-              "(repeatable; axes combine as a cartesian product): "
-              "NAME=v1,v2,... lists values, NAME=start:stop:count is "
-              "count evenly spaced values, e.g. --grid n=1e4,1e5 "
-              "--grid eps=0.01:0.05:5"))
+        "--remote", default=None, metavar="URL",
+        help=("execute on the distributed sweep fabric: submit tasks to "
+              "the 'repro serve' coordinator at URL and block for the "
+              "report (byte-identical to a local run apart from "
+              "provenance; --jobs is ignored — connected workers set "
+              "the parallelism)"))
+    sweep_parser.add_argument(
+        "--shutdown", action="store_true",
+        help=("after a --remote sweep completes, ask the coordinator "
+              "to shut down (idle workers then drain cleanly)"))
     _add_orchestration_arguments(sweep_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=("start a fabric coordinator: lease tasks to "
+              "'repro worker' processes over HTTP, dedup results "
+              "through a shared cache, checkpoint queue state"))
+    serve_parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help=("optional experiment id whose sweep plan to preload "
+              "(shaped by --grid/--replicates/--backends); without it "
+              "the coordinator starts empty and waits for "
+              "'repro sweep --remote' submissions"))
+    _add_sweep_shape_arguments(serve_parser)
+    _add_orchestration_arguments(serve_parser, jobs=False)
+    serve_parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help=("persist queue state to FILE (atomic rewrite on every "
+              "mutation); a killed coordinator restarted with the same "
+              "--checkpoint and --cache resumes where it stopped"))
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8731, metavar="PORT",
+        help="port to bind (default 8731; 0 picks an ephemeral port)")
+    serve_parser.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help=("seconds a lease stays valid without a heartbeat "
+              "(default 30); expired leases requeue their task"))
+    serve_parser.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request (default: quiet)")
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help=("start a fabric worker: pull leases from a coordinator, "
+              "execute them, push strict-JSON results with retries"))
+    worker_parser.add_argument(
+        "--remote", required=True, metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8731")
+    worker_parser.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="worker identity in reports (default: host-pid)")
+    worker_parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle sleep between empty lease polls (default 0.5)")
+    worker_parser.add_argument(
+        "--max-idle", type=float, default=None, metavar="SECONDS",
+        help=("exit cleanly after this many consecutive idle seconds "
+              "(default: poll until the coordinator shuts down)"))
+    worker_parser.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit cleanly after completing N tasks (default: unlimited)")
+    worker_parser.add_argument(
+        "--retries", type=int, default=6, metavar="N",
+        help="transport retries per request (default 6)")
+    worker_parser.add_argument(
+        "--backoff", type=float, default=0.25, metavar="SECONDS",
+        help="initial retry backoff, doubling per attempt (default 0.25)")
 
     sim_parser = subparsers.add_parser(
         "simulate", help="run one k-IGT simulation and report vs theory")
@@ -376,38 +469,28 @@ def _print_pass_rates(report, cache_dir) -> None:
 def _dump_records(report, path) -> int:
     """Write one strict-JSON record per task result to ``path`` (JSONL).
 
-    Each line carries the task coordinates, timing, cache status, and the
-    full report wire form — the same payload the cache stores, so offline
-    consumers see exactly what a re-run would.  Returns the record count.
+    Each line carries the task coordinates, execution provenance
+    (timing, ``source``, ``worker``), and the full report wire form —
+    the same payload the cache stores, so offline consumers see exactly
+    what a re-run would.  Returns the record count.
     """
     import json
     import pathlib
 
-    from repro.experiments.base import _jsonable
-
-    lines = []
-    for result in report.results:
-        task = result.task
-        record = {
-            "experiment": task.experiment_id,
-            "label": task.label,
-            "profile": task.profile,
-            "params": {name: _jsonable(value)
-                       for name, value in task.params},
-            "seed": task.seed,
-            "backend": task.backend,
-            "seconds": result.seconds,
-            "from_cache": result.from_cache,
-            "report": result.report.to_dict(),
-        }
-        lines.append(json.dumps(record, sort_keys=True, allow_nan=False))
+    lines = [json.dumps(record, sort_keys=True, allow_nan=False)
+             for record in report.to_records()]
     pathlib.Path(path).write_text("\n".join(lines) + "\n")
     return len(lines)
 
 
-def _run_sweep(args) -> int:
-    from repro.analysis.tables import format_table
-    from repro.runner import execute, grid_plan, replicate_plan
+def _build_sweep_plan(args, jobs: int, cache_dir):
+    """``(plan, header line)`` for the ``sweep``/``serve`` plan shape.
+
+    ``--grid`` axes build a cartesian grid plan; otherwise replicates x
+    backends.  Shared by local sweeps, remote sweeps, and coordinator
+    preloading, so every spelling resolves the exact same tasks.
+    """
+    from repro.runner import grid_plan, replicate_plan
 
     spec = get_spec(args.experiment)  # fail fast on unknown ids
     profile = _profile_of(args)
@@ -428,21 +511,13 @@ def _run_sweep(args) -> int:
                 from repro.engine import check_backend
                 backend = check_backend(names[0], allow_auto=True)
         plan = grid_plan(spec.experiment_id, grid, base_params=overrides,
-                         seed=args.seed, backend=backend, jobs=args.jobs,
-                         cache_dir=args.cache, profile=profile)
-        report = execute(plan)
-        headers, rows = report.summary_table()
+                         seed=args.seed, backend=backend, jobs=jobs,
+                         cache_dir=cache_dir, profile=profile)
         axes = " x ".join(f"{name}[{len(values)}]"
                           for name, values in grid.items())
-        print(f"{spec.experiment_id}: grid {axes} = {len(plan.tasks)} "
-              f"point(s), profile={profile}, jobs={args.jobs}")
-        print(format_table(headers, rows))
-        print()
-        if args.output is not None:
-            written = _dump_records(report, args.output)
-            print(f"wrote {written} record(s) to {args.output}")
-        _print_pass_rates(report, args.cache)
-        return 0 if report.all_checks_pass else 1
+        header = (f"{spec.experiment_id}: grid {axes} = {len(plan.tasks)} "
+                  f"point(s), profile={profile}")
+        return plan, header
 
     backends = (None,)
     if args.backends:
@@ -454,11 +529,33 @@ def _run_sweep(args) -> int:
     plan = replicate_plan(spec.experiment_id, replicates=args.replicates,
                           base_seed=args.seed, profile=profile,
                           params=overrides, backends=backends,
-                          jobs=args.jobs, cache_dir=args.cache)
-    report = execute(plan)
+                          jobs=jobs, cache_dir=cache_dir)
+    header = (f"{spec.experiment_id}: {args.replicates} replicate(s) x "
+              f"{len(backends)} backend(s), profile={profile}")
+    return plan, header
+
+
+def _run_sweep(args) -> int:
+    from repro.analysis.tables import format_table
+    from repro.runner import execute
+
+    plan, header = _build_sweep_plan(args, jobs=args.jobs,
+                                     cache_dir=args.cache)
+    if args.remote is not None:
+        from repro.fabric import RemotePool, shutdown_coordinator
+
+        report = execute(plan, pool=RemotePool(args.remote))
+        print(f"{header}, remote={args.remote}")
+        if args.shutdown:
+            shutdown_coordinator(args.remote)
+            print(f"asked coordinator at {args.remote} to shut down")
+    else:
+        if args.shutdown:
+            raise InvalidParameterError(
+                "--shutdown only applies to --remote sweeps")
+        report = execute(plan)
+        print(f"{header}, jobs={args.jobs}")
     headers, rows = report.summary_table()
-    print(f"{spec.experiment_id}: {args.replicates} replicate(s) x "
-          f"{len(backends)} backend(s), profile={profile}, jobs={args.jobs}")
     print(format_table(headers, rows))
     print()
     if args.output is not None:
@@ -466,6 +563,54 @@ def _run_sweep(args) -> int:
         print(f"wrote {written} record(s) to {args.output}")
     _print_pass_rates(report, args.cache)
     return 0 if report.all_checks_pass else 1
+
+
+def _run_serve(args) -> int:
+    """The ``repro serve`` coordinator process."""
+    from repro.fabric import Coordinator, FabricServer
+
+    if args.cache is None:
+        raise InvalidParameterError(
+            "serve needs --cache DIR: the shared result store every "
+            "worker and submission dedups against")
+    if args.experiment is None and args.grid:
+        raise InvalidParameterError(
+            "--grid preloading needs an experiment id")
+    coordinator = Coordinator(args.cache, checkpoint=args.checkpoint,
+                              lease_ttl=args.lease_ttl)
+    if args.experiment is not None:
+        plan, header = _build_sweep_plan(args, jobs=1, cache_dir=None)
+        submitted = coordinator.submit_plan(plan)
+        cached = sum(submitted["cached"])
+        print(f"preloaded {header} ({cached} already cached)", flush=True)
+    server = FabricServer(coordinator, host=args.host, port=args.port,
+                          quiet=not args.verbose)
+    print(f"fabric coordinator listening on {server.url}", flush=True)
+    print(f"cache={coordinator.cache.root} "
+          f"checkpoint={args.checkpoint or '-'} "
+          f"lease-ttl={args.lease_ttl:g}s", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    status = coordinator.status()
+    print(f"coordinator stopped: {status['done']}/{status['tasks']} "
+          f"task(s) done, {status['executed']} executed this session")
+    return 0
+
+
+def _run_worker(args) -> int:
+    """The ``repro worker`` process; exit code is the loop verdict."""
+    from repro.fabric import Worker
+
+    worker = Worker(args.remote, worker_id=args.id, poll=args.poll,
+                    max_idle=args.max_idle, max_tasks=args.max_tasks,
+                    retries=args.retries, backoff=args.backoff)
+    print(f"worker {worker.worker_id} polling {worker.remote}", flush=True)
+    try:
+        return worker.run_forever()
+    except KeyboardInterrupt:
+        return 0
 
 
 def _print_params_table(spec) -> None:
@@ -520,6 +665,12 @@ def _run_cache(args) -> int:
     cache = ResultCache(args.cache)
     if args.cache_command == "info":
         stats = cache.stats()
+        if args.json:
+            import json
+
+            print(json.dumps({"root": str(cache.root), **stats},
+                             sort_keys=True, allow_nan=False))
+            return 0
         print(f"{cache.root}: {stats['entries']} entries, "
               f"{stats['bytes']} bytes")
         return 0
@@ -543,12 +694,19 @@ def main(argv=None) -> int:
     stderr and exit with code 2 — they are user input problems, not
     crashes.
     """
+    from repro.fabric.protocol import FabricUnavailable
+
     args = _build_parser().parse_args(argv)
     try:
         return _dispatch(args)
     except InvalidParameterError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except FabricUnavailable as error:
+        # An unreachable coordinator is an environment failure, not a
+        # usage error: distinct exit code so scripts can retry.
+        print(f"error: {error}", file=sys.stderr)
+        return 3
 
 
 def _dispatch(args) -> int:
@@ -564,6 +722,10 @@ def _dispatch(args) -> int:
         return _run_simulate(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "worker":
+        return _run_worker(args)
 
     all_ids = [eid for eid, _ in all_experiments()]
     if args.command == "run-all":

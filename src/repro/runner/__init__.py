@@ -35,8 +35,16 @@ from repro.runner.cache import (
     code_version,
     experiment_cache_key,
 )
-from repro.runner.executor import execute, parallel_map, run_task
+from repro.runner.executor import (
+    LocalPool,
+    TaskPool,
+    execute,
+    parallel_map,
+    run_task,
+    task_outcome,
+)
 from repro.runner.plan import (
+    PROVENANCE_FIELDS,
     RunPlan,
     RunReport,
     RunTask,
@@ -44,6 +52,7 @@ from repro.runner.plan import (
     experiments_plan,
     grid_plan,
     replicate_plan,
+    strip_provenance,
 )
 from repro.runner.seeds import task_seed, task_seeds
 
@@ -52,6 +61,11 @@ __all__ = [
     "RunPlan",
     "TaskResult",
     "RunReport",
+    "TaskPool",
+    "LocalPool",
+    "task_outcome",
+    "PROVENANCE_FIELDS",
+    "strip_provenance",
     "execute",
     "parallel_map",
     "run_task",

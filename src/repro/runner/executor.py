@@ -1,17 +1,23 @@
-"""Plan execution: in-process, or fanned out across worker processes.
+"""Plan execution: a cache front-end over interchangeable task pools.
 
 The executor owns the side-effecting half of the orchestrator: it checks
-the on-disk cache, ships cache misses to a ``spawn``-context process pool
-(``spawn`` re-imports the library in each worker, so execution never
-depends on inherited parent state), stores fresh results back, and
-reassembles everything **in task order**.  Workers return plain JSON
-payloads — the same form the cache stores — and every report is
-reconstructed from that payload, which is what makes ``jobs=1``,
-``jobs=N``, and cache-hit results byte-identical records.
+the on-disk cache, ships cache misses to a :class:`TaskPool`, stores
+fresh results back, and reassembles everything **in task order**.  Pools
+return plain strict-JSON outcome payloads — the same form the cache
+stores — and every report is reconstructed from that payload, which is
+what makes ``jobs=1``, ``jobs=N``, cache-hit, and distributed-fabric
+results byte-identical records (modulo the provenance fields).
 
-:func:`parallel_map` exposes the same pool for generic order-preserving
-fan-out; :func:`repro.analysis.sweep.parameter_sweep` uses it for grid
-points.
+Two pools exist: :class:`LocalPool` (in-process for ``jobs=1``, a
+``spawn``-context process pool otherwise — ``spawn`` re-imports the
+library in each worker, so execution never depends on inherited parent
+state) and :class:`repro.fabric.RemotePool` (leases the tasks to a
+``repro serve`` coordinator).  :func:`execute` does not special-case
+either: the fabric is just another pool.
+
+:func:`parallel_map` exposes the same process pool for generic
+order-preserving fan-out; :func:`repro.analysis.sweep.parameter_sweep`
+uses it for grid points.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.runner.cache import (
 )
 from repro.runner.plan import RunPlan, RunReport, RunTask, TaskResult
 from repro.utils import check_positive_int
+from repro.utils.errors import InvalidParameterError
 
 
 def run_task(task: RunTask) -> tuple[dict, float]:
@@ -56,16 +63,78 @@ def _task_cache_key(task: RunTask) -> str:
     )
 
 
-def execute(plan: RunPlan) -> RunReport:
+def task_outcome(
+    payload: dict,
+    seconds: float,
+    source: str = "executed",
+    worker: str | None = None,
+) -> dict:
+    """The strict-JSON outcome form every :class:`TaskPool` returns.
+
+    ``report``/``seconds`` are the cache entry fields
+    (:func:`repro.runner.cache.pack_entry`); ``source`` and ``worker``
+    are execution provenance carried into :class:`TaskResult`.
+    """
+    return {
+        "report": payload,
+        "seconds": seconds,
+        "source": source,
+        "worker": worker,
+    }
+
+
+class TaskPool:
+    """Order-preserving executor of cache-miss tasks.
+
+    A pool takes the tasks the cache could not serve and returns one
+    outcome per task, **in task order** (see :func:`task_outcome` for
+    the shape).  Implementations decide *where* the work runs — the
+    local machine (:class:`LocalPool`) or a fabric coordinator
+    (:class:`repro.fabric.RemotePool`) — but never reorder results, so
+    :func:`execute` reports are identical across pools.
+    """
+
+    def run(self, tasks: list[RunTask]) -> list[dict]:
+        """One outcome dict per task, in task order."""
+        raise NotImplementedError
+
+
+class LocalPool(TaskPool):
+    """Run tasks in-process (``jobs=1``) or on a ``spawn`` process pool."""
+
+    def __init__(self, jobs: int = 1):
+        check_positive_int("jobs", jobs)
+        self.jobs = jobs
+
+    def run(self, tasks: list[RunTask]) -> list[dict]:
+        tasks = list(tasks)
+        if self.jobs > 1 and len(tasks) > 1:
+            context = get_context("spawn")
+            workers = min(self.jobs, len(tasks))
+            with ProcessPoolExecutor(workers, mp_context=context) as pool:
+                raw = list(pool.map(run_task, tasks))
+        else:
+            raw = [run_task(task) for task in tasks]
+        return [task_outcome(payload, seconds) for payload, seconds in raw]
+
+
+def execute(plan: RunPlan, pool: TaskPool | None = None) -> RunReport:
     """Execute a :class:`RunPlan` and return its :class:`RunReport`.
 
-    Cache hits are served without touching the pool; misses run in-process
-    for ``jobs=1`` (or a single pending task) and on a ``spawn`` process
-    pool otherwise.  Results are always reported in task order, so the
-    report is identical for every ``jobs`` value.
+    Cache hits are served without touching the pool; misses go to
+    ``pool`` (default: a :class:`LocalPool` sized by ``plan.jobs``).
+    Results are always reported in task order, so the report is
+    identical for every ``jobs`` value and every pool — only the
+    provenance fields (timing, source, worker) differ.
     """
     from repro.experiments.base import ExperimentReport
 
+    if pool is None:
+        pool = LocalPool(plan.jobs)
+    if not isinstance(pool, TaskPool):
+        raise InvalidParameterError(
+            f"pool must be a TaskPool instance, got {pool!r}"
+        )
     tasks = list(plan.tasks)
     results: list = [None] * len(tasks)
     cache = ResultCache(plan.cache_dir) if plan.cache_dir is not None else None
@@ -81,26 +150,26 @@ def execute(plan: RunPlan) -> RunReport:
                     task=task,
                     report=ExperimentReport.from_dict(report_payload),
                     seconds=seconds,
-                    from_cache=True,
+                    source="cache",
                 )
                 continue
         pending.append(index)
 
     if pending:
-        if plan.jobs > 1 and len(pending) > 1:
-            context = get_context("spawn")
-            workers = min(plan.jobs, len(pending))
-            batch = [tasks[index] for index in pending]
-            with ProcessPoolExecutor(workers, mp_context=context) as pool:
-                outcomes = list(pool.map(run_task, batch))
-        else:
-            outcomes = [run_task(tasks[index]) for index in pending]
-        for index, (payload, seconds) in zip(pending, outcomes):
+        outcomes = pool.run([tasks[index] for index in pending])
+        if len(outcomes) != len(pending):
+            raise InvalidParameterError(
+                f"pool returned {len(outcomes)} outcome(s) for "
+                f"{len(pending)} task(s)"
+            )
+        for index, outcome in zip(pending, outcomes):
+            payload, seconds = unpack_entry(outcome)
             results[index] = TaskResult(
                 task=tasks[index],
                 report=ExperimentReport.from_dict(payload),
                 seconds=seconds,
-                from_cache=False,
+                source=outcome.get("source", "executed"),
+                worker=outcome.get("worker"),
             )
             if cache is not None:
                 cache.put(keys[index], pack_entry(payload, seconds))

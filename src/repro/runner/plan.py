@@ -135,6 +135,29 @@ class RunPlan:
         check_positive_int("jobs", self.jobs)
 
 
+#: Record fields that describe *how* a result was obtained rather than
+#: *what* it is.  Execution provenance (timing, cache status, which
+#: worker computed it) legitimately varies between byte-identical runs,
+#: so determinism comparisons strip these keys first
+#: (:func:`strip_provenance`).
+PROVENANCE_FIELDS = ("seconds", "from_cache", "source", "worker")
+
+
+def strip_provenance(record: dict) -> dict:
+    """``record`` without its :data:`PROVENANCE_FIELDS` keys.
+
+    The byte-identity contract — local ``jobs=1`` vs ``jobs=N`` vs a
+    distributed fabric run — holds on the *report* content, not on who
+    computed it or how long it took; this is the canonical projection
+    both the tests and ``scripts/run_fabric_smoke.py`` compare.
+    """
+    return {
+        name: value
+        for name, value in record.items()
+        if name not in PROVENANCE_FIELDS
+    }
+
+
 @dataclass(frozen=True)
 class TaskResult:
     """One executed (or cache-served) task.
@@ -149,14 +172,33 @@ class TaskResult:
         and cached results are byte-identical records.
     seconds:
         Wall-clock runtime of the original execution.
-    from_cache:
-        Whether the result was served from the on-disk cache.
+    source:
+        How the result was obtained: ``"executed"`` (some pool burned
+        CPU for this request) or ``"cache"`` (served from a result
+        cache — the local one, or a coordinator's shared store).
+    worker:
+        Identity of the fabric worker that executed the task, when it
+        ran on a remote pool (``None`` for local execution and cache
+        hits).
     """
 
     task: RunTask
     report: object
     seconds: float
-    from_cache: bool = False
+    source: str = "executed"
+    worker: str | None = None
+
+    def __post_init__(self):
+        if self.source not in ("executed", "cache"):
+            raise InvalidParameterError(
+                f"result source must be 'executed' or 'cache', "
+                f"got {self.source!r}"
+            )
+
+    @property
+    def from_cache(self) -> bool:
+        """Whether the result was served from a result cache."""
+        return self.source == "cache"
 
 
 @dataclass
@@ -204,12 +246,15 @@ class RunReport:
             "backend",
             "checks",
             "seconds",
-            "cached",
+            "source",
         ]
         rows = []
         for result in self.results:
             task = result.task
             checks = result.report.checks
+            source = result.source
+            if result.worker is not None:
+                source = f"{source}@{result.worker}"
             rows.append(
                 [
                     task.experiment_id,
@@ -220,10 +265,44 @@ class RunReport:
                     task.backend or "-",
                     f"{sum(map(bool, checks.values()))}/{len(checks)}",
                     f"{result.seconds:.1f}",
-                    "yes" if result.from_cache else "no",
+                    source,
                 ]
             )
         return headers, rows
+
+    def to_records(self) -> list[dict]:
+        """One strict-JSON record per result, in task order.
+
+        Each record carries the task coordinates, the execution
+        provenance (timing, ``source``, ``worker``, legacy
+        ``from_cache``), and the full report wire form — the payload
+        ``repro sweep --output`` dumps as JSON Lines.  Everything except
+        the :data:`PROVENANCE_FIELDS` is byte-deterministic for a given
+        plan, wherever and however it executed.
+        """
+        from repro.experiments.base import _jsonable
+
+        records = []
+        for result in self.results:
+            task = result.task
+            records.append(
+                {
+                    "experiment": task.experiment_id,
+                    "label": task.label,
+                    "profile": task.profile,
+                    "params": {
+                        name: _jsonable(value) for name, value in task.params
+                    },
+                    "seed": task.seed,
+                    "backend": task.backend,
+                    "seconds": result.seconds,
+                    "from_cache": result.from_cache,
+                    "source": result.source,
+                    "worker": result.worker,
+                    "report": result.report.to_dict(),
+                }
+            )
+        return records
 
 
 def replicate_plan(

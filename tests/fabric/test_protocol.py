@@ -1,0 +1,151 @@
+"""Fabric wire protocol: task round-trips, strict JSON, retry policy."""
+
+import numpy as np
+import pytest
+
+import repro.fabric.protocol as protocol
+from repro.fabric.protocol import (
+    FabricUnavailable,
+    ProtocolError,
+    UnknownLeaseError,
+    call_with_retries,
+    decode,
+    encode,
+    task_from_wire,
+    task_to_wire,
+)
+from repro.runner import RunTask
+
+
+class TestTaskWire:
+    def test_round_trip_is_exact(self):
+        task = RunTask(
+            experiment_id="E4",
+            profile="full",
+            params={"n": 10000, "eps": 0.02},
+            seed=7,
+            backend="count",
+            label="n=10000",
+        )
+        assert task_from_wire(task_to_wire(task)) == task
+
+    def test_defaults_round_trip(self):
+        task = RunTask(experiment_id="E1")
+        assert task_from_wire(task_to_wire(task)) == task
+
+    def test_wire_form_is_strict_json(self):
+        wire = task_to_wire(RunTask(experiment_id="E2", params={"x": 1}))
+        assert isinstance(encode(wire), bytes)
+
+    def test_numpy_values_coerced(self):
+        task = RunTask(experiment_id="E4", params={"n": np.int64(100)})
+        wire = task_to_wire(task)
+        assert wire["params"] == [["n", 100]]
+        assert type(wire["params"][0][1]) is int
+
+    def test_missing_field_rejected(self):
+        wire = task_to_wire(RunTask(experiment_id="E1"))
+        del wire["seed"]
+        with pytest.raises(ProtocolError, match="missing field"):
+            task_from_wire(wire)
+
+    def test_malformed_params_rejected(self):
+        wire = task_to_wire(RunTask(experiment_id="E1"))
+        wire["params"] = {"n": 1}
+        with pytest.raises(ProtocolError, match="pairs"):
+            task_from_wire(wire)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            task_from_wire(["E1"])
+
+    def test_invalid_backend_rejected(self):
+        wire = task_to_wire(RunTask(experiment_id="E1"))
+        wire["backend"] = "gpu"
+        with pytest.raises(ProtocolError, match="invalid task"):
+            task_from_wire(wire)
+
+
+class TestEncodeDecode:
+    def test_canonical_bytes(self):
+        assert encode({"b": 1, "a": 2}) == b'{"a":2,"b":1}'
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON-serializable"):
+            encode({"x": float("nan")})
+
+    def test_decode_rejects_malformed(self):
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode(b"{not json")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON objects"):
+            decode(b"[1, 2]")
+
+    def test_unknown_lease_error_carries_409(self):
+        error = UnknownLeaseError("nope")
+        assert error.status == protocol.STATUS_UNKNOWN_LEASE
+        assert isinstance(error, ProtocolError)
+
+
+class TestRetries:
+    def test_transport_failures_retried_then_raised(self, monkeypatch):
+        calls = []
+
+        def flaky(base_url, path, payload, timeout):
+            calls.append(path)
+            raise FabricUnavailable("down")
+
+        monkeypatch.setattr(protocol, "http_call", flaky)
+        sleeps = []
+        with pytest.raises(FabricUnavailable):
+            call_with_retries(
+                "http://x", "/lease", {}, retries=3, backoff=0.5, sleep=sleeps.append
+            )
+        assert len(calls) == 4  # first attempt + 3 retries
+        assert sleeps == [0.5, 1.0, 2.0]
+
+    def test_backoff_capped(self, monkeypatch):
+        def flaky(base_url, path, payload, timeout):
+            raise FabricUnavailable("down")
+
+        monkeypatch.setattr(protocol, "http_call", flaky)
+        sleeps = []
+        with pytest.raises(FabricUnavailable):
+            call_with_retries(
+                "http://x", "/x", {}, retries=8, backoff=1.0, sleep=sleeps.append
+            )
+        assert max(sleeps) == protocol.MAX_BACKOFF
+
+    def test_success_after_failure(self, monkeypatch):
+        attempts = []
+
+        def flaky_once(base_url, path, payload, timeout):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise FabricUnavailable("down")
+            return {"ok": True}
+
+        monkeypatch.setattr(protocol, "http_call", flaky_once)
+        response = call_with_retries(
+            "http://x", "/x", {}, retries=2, backoff=0.1, sleep=lambda _: None
+        )
+        assert response == {"ok": True}
+        assert len(attempts) == 2
+
+    def test_protocol_errors_never_retried(self, monkeypatch):
+        calls = []
+
+        def rejecting(base_url, path, payload, timeout):
+            calls.append(1)
+            raise ProtocolError("bad", status=400)
+
+        monkeypatch.setattr(protocol, "http_call", rejecting)
+        with pytest.raises(ProtocolError):
+            call_with_retries("http://x", "/x", {}, retries=5, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_unreachable_coordinator_is_transport_failure(self):
+        # Port 1 refuses connections immediately on any sane host.
+        with pytest.raises(FabricUnavailable):
+            protocol.http_call("http://127.0.0.1:1", "/status", {}, timeout=2.0)

@@ -9,6 +9,7 @@ from repro.runner import (
     cache_key,
     code_version,
     experiment_cache_key,
+    parallel_map,
 )
 from repro.utils import InvalidParameterError
 
@@ -175,6 +176,45 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         with pytest.raises(ValueError):
             cache.put(key_with(), {"x": float("nan")})
+
+
+def hammer_one_key(args) -> int:
+    """Write/read one key 25 times (module-level for the spawn pool).
+
+    Every read must see a complete entry: atomic ``os.replace`` writes
+    mean concurrent writers can race on *which* payload wins, never on
+    whether the file parses.
+    """
+    root, key, writer = args
+    cache = ResultCache(root)
+    for iteration in range(25):
+        cache.put(
+            key, {"writer": writer, "iteration": iteration, "pad": "x" * 256}
+        )
+        entry = cache.get(key)
+        assert entry is not None, "reader saw a torn entry"
+        assert set(entry) == {"writer", "iteration", "pad"}
+    return writer
+
+
+class TestConcurrentWriters:
+    def test_racing_processes_never_tear_an_entry(self, tmp_path):
+        # Four spawn-pool processes hammer the same key concurrently —
+        # the multi-sweep-sharing-one-cache (and fabric-coordinator)
+        # scenario.  The store must stay readable throughout and end in
+        # a complete final state with no temp-file debris.
+        key = key_with()
+        writers = parallel_map(
+            hammer_one_key,
+            [(str(tmp_path), key, writer) for writer in range(4)],
+            jobs=4,
+        )
+        assert sorted(writers) == [0, 1, 2, 3]
+        assert list(tmp_path.rglob("*.tmp")) == []
+        final = json.loads((tmp_path / key[:2] / f"{key}.json").read_text())
+        assert set(final) == {"writer", "iteration", "pad"}
+        # The chronologically last replace is some writer's final write.
+        assert final["iteration"] == 24
 
 
 class TestPrune:

@@ -252,6 +252,21 @@ class TestCacheCommand:
         assert main(arguments) == 2
         assert "malformed age" in capsys.readouterr().err
 
+    def test_info_json_is_strict_and_machine_readable(self, capsys, tmp_path):
+        cache_dir = self.fill_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache", cache_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"] == cache_dir
+        assert payload["entries"] == 2
+        assert payload["bytes"] > 0
+
+    def test_info_json_on_empty_cache(self, capsys, tmp_path):
+        assert main(["cache", "info", "--cache", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 0
+        assert payload["bytes"] == 0
+
 
 class TestHumanUnits:
     @pytest.mark.parametrize(
@@ -351,3 +366,83 @@ class TestSweepOutputRecords:
         # rejects the non-portable NaN/Infinity literals
         for line in path.read_text().splitlines():
             json.loads(line, parse_constant=reject)
+
+
+class TestFabricCli:
+    def test_serve_without_cache_exits_2(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--cache" in capsys.readouterr().err
+
+    def test_serve_grid_without_experiment_exits_2(self, capsys, tmp_path):
+        arguments = ["serve", "--cache", str(tmp_path), "--grid", "n=1e4"]
+        assert main(arguments) == 2
+        assert "experiment" in capsys.readouterr().err
+
+    def test_shutdown_without_remote_exits_2(self, capsys):
+        assert main(["sweep", "E1", "--shutdown"]) == 2
+        assert "--remote" in capsys.readouterr().err
+
+    def test_worker_against_dead_coordinator_exits_1(self, capsys):
+        arguments = ["worker", "--remote", "http://127.0.0.1:1", "--retries", "0"]
+        assert main(arguments) == 1
+
+    def test_serve_worker_sweep_round_trip(self, tmp_path):
+        # The whole fabric driven purely through CLI entry points:
+        # coordinator and worker on background threads, a remote sweep
+        # with --shutdown in the foreground, all via main().
+        import socket
+        import threading
+        import time as time_module
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        url = f"http://127.0.0.1:{port}"
+        codes = {}
+
+        def serve():
+            codes["serve"] = main(
+                ["serve", "--cache", str(tmp_path / "cache"), "--port", str(port)]
+            )
+
+        def work():
+            codes["worker"] = main(["worker", "--remote", url, "--poll", "0.05"])
+
+        serve_thread = threading.Thread(target=serve, daemon=True)
+        serve_thread.start()
+        from repro.fabric import FabricUnavailable, fabric_status
+
+        for _ in range(100):
+            try:
+                fabric_status(url, retries=0)
+                break
+            except FabricUnavailable:
+                time_module.sleep(0.05)
+        worker_thread = threading.Thread(target=work, daemon=True)
+        worker_thread.start()
+
+        records_path = tmp_path / "remote.jsonl"
+        code = main(
+            [
+                "sweep",
+                "E1",
+                "--replicates",
+                "2",
+                "--remote",
+                url,
+                "--shutdown",
+                "--output",
+                str(records_path),
+            ]
+        )
+        assert code == 0
+        worker_thread.join(timeout=10.0)
+        serve_thread.join(timeout=10.0)
+        assert codes == {"serve": 0, "worker": 0}
+
+        records = [
+            json.loads(line)
+            for line in records_path.read_text().splitlines()
+        ]
+        assert [record["source"] for record in records] == ["executed"] * 2
+        assert all(record["worker"] for record in records)

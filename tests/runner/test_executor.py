@@ -4,12 +4,19 @@ import pytest
 
 from repro.experiments.base import ExperimentReport
 from repro.runner import (
+    PROVENANCE_FIELDS,
+    LocalPool,
     RunPlan,
     RunTask,
+    TaskPool,
+    TaskResult,
     execute,
     experiments_plan,
     parallel_map,
     replicate_plan,
+    run_task,
+    strip_provenance,
+    task_outcome,
     task_seed,
 )
 from repro.utils import InvalidParameterError
@@ -112,6 +119,105 @@ class TestExecute:
         rates = report.check_pass_rates()
         assert rates
         assert all(total == 2 for _, total in rates.values())
+
+
+class RecordingPool(TaskPool):
+    """A pool stub attributing every outcome to a fixed worker."""
+
+    def __init__(self, worker="stub-pool", short_by=0):
+        self.worker = worker
+        self.short_by = short_by
+        self.seen = []
+
+    def run(self, tasks):
+        self.seen.extend(tasks)
+        outcomes = [
+            task_outcome(*run_task(task), worker=self.worker)
+            for task in tasks
+        ]
+        return outcomes[: len(outcomes) - self.short_by]
+
+
+class TestTaskPools:
+    def test_local_pool_provenance(self):
+        report = execute(experiments_plan(["E1"]))
+        [result] = report.results
+        assert result.source == "executed"
+        assert result.worker is None
+        assert result.from_cache is False
+
+    def test_cache_hit_provenance(self, tmp_path):
+        plan = experiments_plan(["E1"], cache_dir=str(tmp_path))
+        execute(plan)
+        [result] = execute(plan).results
+        assert result.source == "cache"
+        assert result.from_cache is True
+        assert result.worker is None
+
+    def test_custom_pool_is_honored(self):
+        pool = RecordingPool(worker="w7")
+        plan = experiments_plan(["E1", "E2"])
+        report = execute(plan, pool=pool)
+        assert pool.seen == list(plan.tasks)
+        assert [r.worker for r in report.results] == ["w7", "w7"]
+        assert [r.source for r in report.results] == ["executed", "executed"]
+
+    def test_custom_pool_skips_cache_hits(self, tmp_path):
+        plan = experiments_plan(["E1"], cache_dir=str(tmp_path))
+        execute(plan)
+        pool = RecordingPool()
+        execute(plan, pool=pool)
+        assert pool.seen == []  # everything came from the cache
+
+    def test_wrong_outcome_count_rejected(self):
+        plan = experiments_plan(["E1", "E2"])
+        with pytest.raises(InvalidParameterError, match="outcome"):
+            execute(plan, pool=RecordingPool(short_by=1))
+
+    def test_non_pool_rejected(self):
+        with pytest.raises(InvalidParameterError, match="TaskPool"):
+            execute(experiments_plan(["E1"]), pool=object())
+
+    def test_bad_local_pool_jobs_rejected(self):
+        with pytest.raises(InvalidParameterError, match="jobs"):
+            LocalPool(jobs=0)
+
+    def test_task_result_source_validated(self):
+        task = RunTask(experiment_id="E1")
+        with pytest.raises(InvalidParameterError, match="source"):
+            TaskResult(task=task, report=object(), seconds=0.0, source="psychic")
+
+
+class TestRecordsAndProvenance:
+    def test_records_identical_across_jobs_modulo_provenance(self, tmp_path):
+        records = {}
+        for jobs in (1, 2):
+            plan = replicate_plan("E2", replicates=2, base_seed=9, jobs=jobs)
+            records[jobs] = [
+                strip_provenance(record)
+                for record in execute(plan).to_records()
+            ]
+        assert records[1] == records[2]
+
+    def test_records_carry_provenance_fields(self, tmp_path):
+        plan = experiments_plan(["E1"], cache_dir=str(tmp_path))
+        execute(plan)
+        [record] = execute(plan).to_records()
+        for field in PROVENANCE_FIELDS:
+            assert field in record
+        assert record["source"] == "cache"
+        assert record["from_cache"] is True
+        assert record["worker"] is None
+        stripped = strip_provenance(record)
+        assert not set(stripped) & set(PROVENANCE_FIELDS)
+        assert stripped["experiment"] == "E1"
+
+    def test_summary_table_shows_source_and_worker(self):
+        plan = experiments_plan(["E1"])
+        report = execute(plan, pool=RecordingPool(worker="w9"))
+        headers, rows = report.summary_table()
+        assert headers[-1] == "source"
+        assert rows[0][-1] == "executed@w9"
 
 
 class TestParallelMap:
