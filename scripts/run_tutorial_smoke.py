@@ -41,6 +41,12 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 _FENCE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$",
                     re.MULTILINE | re.DOTALL)
 
+#: A ``repro`` invocation, possibly behind leading ``VAR=value``
+#: environment assignments (``REPRO_FAULTS="..." repro sweep ...``).
+_REPRO_COMMAND = re.compile(
+    r"^(?:[A-Za-z_]\w*=(?:\"[^\"]*\"|'[^']*'|\S*)\s+)*(repro)\s"
+)
+
 
 def extract_commands(markdown: str) -> list[str]:
     """Command lines of every runnable ``bash`` block, in order."""
@@ -83,8 +89,14 @@ def main(argv: list[str] | None = None) -> int:
     repro = f"{shlex.quote(sys.executable)} -m repro.cli"
 
     for index, command in enumerate(commands, start=1):
-        resolved = re.sub(r"\brepro\b", repro, command, count=1) \
-            if command.startswith("repro ") else command
+        invocation = _REPRO_COMMAND.match(command)
+        resolved = (
+            command[: invocation.start(1)]
+            + repro
+            + command[invocation.end(1):]
+            if invocation
+            else command
+        )
         print(f"[{index}/{len(commands)}] $ {command}", flush=True)
         started = time.monotonic()
         result = subprocess.run(resolved, shell=True, cwd=REPO_ROOT,

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 
 from repro.experiments import all_experiments, get_spec
@@ -243,6 +244,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true",
         help=("after a --remote sweep completes, ask the coordinator "
               "to shut down (idle workers then drain cleanly)"))
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help=("checkpoint partial tasks under CACHE/snapshots (needs "
+              "--cache) so a killed sweep's rerun picks them up "
+              "mid-trajectory; resumed records are byte-identical to "
+              "an uninterrupted run (remote sweeps checkpoint on the "
+              "coordinator automatically)"))
+    sweep_parser.add_argument(
+        "--token", default=None, metavar="TOKEN",
+        help=("shared fabric token for --remote, matching the "
+              "coordinator's 'repro serve --token'"))
     _add_orchestration_arguments(sweep_parser)
 
     serve_parser = subparsers.add_parser(
@@ -274,6 +286,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help=("seconds a lease stays valid without a heartbeat "
               "(default 30); expired leases requeue their task"))
     serve_parser.add_argument(
+        "--token", default=None, metavar="TOKEN",
+        help=("require this shared token on every request "
+              "(X-Repro-Token header); workers and remote sweeps must "
+              "pass the same --token or get HTTP 401"))
+    serve_parser.add_argument(
         "--verbose", action="store_true",
         help="log every HTTP request (default: quiet)")
 
@@ -303,6 +320,10 @@ def _build_parser() -> argparse.ArgumentParser:
     worker_parser.add_argument(
         "--backoff", type=float, default=0.25, metavar="SECONDS",
         help="initial retry backoff, doubling per attempt (default 0.25)")
+    worker_parser.add_argument(
+        "--token", default=None, metavar="TOKEN",
+        help=("shared fabric token matching the coordinator's "
+              "'repro serve --token'"))
 
     sim_parser = subparsers.add_parser(
         "simulate", help="run one k-IGT simulation and report vs theory")
@@ -544,16 +565,31 @@ def _run_sweep(args) -> int:
     if args.remote is not None:
         from repro.fabric import RemotePool, shutdown_coordinator
 
-        report = execute(plan, pool=RemotePool(args.remote))
+        if args.resume:
+            raise InvalidParameterError(
+                "--resume applies to local sweeps; remote sweeps "
+                "checkpoint on the coordinator automatically")
+        report = execute(plan, pool=RemotePool(args.remote,
+                                               token=args.token))
         print(f"{header}, remote={args.remote}")
         if args.shutdown:
-            shutdown_coordinator(args.remote)
+            shutdown_coordinator(args.remote, token=args.token)
             print(f"asked coordinator at {args.remote} to shut down")
     else:
         if args.shutdown:
             raise InvalidParameterError(
                 "--shutdown only applies to --remote sweeps")
-        report = execute(plan)
+        if args.token is not None:
+            raise InvalidParameterError(
+                "--token only applies to --remote sweeps")
+        snapshot_dir = None
+        if args.resume:
+            if args.cache is None:
+                raise InvalidParameterError(
+                    "--resume needs --cache DIR: checkpoints live "
+                    "alongside the result cache under DIR/snapshots")
+            snapshot_dir = os.path.join(args.cache, "snapshots")
+        report = execute(plan, snapshot_dir=snapshot_dir)
         print(f"{header}, jobs={args.jobs}")
     headers, rows = report.summary_table()
     print(format_table(headers, rows))
@@ -584,7 +620,7 @@ def _run_serve(args) -> int:
         cached = sum(submitted["cached"])
         print(f"preloaded {header} ({cached} already cached)", flush=True)
     server = FabricServer(coordinator, host=args.host, port=args.port,
-                          quiet=not args.verbose)
+                          quiet=not args.verbose, token=args.token)
     print(f"fabric coordinator listening on {server.url}", flush=True)
     print(f"cache={coordinator.cache.root} "
           f"checkpoint={args.checkpoint or '-'} "
@@ -605,7 +641,8 @@ def _run_worker(args) -> int:
 
     worker = Worker(args.remote, worker_id=args.id, poll=args.poll,
                     max_idle=args.max_idle, max_tasks=args.max_tasks,
-                    retries=args.retries, backoff=args.backoff)
+                    retries=args.retries, backoff=args.backoff,
+                    token=args.token)
     print(f"worker {worker.worker_id} polling {worker.remote}", flush=True)
     try:
         return worker.run_forever()

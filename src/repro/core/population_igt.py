@@ -558,6 +558,46 @@ class IGTSimulation:
         self.steps_run = result.steps
         return result.converged
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (crash-safety; see repro.engine.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Exact engine-level state between runs (crash-safety capture).
+
+        Valid on the engine execution paths (everything except the
+        agent backend's per-step game-play/payoff loop).  The returned
+        :class:`~repro.engine.snapshot.SnapshotState` restores into a
+        freshly constructed simulation with identical arguments via
+        :meth:`restore`, after which continued runs are byte-identical
+        to this simulation continuing.
+        """
+        if self._step_loop_required:
+            raise InvalidParameterError(
+                "snapshot/restore is an engine-path feature; the agent "
+                "backend's per-step game-play/payoff loop is not "
+                "resumable — use backend='count' (exact classification "
+                "law + pair-count payoffs) for crash-safe long runs")
+        engine = self._ensure_engine()
+        engine.steps_run = self.steps_run
+        return engine.snapshot()
+
+    def restore(self, snapshot) -> None:
+        """Adopt a snapshot taken by an identically constructed simulation.
+
+        The engine's arrays are restored in place, so every facade
+        alias (:attr:`counts`, the full count vector, per-agent states
+        on the agent backend) tracks the restored state, and the shared
+        generator rewinds to the captured bitstream position.
+        """
+        if self._step_loop_required:
+            raise InvalidParameterError(
+                "snapshot/restore is an engine-path feature; the agent "
+                "backend's per-step game-play/payoff loop is not "
+                "resumable")
+        engine = self._ensure_engine()
+        engine.restore(snapshot)
+        self.steps_run = engine.steps_run
+
     def mean_payoff_per_interaction(self) -> np.ndarray:
         """Average accumulated payoff per played interaction for each agent."""
         self._require_agent_states()

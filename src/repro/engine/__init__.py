@@ -80,6 +80,18 @@ from repro.engine.topology import (
     small_world_graph,
     topology_from_spec,
 )
+from repro.engine.snapshot import (
+    FileSnapshotChannel,
+    ScopedSnapshotChannel,
+    SnapshotChannel,
+    SnapshotError,
+    SnapshotState,
+    SnapshotStore,
+    current_channel,
+    run_resumable,
+    scoped_channel,
+    use_snapshot_channel,
+)
 from repro.engine.vectorized import ConflictFreeKernel
 from repro.engine.weighted import (
     WEIGHTED_PROXY_MAX_N,
@@ -132,4 +144,14 @@ __all__ = [
     "topology_from_spec",
     "resolve_topology",
     "graph_pair_block",
+    "SnapshotState",
+    "SnapshotStore",
+    "SnapshotError",
+    "SnapshotChannel",
+    "FileSnapshotChannel",
+    "ScopedSnapshotChannel",
+    "current_channel",
+    "use_snapshot_channel",
+    "scoped_channel",
+    "run_resumable",
 ]

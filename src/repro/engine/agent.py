@@ -169,6 +169,75 @@ class AgentBackend(SimulationEngine):
         """The live state array (mutated by :meth:`run`; do not resize)."""
         return self._states
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the crash-safety contract; see engine.snapshot)
+    # ------------------------------------------------------------------
+    def _ensure_kernel(self) -> ConflictFreeKernel:
+        if self._kernel is None:
+            self._kernel = ConflictFreeKernel(
+                self.model, self._states, self._counts,
+                allow_stochastic=self._flats_np is None)
+        return self._kernel
+
+    def snapshot(self) -> "SnapshotState":
+        """Exact mutable state between runs, for :meth:`restore`.
+
+        Captures the per-agent states, counts, step cursor, the
+        scheduler generator's bitstream position, and — for stochastic
+        kernels only — the conflict peel stamps (deterministic kernels
+        are peel-independent; see
+        :meth:`~repro.engine.vectorized.ConflictFreeKernel.stamp_state`).
+        """
+        from repro.engine.snapshot import (
+            SnapshotState,
+            encode_array,
+            rng_state,
+        )
+
+        stamps = (self._kernel.stamp_state()
+                  if self._kernel is not None else None)
+        payload = {
+            "n": int(self.n),
+            "n_states": int(self.model.n_states),
+            "steps_run": int(self.steps_run),
+            "states": encode_array(self._states),
+            "counts": encode_array(self._counts),
+            "rng": rng_state(self.scheduler.rng),
+            "kernel": None if stamps is None else {
+                "stamp": stamps["stamp"],
+                "pos_i": encode_array(stamps["pos_i"]),
+                "pos_r": encode_array(stamps["pos_r"]),
+            },
+        }
+        return SnapshotState(kind="agent", payload=payload)
+
+    def restore(self, snapshot: "SnapshotState") -> None:
+        """Adopt a snapshot taken by an identically constructed engine.
+
+        Arrays are written *in place* (facades and the kernel alias
+        them); after this call any sequence of ``run`` calls is
+        byte-identical to the snapshotting engine continuing.
+        """
+        from repro.engine.snapshot import (
+            check_snapshot,
+            decode_array,
+            restore_rng,
+        )
+
+        payload = check_snapshot(snapshot, "agent", n=self.n,
+                                 n_states=self.model.n_states)
+        self._states[:] = decode_array(payload["states"])
+        self._counts[:] = decode_array(payload["counts"])
+        self.steps_run = int(payload["steps_run"])
+        restore_rng(self.scheduler.rng, payload["rng"])
+        stamps = payload.get("kernel")
+        if stamps is not None:
+            self._ensure_kernel().restore_stamps({
+                "stamp": stamps["stamp"],
+                "pos_i": decode_array(stamps["pos_i"]),
+                "pos_r": decode_array(stamps["pos_r"]),
+            })
+
     def _result(self, converged, observations) -> EngineResult:
         return EngineResult(counts=self._counts.copy(), steps=self.steps_run,
                             converged=converged, observations=observations,
@@ -224,12 +293,8 @@ class AgentBackend(SimulationEngine):
 
     def _run_vectorized(self, max_steps, stop_when, observe_every,
                         check_stop_every, observations) -> EngineResult:
-        if self._kernel is None:
-            self._kernel = ConflictFreeKernel(
-                self.model, self._states, self._counts,
-                allow_stochastic=self._flats_np is None)
         executed, converged = run_kernel(
-            self._kernel, self.scheduler.pair_block,
+            self._ensure_kernel(), self.scheduler.pair_block,
             self.model.sample_components, self.scheduler.rng, max_steps,
             self.steps_run, stop_when, observe_every, check_stop_every,
             observations, BLOCK_SIZE, others_block=self._others_block)

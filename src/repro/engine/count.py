@@ -103,6 +103,43 @@ _CDF_CACHE: dict[tuple[int, int], np.ndarray] = {}
 #: exactly by capping runs at the table length).
 _SURVIVAL_FLOOR = 1e-15
 
+#: numpy's ``multivariate_hypergeometric`` (default ``method=
+#: "marginals"``) raises for totals at or above this, and its
+#: ``method="count"`` costs O(total) time and memory — populations past
+#: the ceiling use the exact distinct-index fallback instead.
+_MARGINALS_MAX_TOTAL = 10**9
+
+
+def sample_without_replacement(rng, counts, n_slots: int) -> np.ndarray:
+    """Exact multivariate-hypergeometric draw at any population size.
+
+    Below numpy's ``method="marginals"`` ceiling this *is* numpy's
+    sampler, bitstream-identical to calling it directly.  At or above
+    :data:`_MARGINALS_MAX_TOTAL` — where numpy refuses — the draw is
+    performed as ``n_slots`` *distinct* uniform indices in
+    ``[0, total)`` (iid draws with duplicate rejection, which is
+    exactly the uniform-subset law) mapped to states through the count
+    prefix sums.  Totals are handled as Python ints and ``int64``
+    indices throughout, so the arithmetic is exact up to ``2^63 - 1``
+    agents; expected rejection overhead is ``O(n_slots^2 / total)``
+    redraws — negligible in the birthday regime ``n_slots = O(√n)``.
+    """
+    total = int(counts.sum())
+    if total < _MARGINALS_MAX_TOTAL:
+        return rng.multivariate_hypergeometric(counts, n_slots)
+    if n_slots > total:
+        raise InvalidParameterError(
+            f"cannot draw {n_slots} distinct agents from {total}")
+    bounds = np.cumsum(counts)
+    chosen = np.empty(0, dtype=np.int64)
+    need = int(n_slots)
+    while need:
+        draw = rng.integers(0, total, size=need, dtype=np.int64)
+        chosen = np.unique(np.concatenate((chosen, draw)))
+        need = int(n_slots) - chosen.size
+    return np.bincount(bounds.searchsorted(chosen, side="right"),
+                       minlength=len(counts))
+
 
 def _collision_cdf(n: int, slots_per_step: int) -> np.ndarray:
     """CDF of the first-collision interaction index for population ``n``.
@@ -303,6 +340,87 @@ class CountBackend(SimulationEngine):
         s = self.model.n_states
         return self._pair_counts.reshape(s, s).copy()
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the crash-safety contract; see engine.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "SnapshotState":
+        """Exact mutable state between runs, for :meth:`restore`.
+
+        The birthday path's mutable surface is the count vector, the
+        step cursor, the generator position, and (when tracked) the
+        pair-count accumulator — the collision CDF and state-id table
+        are construction constants.  The proxy path additionally owns
+        the internal per-agent state arrangement (identical index draws
+        must hit identical states) and, for stochastic models, the
+        kernel's peel stamps.
+        """
+        from repro.engine.snapshot import (
+            SnapshotState,
+            encode_array,
+            rng_state,
+        )
+
+        payload = {
+            "n": int(self.n),
+            "n_states": int(self.model.n_states),
+            "proxy": self._kernel is not None,
+            "steps_run": int(self.steps_run),
+            "counts": encode_array(self._counts),
+            "rng": rng_state(self._rng),
+        }
+        if self._kernel is not None:
+            kernel = self._kernel
+            stamps = kernel.stamp_state()
+            payload["proxy_state"] = {
+                "states": encode_array(kernel.states),
+                "pair_counts": (None if kernel.pair_counts is None
+                                else encode_array(kernel.pair_counts)),
+                "kernel": None if stamps is None else {
+                    "stamp": stamps["stamp"],
+                    "pos_i": encode_array(stamps["pos_i"]),
+                    "pos_r": encode_array(stamps["pos_r"]),
+                },
+            }
+        elif self._pair_counts is not None:
+            payload["pair_counts"] = encode_array(self._pair_counts)
+        return SnapshotState(kind="count", payload=payload)
+
+    def restore(self, snapshot: "SnapshotState") -> None:
+        """Adopt a snapshot taken by an identically constructed engine.
+
+        All arrays are written *in place* — facades alias
+        :attr:`counts_live` and the proxy kernel adopts both the count
+        vector and its internal state array, so nothing may be
+        reallocated.
+        """
+        from repro.engine.snapshot import (
+            check_snapshot,
+            decode_array,
+            restore_rng,
+        )
+
+        payload = check_snapshot(snapshot, "count", n=self.n,
+                                 n_states=self.model.n_states,
+                                 proxy=self._kernel is not None)
+        self._counts[:] = decode_array(payload["counts"])
+        self.steps_run = int(payload["steps_run"])
+        restore_rng(self._rng, payload["rng"])
+        if self._kernel is not None:
+            proxy = payload["proxy_state"]
+            self._kernel.states[:] = decode_array(proxy["states"])
+            if self._kernel.pair_counts is not None:
+                self._kernel.pair_counts[:] = decode_array(
+                    proxy["pair_counts"])
+            stamps = proxy.get("kernel")
+            if stamps is not None:
+                self._kernel.restore_stamps({
+                    "stamp": stamps["stamp"],
+                    "pos_i": decode_array(stamps["pos_i"]),
+                    "pos_r": decode_array(stamps["pos_r"]),
+                })
+        elif self._pair_counts is not None:
+            self._pair_counts[:] = decode_array(payload["pair_counts"])
+
     def run(self, max_steps: int, stop_when=None,
             observe_every: int | None = None,
             check_stop_every: int = 1) -> EngineResult:
@@ -444,8 +562,8 @@ class CountBackend(SimulationEngine):
         spp = self._spp
         n_slots = t * spp
         counts_before = self._counts
-        sampled = self._rng.multivariate_hypergeometric(counts_before,
-                                                        n_slots)
+        sampled = sample_without_replacement(self._rng, counts_before,
+                                             n_slots)
         slots = np.repeat(self._state_ids, sampled)
         self._rng.shuffle(slots)
         initiators = slots[0::spp]

@@ -1,0 +1,487 @@
+"""Engine snapshot/restore: exact mid-trajectory state capture.
+
+Long simulations die — machines reboot, workers are preempted, sweeps
+are killed mid-task.  This module is the substrate that makes such
+deaths recoverable *without* changing a single byte of the trajectory:
+
+* :class:`SnapshotState` — a versioned, strict-JSON-serializable capture
+  of everything a backend mutates between ``run()`` calls: the exact
+  count (and, where applicable, per-agent state) arrays, the RNG
+  bitstream position (``bit_generator.state``), the interaction-count
+  cursor, and the conflict-resolution kernel's peel stamps when (and
+  only when) they influence future randomness consumption.
+* :class:`SnapshotStore` — an on-disk store with atomic
+  temp-file + ``os.replace`` writes, a per-document SHA-256 checksum,
+  and a two-generation fallback ladder (``latest`` → ``previous`` →
+  clean start) so a torn or truncated file is *detected*, never
+  silently resumed from.
+* :class:`SnapshotChannel` / :func:`use_snapshot_channel` — the ambient
+  plumbing that lets the runner hand a persistence channel down to deep
+  experiment code without threading a parameter through every layer.
+* :func:`run_resumable` — the segmented execution law: the simulation
+  is driven in deterministic fixed-size segments with a snapshot saved
+  at every segment boundary.  Segment boundaries are the *only* clean
+  RNG cut points (inside a ``run()`` call pair blocks and birthday
+  batches are partially consumed), so segmentation is applied
+  **unconditionally** — with or without a channel attached — which is
+  what makes an uninterrupted run and a crashed-and-resumed run
+  byte-identical at the same seed.
+
+The bit-for-bit contract
+------------------------
+
+``engine.snapshot()`` is valid between ``run()`` calls.  Restoring the
+result into a *freshly constructed* engine with identical constructor
+arguments, then issuing any sequence of ``run()`` calls, produces
+trajectories, observations, and generator states byte-identical to the
+original engine continuing through the same calls.  The property suite
+(``tests/property/test_snapshot_equivalence.py``) pins this down for
+all three backends, including weighted and graph-topology schedulers
+and kernel-proxy paths.
+"""
+
+from __future__ import annotations
+
+import base64
+import contextlib
+import contextvars
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.errors import ReproError
+
+#: Bump when the snapshot payload layout changes incompatibly; restore
+#: refuses other versions loudly instead of misinterpreting bytes.
+SNAPSHOT_VERSION = 1
+
+#: Default number of stop-check periods per resumable segment (the
+#: snapshot cadence of :func:`run_resumable`).
+SEGMENT_CHECKS = 8
+
+
+class SnapshotError(ReproError, RuntimeError):
+    """A snapshot is missing, torn, version-skewed, or incompatible."""
+
+
+# ----------------------------------------------------------------------
+# Strict-JSON codecs (arrays, RNG state, numpy scalars)
+# ----------------------------------------------------------------------
+def encode_array(array: np.ndarray) -> dict:
+    """Lossless strict-JSON encoding of an ndarray (dtype/shape/base64)."""
+    array = np.ascontiguousarray(array)
+    return {
+        "__ndarray__": base64.b64encode(array.tobytes()).decode("ascii"),
+        "dtype": str(array.dtype),
+        "shape": [int(size) for size in array.shape],
+    }
+
+
+def decode_array(document: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array` (returns a fresh writable array)."""
+    try:
+        raw = base64.b64decode(document["__ndarray__"], validate=True)
+        array = np.frombuffer(raw, dtype=document["dtype"])
+        return array.reshape(document["shape"]).copy()
+    except (KeyError, TypeError, ValueError) as error:
+        raise SnapshotError(f"malformed array payload: {error}") from error
+
+
+def jsonable(value):
+    """Recursively convert numpy scalars/arrays into strict-JSON values.
+
+    Integers pass through as exact Python ints (arbitrary precision —
+    the interaction-count cursor and PCG64's 128-bit state words must
+    never round-trip through floats).
+    """
+    if isinstance(value, np.ndarray):
+        return encode_array(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    return value
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """The generator's exact bitstream position, strict-JSON encodable."""
+    return jsonable(rng.bit_generator.state)
+
+
+def restore_rng(rng: np.random.Generator, state: dict) -> None:
+    """Rewind ``rng`` to a captured bitstream position, in place."""
+    name = type(rng.bit_generator).__name__
+    if state.get("bit_generator") != name:
+        raise SnapshotError(
+            f"snapshot holds {state.get('bit_generator')!r} generator "
+            f"state, engine uses {name!r}")
+    decoded = {
+        key: decode_array(item)
+        if isinstance(item, dict) and "__ndarray__" in item else item
+        for key, item in state.items()
+    }
+    rng.bit_generator.state = decoded
+
+
+# ----------------------------------------------------------------------
+# The snapshot document
+# ----------------------------------------------------------------------
+@dataclass
+class SnapshotState:
+    """A versioned, checksummed capture of one engine's mutable state.
+
+    Attributes
+    ----------
+    kind:
+        The producing backend family (``"agent"`` / ``"count"`` /
+        ``"weighted"``); restore refuses a mismatched kind loudly.
+    payload:
+        Strict-JSON dict of the captured state (arrays via
+        :func:`encode_array`, RNG via :func:`rng_state`).
+    version:
+        Snapshot format version (:data:`SNAPSHOT_VERSION`).
+    """
+
+    kind: str
+    payload: dict
+    version: int = SNAPSHOT_VERSION
+
+    @property
+    def steps_run(self) -> int:
+        """The captured interaction-count cursor."""
+        return int(self.payload["steps_run"])
+
+    def to_bytes(self) -> bytes:
+        """Canonical checksummed JSON document (the on-disk/wire format)."""
+        body = json.dumps(
+            {"version": self.version, "kind": self.kind,
+             "payload": self.payload},
+            sort_keys=True, separators=(",", ":"))
+        checksum = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        return json.dumps({"checksum": checksum, "body": body}).encode(
+            "utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SnapshotState":
+        """Decode and verify a document; torn/corrupt input raises."""
+        try:
+            outer = json.loads(data.decode("utf-8"))
+            checksum = outer["checksum"]
+            body = outer["body"]
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                TypeError) as error:
+            raise SnapshotError(
+                f"torn or malformed snapshot document: {error}") from error
+        actual = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        if actual != checksum:
+            raise SnapshotError(
+                "snapshot checksum mismatch (torn or corrupted write)")
+        document = json.loads(body)
+        if document.get("version") != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot version {document.get('version')!r} is not "
+                f"supported (expected {SNAPSHOT_VERSION})")
+        return cls(kind=document["kind"], payload=document["payload"],
+                   version=document["version"])
+
+    def to_wire(self) -> dict:
+        """Strict-JSON dict for HTTP transport (fabric ``/snapshot``)."""
+        return {"version": self.version, "kind": self.kind,
+                "payload": self.payload}
+
+    @classmethod
+    def from_wire(cls, document: dict) -> "SnapshotState":
+        try:
+            version = document["version"]
+            kind = document["kind"]
+            payload = document["payload"]
+        except (KeyError, TypeError) as error:
+            raise SnapshotError(
+                f"malformed wire snapshot: {error}") from error
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot version {version!r} is not supported "
+                f"(expected {SNAPSHOT_VERSION})")
+        return cls(kind=kind, payload=payload, version=version)
+
+
+def check_snapshot(snapshot: SnapshotState, kind: str, **expected) -> dict:
+    """Validate a snapshot against the restoring engine's invariants.
+
+    Checks the backend ``kind`` plus any ``name=value`` structural
+    expectations recorded in the payload (``n``, ``n_states``, ...).
+    Returns the payload for convenience.  Everything fails loudly — a
+    snapshot restored into the wrong engine must never run.
+    """
+    if not isinstance(snapshot, SnapshotState):
+        raise SnapshotError(
+            f"expected a SnapshotState, got {type(snapshot).__name__}")
+    if snapshot.kind != kind:
+        raise SnapshotError(
+            f"snapshot was taken by the {snapshot.kind!r} backend and "
+            f"cannot restore into the {kind!r} backend")
+    payload = snapshot.payload
+    for name, value in expected.items():
+        found = payload.get(name)
+        if found != value:
+            raise SnapshotError(
+                f"snapshot {name}={found!r} does not match the restoring "
+                f"engine's {name}={value!r} (restore requires an engine "
+                f"constructed with identical arguments)")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# On-disk store: atomic writes, checksums, two-generation fallback
+# ----------------------------------------------------------------------
+class SnapshotStore:
+    """Checksummed snapshot files keyed alongside canonical cache keys.
+
+    Layout: ``<root>/<key>.snap`` is the latest generation and
+    ``<root>/<key>.snap.prev`` the one before it.  ``save`` writes a
+    temp file in the same directory, rotates latest → previous, then
+    ``os.replace``s the temp into place — both renames are atomic, so a
+    crash at any instant leaves at least one intact generation.
+    ``load`` walks the fallback ladder latest → previous → ``None``
+    (clean start), discarding any generation whose checksum fails.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        if not key or any(sep in key for sep in ("/", "\\", "..")):
+            raise SnapshotError(f"invalid snapshot key {key!r}")
+        return self.root / f"{key}.snap"
+
+    def save(self, key: str, snapshot: SnapshotState) -> Path:
+        """Persist ``snapshot`` atomically as the latest generation."""
+        from repro.testing import faults
+
+        path = self._path(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        data = snapshot.to_bytes()
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{path.name}.", suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            faults.crash_point("snapshot.mid-write", path=path, data=data)
+            if path.exists():
+                os.replace(path, self._previous(path))
+            os.replace(temp_name, path)
+        finally:
+            with contextlib.suppress(OSError):
+                os.unlink(temp_name)
+        faults.crash_point("snapshot.post-save", path=path)
+        return path
+
+    @staticmethod
+    def _previous(path: Path) -> Path:
+        return path.with_suffix(path.suffix + ".prev")
+
+    def load(self, key: str) -> SnapshotState | None:
+        """Latest intact snapshot for ``key`` via the fallback ladder."""
+        path = self._path(key)
+        for candidate in (path, self._previous(path)):
+            try:
+                data = candidate.read_bytes()
+            except OSError:
+                continue
+            try:
+                return SnapshotState.from_bytes(data)
+            except SnapshotError:
+                continue  # torn generation: fall down the ladder
+        return None
+
+    def clear(self, key: str) -> None:
+        """Drop every generation for ``key`` (task completed)."""
+        path = self._path(key)
+        for candidate in (path, self._previous(path)):
+            with contextlib.suppress(OSError):
+                os.unlink(candidate)
+
+
+# ----------------------------------------------------------------------
+# Persistence channels and the ambient binding
+# ----------------------------------------------------------------------
+class SnapshotChannel:
+    """Where one task's snapshots go and come from.
+
+    The runner binds a concrete channel (file-backed locally, HTTP to
+    the fabric coordinator on workers) around task execution;
+    :func:`run_resumable` only sees this three-method surface.
+    """
+
+    def load(self) -> SnapshotState | None:
+        """The latest intact snapshot for this task, or ``None``."""
+        raise NotImplementedError
+
+    def save(self, snapshot: SnapshotState) -> None:
+        """Persist a new latest generation."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Discard the task's snapshots (called on task completion)."""
+        raise NotImplementedError
+
+
+class FileSnapshotChannel(SnapshotChannel):
+    """A :class:`SnapshotStore` scoped to one task's canonical key."""
+
+    def __init__(self, store: SnapshotStore, key: str):
+        self.store = store
+        self.key = key
+
+    def load(self) -> SnapshotState | None:
+        return self.store.load(self.key)
+
+    def save(self, snapshot: SnapshotState) -> None:
+        self.store.save(self.key, snapshot)
+
+    def clear(self) -> None:
+        self.store.clear(self.key)
+
+
+_CHANNEL: contextvars.ContextVar[SnapshotChannel | None] = \
+    contextvars.ContextVar("repro_snapshot_channel", default=None)
+
+
+def current_channel() -> SnapshotChannel | None:
+    """The ambient snapshot channel bound by the runner, if any."""
+    return _CHANNEL.get()
+
+
+@contextlib.contextmanager
+def use_snapshot_channel(channel: SnapshotChannel | None):
+    """Bind ``channel`` as the ambient snapshot channel for a scope."""
+    token = _CHANNEL.set(channel)
+    try:
+        yield channel
+    finally:
+        _CHANNEL.reset(token)
+
+
+class ScopedSnapshotChannel(SnapshotChannel):
+    """One named sub-run's view of a task-level channel.
+
+    A task (one cache-key's worth of work) may drive *several*
+    simulations in sequence — e.g. a relaxation-time experiment
+    sweeping population sizes.  Each sub-run wraps the task channel
+    with its own scope name: saves tag the payload, and a load only
+    answers when the stored tag matches, so sub-run A can never resume
+    from sub-run B's checkpoint (the engines would refuse anyway when
+    shapes differ, but equal-shape sub-runs must be kept apart too).
+    """
+
+    def __init__(self, inner: SnapshotChannel, scope: str):
+        self.inner = inner
+        self.scope = str(scope)
+
+    def load(self) -> SnapshotState | None:
+        found = self.inner.load()
+        if found is None or found.payload.get("scope") != self.scope:
+            return None
+        return found
+
+    def save(self, snapshot: SnapshotState) -> None:
+        self.inner.save(SnapshotState(
+            kind=snapshot.kind,
+            payload={**snapshot.payload, "scope": self.scope},
+            version=snapshot.version))
+
+    def clear(self) -> None:
+        self.inner.clear()
+
+
+def scoped_channel(scope: str,
+                   channel: SnapshotChannel | None = None
+                   ) -> SnapshotChannel | None:
+    """Scope the given (or ambient) channel to a named sub-run.
+
+    Returns ``None`` when no channel is in scope — callers pass the
+    result straight to :func:`run_resumable`.
+    """
+    if channel is None:
+        channel = current_channel()
+    if channel is None:
+        return None
+    return ScopedSnapshotChannel(channel, scope)
+
+
+# ----------------------------------------------------------------------
+# The segmented (resumable) execution law
+# ----------------------------------------------------------------------
+def run_resumable(simulation, max_steps: int, stop_when, *,
+                  check_stop_every: int, segment_steps: int | None = None,
+                  channel: SnapshotChannel | None = None) -> bool:
+    """Drive ``simulation.run_until`` in deterministic resumable segments.
+
+    The simulation must expose ``steps_run``, ``run_until(max_steps,
+    stop_when, check_stop_every=...)``, ``snapshot()`` and
+    ``restore()`` (both engines and the :class:`~repro.core
+    .population_igt.IGTSimulation` facade qualify).  Execution is split
+    into segments of ``segment_steps`` interactions (default
+    :data:`SEGMENT_CHECKS` stop-check periods); after every completed
+    segment the current snapshot is saved to ``channel`` (or the
+    ambient channel).  On entry, an existing channel snapshot is
+    restored and the already-executed segments are skipped.
+
+    Segmentation is applied whether or not a channel is bound — the
+    segment boundaries are part of the execution law, so an
+    uninterrupted run, a snapshotting run, and a crashed-and-resumed
+    run all consume the generator identically and produce byte-equal
+    trajectories.  Saving a snapshot is read-only with respect to the
+    simulation state.
+    """
+    if channel is None:
+        channel = current_channel()
+    if segment_steps is None:
+        segment_steps = SEGMENT_CHECKS * int(check_stop_every)
+    segment_steps = max(1, int(segment_steps))
+    start = int(simulation.steps_run)
+    target = start + int(max_steps)
+    if channel is not None:
+        found = channel.load()
+        if found is not None:
+            simulation.restore(found)
+    converged = False
+    while simulation.steps_run < target and not converged:
+        budget = min(segment_steps, target - int(simulation.steps_run))
+        converged = simulation.run_until(
+            budget, stop_when, check_stop_every=check_stop_every)
+        if (channel is not None and not converged
+                and simulation.steps_run < target):
+            channel.save(simulation.snapshot())
+    return bool(converged)
+
+
+@dataclass
+class RecordingChannel(SnapshotChannel):
+    """An in-memory channel (tests and the property suite)."""
+
+    snapshots: list = field(default_factory=list)
+    initial: SnapshotState | None = None
+    cleared: int = 0
+
+    def load(self) -> SnapshotState | None:
+        return self.initial
+
+    def save(self, snapshot: SnapshotState) -> None:
+        self.snapshots.append(snapshot)
+
+    def clear(self) -> None:
+        self.cleared += 1

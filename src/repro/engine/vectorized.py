@@ -400,6 +400,35 @@ class ConflictFreeKernel:
         if self._inert_closed:
             self._active_agents = ~self._inert[self.states]
 
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def stamp_state(self) -> dict | None:
+        """Peel-stamp state for snapshots, when it influences the future.
+
+        For *stochastic* models the peel's round grouping determines how
+        many vectorized ``model.apply`` draws each chunk consumes, and
+        the grouping depends on the carried-over stamp maps — so exact
+        resumption must capture them.  Deterministic table models are
+        peel-independent in both outcome and generator consumption
+        (conflicting pairs execute in sampling order either way and the
+        tables draw nothing), so ``None`` is returned and restore
+        starts from fresh stamps.  Scratch buffers carry no history and
+        are never captured.
+        """
+        if not self._stochastic:
+            return None
+        return {"stamp": int(self._stamp),
+                "pos_i": self._pos_i, "pos_r": self._pos_r}
+
+    def restore_stamps(self, state: dict | None) -> None:
+        """Adopt captured peel stamps (inverse of :meth:`stamp_state`)."""
+        if state is None:
+            return
+        self._stamp = int(state["stamp"])
+        self._pos_i[:] = state["pos_i"]
+        self._pos_r[:] = state["pos_r"]
+
     def sync_counts(self) -> None:
         """Recompute the count vector from the state array, in place."""
         self.counts[:] = np.bincount(self.states, minlength=self.s)

@@ -68,7 +68,7 @@ import math
 import numpy as np
 
 from repro.engine.base import BLOCK_SIZE, EngineResult, SimulationEngine
-from repro.engine.count import _cadence_offsets
+from repro.engine.count import _cadence_offsets, sample_without_replacement
 from repro.engine.model import InteractionModel
 from repro.engine.sampling import (
     AliasTable,
@@ -488,6 +488,90 @@ class WeightedCountBackend(SimulationEngine):
         """Inner-state counts of a product count vector."""
         return product_counts.reshape(self._classes, -1).sum(axis=0)
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the crash-safety contract; see engine.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "SnapshotState":
+        """Exact mutable state between runs, for :meth:`restore`.
+
+        The birthday-path structures from :meth:`_init_birthday`
+        (member counts, class alias table, window length) are run
+        constants — class membership never changes — so the mutable
+        surface is the product counts, the projected inner counts, the
+        step cursor, the generator position, the pair-count accumulator
+        when tracked, and on the proxy path the internal per-agent
+        product-state arrangement plus stochastic peel stamps.
+        """
+        from repro.engine.snapshot import (
+            SnapshotState,
+            encode_array,
+            rng_state,
+        )
+
+        payload = {
+            "n": int(self.n),
+            "n_states": int(self.model.n_states),
+            "n_classes": int(self._classes),
+            "proxy": self._kernel is not None,
+            "steps_run": int(self.steps_run),
+            "product_counts": encode_array(self._product_counts),
+            "counts": encode_array(self._counts),
+            "rng": rng_state(self._rng),
+        }
+        if self._kernel is not None:
+            kernel = self._kernel
+            stamps = kernel.stamp_state()
+            payload["proxy_state"] = {
+                "states": encode_array(kernel.states),
+                "pair_counts": (None if kernel.pair_counts is None
+                                else encode_array(kernel.pair_counts)),
+                "kernel": None if stamps is None else {
+                    "stamp": stamps["stamp"],
+                    "pos_i": encode_array(stamps["pos_i"]),
+                    "pos_r": encode_array(stamps["pos_r"]),
+                },
+            }
+        elif self._pair_counts is not None:
+            payload["pair_counts"] = encode_array(self._pair_counts)
+        return SnapshotState(kind="weighted", payload=payload)
+
+    def restore(self, snapshot: "SnapshotState") -> None:
+        """Adopt a snapshot taken by an identically constructed engine.
+
+        All arrays are written *in place* — the proxy kernel adopts the
+        product-count vector, and facades alias the projected inner
+        counts through :attr:`counts_live`.
+        """
+        from repro.engine.snapshot import (
+            check_snapshot,
+            decode_array,
+            restore_rng,
+        )
+
+        payload = check_snapshot(snapshot, "weighted", n=self.n,
+                                 n_states=self.model.n_states,
+                                 n_classes=self._classes,
+                                 proxy=self._kernel is not None)
+        self._product_counts[:] = decode_array(payload["product_counts"])
+        self._counts[:] = decode_array(payload["counts"])
+        self.steps_run = int(payload["steps_run"])
+        restore_rng(self._rng, payload["rng"])
+        if self._kernel is not None:
+            proxy = payload["proxy_state"]
+            self._kernel.states[:] = decode_array(proxy["states"])
+            if self._kernel.pair_counts is not None:
+                self._kernel.pair_counts[:] = decode_array(
+                    proxy["pair_counts"])
+            stamps = proxy.get("kernel")
+            if stamps is not None:
+                self._kernel.restore_stamps({
+                    "stamp": stamps["stamp"],
+                    "pos_i": decode_array(stamps["pos_i"]),
+                    "pos_r": decode_array(stamps["pos_r"]),
+                })
+        elif self._pair_counts is not None:
+            self._pair_counts[:] = decode_array(payload["pair_counts"])
+
     def run(self, max_steps: int, stop_when=None,
             observe_every: int | None = None,
             check_stop_every: int = 1) -> EngineResult:
@@ -718,8 +802,8 @@ class WeightedCountBackend(SimulationEngine):
                                              minlength=self._classes))
         for c in present:
             positions = np.flatnonzero(prefix_cls == c)
-            composition = rng.multivariate_hypergeometric(counts2[c],
-                                                          positions.size)
+            composition = sample_without_replacement(rng, counts2[c],
+                                                     positions.size)
             values = np.repeat(state_ids, composition)
             rng.shuffle(values)
             slots[positions] = values

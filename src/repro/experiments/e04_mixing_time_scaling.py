@@ -32,7 +32,8 @@ import numpy as np
 from repro.analysis.stats import fit_power_law
 from repro.core.igt import GenerosityGrid
 from repro.core.population_igt import IGTSimulation, PopulationShares
-from repro.engine import resolve_backend
+from repro.engine import resolve_backend, run_resumable
+from repro.engine.snapshot import scoped_channel
 from repro.experiments.base import ExperimentReport, register
 from repro.markov.ehrenfest import EhrenfestProcess
 from repro.markov.mixing import exact_mixing_time
@@ -130,14 +131,20 @@ def _simulated_relaxation(n: int, eps: float, seed, backend: str,
     chunk = max(20_000, n // 8)
     index_vector = np.arange(grid.k)
     target_total = target * sim.n_gtft
-    # One engine call: the count backend batches across the check cadence,
-    # so the whole relaxation runs at full vectorized throughput (the
-    # chunk of slack past the bound makes a non-crossing run overshoot
-    # `upper` and fail the window check, as it should).
-    converged = sim.run_until(int(upper) + chunk,
-                              lambda z: float(index_vector @ z)
-                              >= target_total,
-                              check_stop_every=chunk)
+    # Segmented resumable execution (repro.engine.snapshot): the engine
+    # batches across the check cadence inside each segment, so the
+    # relaxation still runs at full vectorized throughput, and the
+    # fixed segment boundaries make a crashed run resumable from its
+    # latest checkpoint byte-for-byte (the chunk of slack past the
+    # bound makes a non-crossing run overshoot `upper` and fail the
+    # window check, as it should).
+    converged = run_resumable(
+        sim, int(upper) + chunk,
+        lambda z: float(index_vector @ z) >= target_total,
+        check_stop_every=chunk,
+        channel=scoped_channel(
+            f"e4-relax:n={n}:eps={eps}:seed={seed}:backend={backend}:"
+            f"topology={topology}"))
     crossing = sim.steps_run
     return n, grid.k, process, crossing, lower, upper, converged
 

@@ -40,6 +40,9 @@ class RemotePool(TaskPool):
     request_timeout, retries, backoff:
         Per-request transport policy
         (:func:`repro.fabric.protocol.call_with_retries`).
+    token:
+        Shared fabric token when the coordinator requires one
+        (``repro serve --token``).
     """
 
     def __init__(
@@ -51,6 +54,7 @@ class RemotePool(TaskPool):
         retries: int = 6,
         backoff: float = 0.25,
         sleep=time.sleep,
+        token: str | None = None,
     ):
         self.url = str(url).rstrip("/")
         self.poll = float(poll)
@@ -59,6 +63,7 @@ class RemotePool(TaskPool):
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.sleep = sleep
+        self.token = token
 
     def _call(self, path: str, payload: dict) -> dict:
         return call_with_retries(
@@ -69,6 +74,7 @@ class RemotePool(TaskPool):
             retries=self.retries,
             backoff=self.backoff,
             sleep=self.sleep,
+            token=self.token,
         )
 
     def run(self, tasks) -> list[dict]:

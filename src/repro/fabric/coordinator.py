@@ -45,8 +45,11 @@ import uuid
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.engine.snapshot import SnapshotError, SnapshotState, SnapshotStore
 from repro.fabric.protocol import (
+    STATUS_UNAUTHORIZED,
     STATUS_UNKNOWN_LEASE,
+    TOKEN_HEADER,
     WIRE_VERSION,
     ProtocolError,
     UnknownLeaseError,
@@ -106,6 +109,11 @@ class Coordinator:
         if lease_ttl <= 0:
             raise InvalidParameterError("lease_ttl must be > 0")
         self.cache = ResultCache(cache_dir)
+        # Mid-task progress outlives workers *and* this coordinator: a
+        # replacement worker picking up a re-leased task receives the
+        # latest intact snapshot and continues the trajectory instead
+        # of restarting it.
+        self.snapshots = SnapshotStore(pathlib.Path(cache_dir) / "snapshots")
         self.lease_ttl = float(lease_ttl)
         self.clock = clock
         self.checkpoint_path = (
@@ -203,6 +211,7 @@ class Coordinator:
                     "state": "active",
                 }
                 self._checkpoint()
+                found = self.snapshots.load(key)
                 return {
                     "lease": {
                         "lease_id": lease_id,
@@ -210,6 +219,9 @@ class Coordinator:
                         "task": entry.wire,
                         "resolved": entry.resolved,
                         "ttl": self.lease_ttl,
+                        # The latest mid-task checkpoint (from this or a
+                        # previous worker), or None for a clean start.
+                        "snapshot": None if found is None else found.to_wire(),
                     },
                     "done": self._done(),
                     "shutting_down": self._shutting_down,
@@ -276,8 +288,41 @@ class Coordinator:
             # The task may have been requeued (expiry) while this
             # result was in flight; completion supersedes the queue.
             self._drop_queued(key)
+            # Completion retires the mid-task checkpoints.
+            self.snapshots.clear(key)
             self._checkpoint()
             return {"accepted": True, "stored": True, "duplicate": False}
+
+    def store_snapshot(self, lease_id: str, worker: str, wire: dict) -> dict:
+        """Persist a worker's mid-task checkpoint for its leased key.
+
+        Snapshots are accepted only from the *active* holder of the
+        lease (an expired/completed lease answers ``{"ok": False}`` on
+        the idempotent path — the worker learns its fate at ``/result``
+        time); a never-issued lease id is a 409.  The snapshot lands in
+        the coordinator's on-disk :class:`SnapshotStore`, so it
+        survives coordinator restarts and is handed to whichever worker
+        next leases the key.
+        """
+        try:
+            snapshot = SnapshotState.from_wire(wire)
+        except SnapshotError as error:
+            raise ProtocolError(f"rejected snapshot: {error}") from error
+        with self._lock:
+            self._reap()
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                raise UnknownLeaseError(
+                    f"snapshot for unknown lease {lease_id!r} "
+                    f"(worker {worker!r})"
+                )
+            if lease["state"] != "active":
+                return {"ok": False, "state": lease["state"]}
+            entry = self._entries[lease["key"]]
+            if entry.state == "done":
+                return {"ok": False, "state": "done"}
+            self.snapshots.save(lease["key"], snapshot)
+            return {"ok": True, "state": "active"}
 
     def release(self, lease_id: str, error: str | None = None) -> dict:
         """Return a leased task to the queue (worker-side failure)."""
@@ -496,6 +541,8 @@ class _FabricHandler(BaseHTTPRequestHandler):
     coordinator: Coordinator = None
     server_ref = None
     quiet = True
+    #: Shared secret (``repro serve --token``); ``None`` disables auth.
+    token: str | None = None
 
     protocol_version = "HTTP/1.1"
 
@@ -511,13 +558,38 @@ class _FabricHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _authorized(self) -> bool:
+        """Check the shared token; answers the 401 itself when it fails.
+
+        Every endpoint — including ``/status`` — is behind the token:
+        an unauthorized caller learns nothing about the queue and
+        cannot enqueue, lease, or complete work.
+        """
+        if self.token is None:
+            return True
+        if self.headers.get(TOKEN_HEADER) == self.token:
+            return True
+        self._send(
+            STATUS_UNAUTHORIZED,
+            {
+                "error": "missing or invalid fabric token (the "
+                "coordinator was started with --token; pass the same "
+                "token to repro worker/sweep)"
+            },
+        )
+        return False
+
     def do_GET(self):  # noqa: N802 - stdlib naming
+        if not self._authorized():
+            return
         if self.path == "/status":
             self._send(200, self.coordinator.status())
             return
         self._send(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self):  # noqa: N802 - stdlib naming
+        if not self._authorized():
+            return
         try:
             length = int(self.headers.get("Content-Length") or 0)
             message = decode(self.rfile.read(length)) if length else {}
@@ -546,6 +618,15 @@ class _FabricHandler(BaseHTTPRequestHandler):
                 str(message.get("worker", "?")),
                 message.get("report"),
                 float(message.get("seconds") or 0.0),
+            )
+        if self.path == "/snapshot":
+            wire = message.get("snapshot")
+            if not isinstance(wire, dict):
+                raise ProtocolError("/snapshot needs a 'snapshot' object")
+            return coordinator.store_snapshot(
+                str(message.get("lease_id", "")),
+                str(message.get("worker", "?")),
+                wire,
             )
         if self.path == "/release":
             return coordinator.release(
@@ -581,11 +662,17 @@ class FabricServer:
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = True,
+        token: str | None = None,
     ):
         handler = type(
             "_BoundFabricHandler",
             (_FabricHandler,),
-            {"coordinator": coordinator, "server_ref": self, "quiet": quiet},
+            {
+                "coordinator": coordinator,
+                "server_ref": self,
+                "quiet": quiet,
+                "token": None if token is None else str(token),
+            },
         )
         self.coordinator = coordinator
         self.httpd = ThreadingHTTPServer((host, port), handler)

@@ -39,6 +39,12 @@ WIRE_VERSION = 1
 #: HTTP status used for lease-identity rejections (unknown lease id).
 STATUS_UNKNOWN_LEASE = 409
 
+#: HTTP status for a missing/wrong shared fabric token.
+STATUS_UNAUTHORIZED = 401
+
+#: Header carrying the shared fabric token (``repro serve --token``).
+TOKEN_HEADER = "X-Repro-Token"
+
 #: Ceiling on a single retry backoff sleep (seconds).
 MAX_BACKOFF = 5.0
 
@@ -145,7 +151,11 @@ def task_from_wire(wire: dict) -> RunTask:
 
 
 def http_call(
-    base_url: str, path: str, payload: dict | None = None, timeout: float = 30.0
+    base_url: str,
+    path: str,
+    payload: dict | None = None,
+    timeout: float = 30.0,
+    token: str | None = None,
 ) -> dict:
     """One POST of strict JSON to ``base_url + path``; decoded response.
 
@@ -153,13 +163,18 @@ def http_call(
     :class:`FabricUnavailable` — the caller may retry.  HTTP error
     statuses raise :class:`ProtocolError` (or :class:`UnknownLeaseError`
     for 409) carrying the coordinator's ``error`` message — retrying
-    would not help.
+    would not help.  ``token`` (when the coordinator was started with
+    ``--token``) travels in the :data:`TOKEN_HEADER` header; a 401
+    rejection is deterministic and never retried.
     """
     url = base_url.rstrip("/") + path
+    headers = {"Content-Type": "application/json"}
+    if token is not None:
+        headers[TOKEN_HEADER] = str(token)
     request = urllib.request.Request(
         url,
         data=encode(payload if payload is not None else {}),
-        headers={"Content-Type": "application/json"},
+        headers=headers,
         method="POST",
     )
     try:
@@ -189,6 +204,7 @@ def call_with_retries(
     retries: int = 6,
     backoff: float = 0.25,
     sleep=time.sleep,
+    token: str | None = None,
 ) -> dict:
     """:func:`http_call` with exponential backoff on transport failures.
 
@@ -199,7 +215,8 @@ def call_with_retries(
     attempt = 0
     while True:
         try:
-            return http_call(base_url, path, payload, timeout=timeout)
+            return http_call(base_url, path, payload, timeout=timeout,
+                             token=token)
         except FabricUnavailable:
             if attempt >= retries:
                 raise

@@ -26,6 +26,12 @@ import socket
 import threading
 import time
 
+from repro.engine.snapshot import (
+    SnapshotChannel,
+    SnapshotError,
+    SnapshotState,
+    use_snapshot_channel,
+)
 from repro.fabric.protocol import (
     FabricUnavailable,
     ProtocolError,
@@ -34,6 +40,7 @@ from repro.fabric.protocol import (
     task_from_wire,
 )
 from repro.runner.executor import run_task
+from repro.testing import crash_point
 
 #: Exit codes, by name (see module docstring).
 EXIT_DRAINED = 0
@@ -55,11 +62,13 @@ class _Heartbeat:
     result path absorbs the consequences).
     """
 
-    def __init__(self, remote: str, lease_id: str, ttl: float, timeout: float):
+    def __init__(self, remote: str, lease_id: str, ttl: float, timeout: float,
+                 token: str | None = None):
         self.remote = remote
         self.lease_id = lease_id
         self.interval = max(ttl / 3.0, 0.05)
         self.timeout = timeout
+        self.token = token
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
@@ -79,9 +88,49 @@ class _Heartbeat:
                     "/heartbeat",
                     {"lease_id": self.lease_id},
                     timeout=self.timeout,
+                    token=self.token,
                 )
             except (FabricUnavailable, ProtocolError):
                 pass
+
+
+class HttpSnapshotChannel(SnapshotChannel):
+    """Mid-task checkpoints over the fabric wire.
+
+    ``load`` serves the snapshot the coordinator attached to the lease
+    (progress from a previous — possibly dead — worker); ``save`` posts
+    each new checkpoint to ``/snapshot`` best-effort (a transport
+    hiccup loses one checkpoint generation, never the task); ``clear``
+    is a no-op — the coordinator retires a key's snapshots itself when
+    its ``/result`` lands.
+    """
+
+    def __init__(self, worker: "Worker", lease_id: str, initial: dict | None):
+        self.worker = worker
+        self.lease_id = lease_id
+        self.initial = initial
+
+    def load(self) -> SnapshotState | None:
+        if self.initial is None:
+            return None
+        return SnapshotState.from_wire(self.initial)
+
+    def save(self, snapshot: SnapshotState) -> None:
+        try:
+            self.worker._call(
+                "/snapshot",
+                {
+                    "lease_id": self.lease_id,
+                    "worker": self.worker.worker_id,
+                    "snapshot": snapshot.to_wire(),
+                },
+            )
+        except FabricUnavailable:
+            pass  # best-effort: the previous generation still stands
+        crash_point("snapshot.post-save")
+
+    def clear(self) -> None:
+        pass
 
 
 class Worker:
@@ -106,6 +155,9 @@ class Worker:
     retries, backoff, timeout:
         Transport retry policy (see
         :func:`repro.fabric.protocol.call_with_retries`).
+    token:
+        Shared fabric token when the coordinator requires one
+        (``repro serve --token``); sent with every request.
     run:
         Task executor, injectable for tests (defaults to
         :func:`repro.runner.executor.run_task`).
@@ -121,6 +173,7 @@ class Worker:
         retries: int = 6,
         backoff: float = 0.25,
         timeout: float = 30.0,
+        token: str | None = None,
         run=run_task,
         sleep=time.sleep,
         log=print,
@@ -133,6 +186,7 @@ class Worker:
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.timeout = float(timeout)
+        self.token = token
         self.run = run
         self.sleep = sleep
         self.log = log
@@ -148,6 +202,7 @@ class Worker:
             retries=self.retries,
             backoff=self.backoff,
             sleep=self.sleep,
+            token=self.token,
         )
         self._ever_reached = True
         return response
@@ -217,9 +272,17 @@ class Worker:
             f"[{self.worker_id}] leased {task.experiment_id} "
             f"(seed={task.seed}, label={task.label or '-'})"
         )
+        channel = HttpSnapshotChannel(self, lease_id,
+                                      lease.get("snapshot"))
         try:
-            with _Heartbeat(self.remote, lease_id, ttl, self.timeout):
+            with _Heartbeat(self.remote, lease_id, ttl, self.timeout,
+                            token=self.token), \
+                    use_snapshot_channel(channel):
                 payload, seconds = self.run(task)
+        except SnapshotError as error:
+            # A corrupt lease-delivered snapshot is a protocol breach.
+            self.log(f"[{self.worker_id}] FATAL: {error}")
+            return EXIT_LEASE_REJECTED
         except Exception as error:
             # Execution failed locally: hand the task back (best
             # effort) and keep serving — the coordinator requeues it.
@@ -234,6 +297,7 @@ class Worker:
             except (FabricUnavailable, ProtocolError):
                 pass
             return None
+        crash_point("worker.pre-submit")
         try:
             response = self._call(
                 "/result",

@@ -22,6 +22,8 @@ uses it for grid points.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
@@ -33,8 +35,42 @@ from repro.runner.cache import (
     unpack_entry,
 )
 from repro.runner.plan import RunPlan, RunReport, RunTask, TaskResult
+from repro.testing import crash_point
 from repro.utils import check_positive_int
 from repro.utils.errors import InvalidParameterError
+
+
+#: Environment variable carrying the snapshot directory of a resumable
+#: sweep.  Environment-based (rather than a parameter) so it crosses
+#: the ``spawn`` boundary into pool workers unchanged.
+SNAPSHOT_DIR_ENV = "REPRO_SNAPSHOT_DIR"
+
+
+def _snapshot_scope(task: RunTask):
+    """The snapshot channel for one task, or ``None``.
+
+    A channel already bound by the caller wins (the fabric worker binds
+    its HTTP channel around :func:`run_task`); otherwise a
+    :data:`SNAPSHOT_DIR_ENV` directory yields a file channel keyed by
+    the task's canonical cache key — the same key the result cache
+    uses, so a partial task's checkpoints sit alongside its future
+    result.
+    """
+    from repro.engine.snapshot import (
+        FileSnapshotChannel,
+        SnapshotStore,
+        current_channel,
+        use_snapshot_channel,
+    )
+
+    channel = current_channel()
+    if channel is not None:
+        return channel, contextlib.nullcontext()
+    root = os.environ.get(SNAPSHOT_DIR_ENV)
+    if not root:
+        return None, contextlib.nullcontext()
+    channel = FileSnapshotChannel(SnapshotStore(root), _task_cache_key(task))
+    return channel, use_snapshot_channel(channel)
 
 
 def run_task(task: RunTask) -> tuple[dict, float]:
@@ -43,17 +79,26 @@ def run_task(task: RunTask) -> tuple[dict, float]:
     Module-level so the ``spawn`` pool can import it by reference; the
     experiment registry is imported lazily to keep worker start-up (and
     the ``repro.runner`` import graph) light.
+
+    When a snapshot channel is in scope (see :func:`_snapshot_scope`),
+    resumable experiments checkpoint through it and pick up a prior
+    partial execution; completion clears the task's checkpoints.  A
+    failed task keeps them — the retry resumes instead of restarting.
     """
     from repro.experiments.base import run_experiment
 
+    channel, scope = _snapshot_scope(task)
     start = time.perf_counter()
-    report = run_experiment(
-        task.experiment_id,
-        profile=task.profile,
-        params=task.params_dict(),
-        seed=task.seed,
-        backend=task.backend,
-    )
+    with scope:
+        report = run_experiment(
+            task.experiment_id,
+            profile=task.profile,
+            params=task.params_dict(),
+            seed=task.seed,
+            backend=task.backend,
+        )
+    if channel is not None:
+        channel.clear()
     return report.to_dict(), time.perf_counter() - start
 
 
@@ -98,6 +143,17 @@ class TaskPool:
         """One outcome dict per task, in task order."""
         raise NotImplementedError
 
+    def run_iter(self, tasks: list[RunTask]):
+        """Yield the outcomes of :meth:`run` in task order.
+
+        Pools that produce results incrementally override this so
+        :func:`execute` can persist each completed cell to the cache
+        *as it finishes* — a killed sweep then keeps everything already
+        done instead of losing the whole batch.  The default adapts
+        batch-only pools.
+        """
+        yield from self.run(tasks)
+
 
 class LocalPool(TaskPool):
     """Run tasks in-process (``jobs=1``) or on a ``spawn`` process pool."""
@@ -107,18 +163,44 @@ class LocalPool(TaskPool):
         self.jobs = jobs
 
     def run(self, tasks: list[RunTask]) -> list[dict]:
+        return list(self.run_iter(tasks))
+
+    def run_iter(self, tasks: list[RunTask]):
         tasks = list(tasks)
         if self.jobs > 1 and len(tasks) > 1:
             context = get_context("spawn")
             workers = min(self.jobs, len(tasks))
             with ProcessPoolExecutor(workers, mp_context=context) as pool:
-                raw = list(pool.map(run_task, tasks))
+                for payload, seconds in pool.map(run_task, tasks):
+                    yield task_outcome(payload, seconds)
         else:
-            raw = [run_task(task) for task in tasks]
-        return [task_outcome(payload, seconds) for payload, seconds in raw]
+            for task in tasks:
+                payload, seconds = run_task(task)
+                yield task_outcome(payload, seconds)
 
 
-def execute(plan: RunPlan, pool: TaskPool | None = None) -> RunReport:
+@contextlib.contextmanager
+def _snapshot_dir_env(snapshot_dir):
+    """Expose ``snapshot_dir`` to this process *and* spawned pool workers."""
+    if snapshot_dir is None:
+        yield
+        return
+    previous = os.environ.get(SNAPSHOT_DIR_ENV)
+    os.environ[SNAPSHOT_DIR_ENV] = str(snapshot_dir)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(SNAPSHOT_DIR_ENV, None)
+        else:
+            os.environ[SNAPSHOT_DIR_ENV] = previous
+
+
+def execute(
+    plan: RunPlan,
+    pool: TaskPool | None = None,
+    snapshot_dir=None,
+) -> RunReport:
     """Execute a :class:`RunPlan` and return its :class:`RunReport`.
 
     Cache hits are served without touching the pool; misses go to
@@ -126,6 +208,14 @@ def execute(plan: RunPlan, pool: TaskPool | None = None) -> RunReport:
     Results are always reported in task order, so the report is
     identical for every ``jobs`` value and every pool — only the
     provenance fields (timing, source, worker) differ.
+
+    ``snapshot_dir`` makes the sweep *resumable*: tasks periodically
+    checkpoint engine snapshots there (keyed by their canonical cache
+    keys), a killed sweep's rerun picks the partial tasks up
+    mid-trajectory, and the resumed records are byte-identical to an
+    uninterrupted run's (``repro sweep --resume`` is the CLI spelling;
+    completed cells are already served by the cache and never
+    re-execute).
     """
     from repro.experiments.base import ExperimentReport
 
@@ -156,23 +246,30 @@ def execute(plan: RunPlan, pool: TaskPool | None = None) -> RunReport:
         pending.append(index)
 
     if pending:
-        outcomes = pool.run([tasks[index] for index in pending])
-        if len(outcomes) != len(pending):
+        produced = 0
+        with _snapshot_dir_env(snapshot_dir):
+            outcomes = pool.run_iter([tasks[index] for index in pending])
+            # Each outcome is cached the moment it arrives, not after
+            # the whole batch: a sweep killed mid-run keeps every cell
+            # already completed, and its rerun serves them from cache.
+            for index, outcome in zip(pending, outcomes):
+                produced += 1
+                payload, seconds = unpack_entry(outcome)
+                results[index] = TaskResult(
+                    task=tasks[index],
+                    report=ExperimentReport.from_dict(payload),
+                    seconds=seconds,
+                    source=outcome.get("source", "executed"),
+                    worker=outcome.get("worker"),
+                )
+                if cache is not None:
+                    cache.put(keys[index], pack_entry(payload, seconds))
+                    crash_point("executor.post-cache")
+        if produced != len(pending):
             raise InvalidParameterError(
-                f"pool returned {len(outcomes)} outcome(s) for "
+                f"pool returned {produced} outcome(s) for "
                 f"{len(pending)} task(s)"
             )
-        for index, outcome in zip(pending, outcomes):
-            payload, seconds = unpack_entry(outcome)
-            results[index] = TaskResult(
-                task=tasks[index],
-                report=ExperimentReport.from_dict(payload),
-                seconds=seconds,
-                source=outcome.get("source", "executed"),
-                worker=outcome.get("worker"),
-            )
-            if cache is not None:
-                cache.put(keys[index], pack_entry(payload, seconds))
     return RunReport(results=results)
 
 

@@ -1,0 +1,12 @@
+"""Test-support utilities shipped with the library.
+
+Currently: the crash/fault-injection harness (:mod:`repro.testing
+.faults`) that the crash-safety suites and the chaos CI job drive.
+Production code paths call :func:`repro.testing.faults.crash_point` at
+named locations; the calls are no-ops unless the ``REPRO_FAULTS``
+environment variable arms them.
+"""
+
+from repro.testing.faults import FaultSpec, crash_point, reset_faults
+
+__all__ = ["FaultSpec", "crash_point", "reset_faults"]

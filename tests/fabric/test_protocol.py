@@ -92,7 +92,7 @@ class TestRetries:
     def test_transport_failures_retried_then_raised(self, monkeypatch):
         calls = []
 
-        def flaky(base_url, path, payload, timeout):
+        def flaky(base_url, path, payload, timeout, token=None):
             calls.append(path)
             raise FabricUnavailable("down")
 
@@ -106,7 +106,7 @@ class TestRetries:
         assert sleeps == [0.5, 1.0, 2.0]
 
     def test_backoff_capped(self, monkeypatch):
-        def flaky(base_url, path, payload, timeout):
+        def flaky(base_url, path, payload, timeout, token=None):
             raise FabricUnavailable("down")
 
         monkeypatch.setattr(protocol, "http_call", flaky)
@@ -120,7 +120,7 @@ class TestRetries:
     def test_success_after_failure(self, monkeypatch):
         attempts = []
 
-        def flaky_once(base_url, path, payload, timeout):
+        def flaky_once(base_url, path, payload, timeout, token=None):
             attempts.append(1)
             if len(attempts) == 1:
                 raise FabricUnavailable("down")
@@ -136,7 +136,7 @@ class TestRetries:
     def test_protocol_errors_never_retried(self, monkeypatch):
         calls = []
 
-        def rejecting(base_url, path, payload, timeout):
+        def rejecting(base_url, path, payload, timeout, token=None):
             calls.append(1)
             raise ProtocolError("bad", status=400)
 
