@@ -67,7 +67,7 @@ def act_two_tuning():
         sim = IGTSimulation(n=n, shares=shares, grid=grid, seed=1,
                             initial_indices=k // 2)
         budget = int(2 * igt_mixing_upper_bound(k, shares, n))
-        trajectory = sim.run(budget, record_every=max(budget // 30, 1))
+        trajectory = sim.run(budget, observe_every=max(budget // 30, 1))
         generosity = (trajectory @ grid.values) / sim.n_gtft
         rows.append([f"{beta:.2f}", f"{shares.lam:.2f}",
                      sparkline(generosity), f"{generosity[-1]:.3f}"])

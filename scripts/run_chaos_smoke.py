@@ -18,12 +18,19 @@ The crash-safety contract, exercised end to end with real SIGKILLs:
    the snapshot directory, and produce records **byte-identical** to
    the baseline once provenance (``seconds``/``from_cache``/
    ``source``/``worker``) is stripped.
-4. **Fabric crash** — a coordinator plus two workers; the victim
+4. **Streamed trajectory kill** — a ``repro simulate`` run streaming
+   its trajectory to a JSONL observer sink with ``--snapshots`` is
+   SIGKILLed right after a checkpoint lands, leaving a partial stream
+   file on disk.  Rerunning the same command resumes from the
+   snapshot, truncates the stream back to the checkpointed position,
+   and finishes — the resulting JSONL must be **byte-identical** to an
+   uninterrupted run's, and the snapshot directory cleared.
+5. **Fabric crash** — a coordinator plus two workers; the victim
    worker carries the same injected fault, posts checkpoints to
    ``/snapshot``, and SIGKILLs itself mid-task.  The replacement
    worker receives the latest checkpoint with the re-leased task and
    continues the trajectory.
-5. **Fabric verdicts** — the remote sweep finishes despite the murder
+6. **Fabric verdicts** — the remote sweep finishes despite the murder
    and its stripped records equal the baseline; the coordinator's
    snapshot store is empty once results land; the survivor and the
    coordinator drain with exit code 0.
@@ -63,6 +70,18 @@ PROVENANCE_FIELDS = ("seconds", "from_cache", "source", "worker")
 MID_TASK_FAULT = "snapshot.post-save:3:kill"
 POST_CACHE_FAULT = "executor.post-cache:2:kill"
 WORKER_FAULT = "snapshot.post-save:2:kill"
+STREAM_FAULT = "snapshot.post-save:2:kill"
+
+#: The streamed-trajectory scenario: big enough that the run spans
+#: several snapshot segments (so the kill lands mid-stream with rows
+#: both before and after the last checkpoint), small enough for CI.
+def stream_arguments(stream_path: pathlib.Path,
+                     snapshots_dir: pathlib.Path) -> list[str]:
+    return ["simulate", "--n", "20000", "--k", "3", "--steps", "240000",
+            "--backend", "count", "--seed", "11",
+            "--observe-every", "5000",
+            "--observe", f"jsonl:{stream_path}",
+            "--snapshots", str(snapshots_dir)]
 
 
 def repro(*arguments: str) -> list[str]:
@@ -156,7 +175,7 @@ def main(argv: list[str] | None = None) -> int:
         return process
 
     try:
-        print("[1/5] baseline sweep", flush=True)
+        print("[1/6] baseline sweep", flush=True)
         baseline_path = work / "baseline.jsonl"
         subprocess.run(
             repro("sweep", *GRID_ARGUMENTS, "--output", str(baseline_path)),
@@ -168,7 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         check(len(baseline) == 4, f"expected 4 baseline records, "
                                   f"got {len(baseline)}")
 
-        print(f"[2/5] resumable sweep dies mid-task ({MID_TASK_FAULT}), "
+        print(f"[2/6] resumable sweep dies mid-task ({MID_TASK_FAULT}), "
               f"its rerun dies between tasks ({POST_CACHE_FAULT})",
               flush=True)
         cache_dir = work / "cache"
@@ -209,7 +228,7 @@ def main(argv: list[str] | None = None) -> int:
         print("    resumed the interrupted task, cached 2 cells, died "
               "again", flush=True)
 
-        print("[3/5] third run must finish: cached cells stay cached, "
+        print("[3/6] third run must finish: cached cells stay cached, "
               "records match the baseline", flush=True)
         resumed_path = work / "resumed.jsonl"
         resumed = subprocess.run(
@@ -234,7 +253,57 @@ def main(argv: list[str] | None = None) -> int:
               f"{len(records) - len(from_cache)} executed, snapshots "
               f"cleared", flush=True)
 
-        print("[4/5] fabric: victim worker dies mid-task "
+        print(f"[4/6] streamed simulate killed mid-trajectory "
+              f"({STREAM_FAULT}); rerun resumes byte-identically",
+              flush=True)
+        reference_stream = work / "stream-reference.jsonl"
+        subprocess.run(
+            repro(*stream_arguments(reference_stream,
+                                    work / "stream-snaps-ref")),
+            cwd=REPO_ROOT,
+            env=child_environment(),
+            check=True,
+        )
+        victim_stream = work / "stream-victim.jsonl"
+        victim_snaps = work / "stream-snaps"
+        stream_args = stream_arguments(victim_stream, victim_snaps)
+        killed = subprocess.run(
+            repro(*stream_args),
+            cwd=REPO_ROOT,
+            env=child_environment(STREAM_FAULT),
+        )
+        check(killed.returncode != 0,
+              "fault-injected simulate exited 0 — the kill never fired")
+        check(victim_stream.exists() and victim_stream.stat().st_size > 0,
+              "the killed run streamed nothing before dying")
+        check(victim_stream.read_bytes()
+              != reference_stream.read_bytes(),
+              "the killed run's stream is already complete — the kill "
+              "fired too late to test resumption")
+        check(len(snapshot_files(victim_snaps)) > 0,
+              "the killed streaming run left no snapshot behind")
+        partial = victim_stream.stat().st_size
+        print(f"    died mid-trajectory with {partial} bytes streamed",
+              flush=True)
+        resumed_stream = subprocess.run(
+            repro(*stream_args),
+            cwd=REPO_ROOT,
+            env=child_environment(),
+        )
+        check(resumed_stream.returncode == 0,
+              "resumed streaming simulate failed")
+        check(victim_stream.read_bytes()
+              == reference_stream.read_bytes(),
+              "resumed stream differs from the uninterrupted run — "
+              "crash-equals-uninterrupted violated for JSONL streams")
+        check(snapshot_files(victim_snaps) == [],
+              f"completed streaming run left snapshots: "
+              f"{snapshot_files(victim_snaps)}")
+        print(f"    resumed: stream byte-identical "
+              f"({victim_stream.stat().st_size} bytes), snapshots "
+              f"cleared", flush=True)
+
+        print("[5/6] fabric: victim worker dies mid-task "
               f"({WORKER_FAULT}); replacement continues", flush=True)
         coordinator = spawn(
             "serve",
@@ -274,7 +343,7 @@ def main(argv: list[str] | None = None) -> int:
             "--max-idle", "5",
         )
 
-        print("[5/5] remote sweep must finish and match the baseline",
+        print("[6/6] remote sweep must finish and match the baseline",
               flush=True)
         check(sweep.wait(timeout=300) == 0,
               "remote sweep did not complete after the worker kill")
@@ -299,8 +368,8 @@ def main(argv: list[str] | None = None) -> int:
               f"coordinator exited {coordinator_exit}")
 
         print("chaos smoke passed: local kill+resume byte-identity, "
-              "zero re-execution, fabric mid-task continuation, "
-              "clean drain")
+              "zero re-execution, streamed-trajectory byte-identity, "
+              "fabric mid-task continuation, clean drain")
         return 0
     finally:
         for process in children:

@@ -229,10 +229,19 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_sweep_shape_arguments(sweep_parser)
     sweep_parser.add_argument(
         "--output", default=None, metavar="FILE",
-        help=("dump one strict-JSON record per task to FILE (JSON "
+        help=("stream one strict-JSON record per task to FILE (JSON "
               "Lines): the task coordinates, timing, provenance "
               "(source/worker), and the full report — the "
-              "offline-analysis feed"))
+              "offline-analysis feed; each record is appended the "
+              "moment its task lands, so a killed sweep's FILE already "
+              "holds every completed cell"))
+    sweep_parser.add_argument(
+        "--series", default=None, metavar="DIR",
+        help=("stream per-task observation series to JSONL files under "
+              "DIR (keyed by the tasks' cache keys): experiments that "
+              "open observation streams write there with constant "
+              "memory, and each record/cache entry points at its "
+              "series files (local sweeps only)"))
     sweep_parser.add_argument(
         "--remote", default=None, metavar="URL",
         help=("execute on the distributed sweep fabric: submit tasks to "
@@ -360,7 +369,74 @@ def _build_parser() -> argparse.ArgumentParser:
         help=("simulation engine: 'agent' tracks every agent, 'count' "
               "simulates the exact count chain (much faster at large n), "
               "'auto' dispatches on the measured crossover"))
+    sim_parser.add_argument(
+        "--observe-every", type=int, default=None, metavar="N",
+        help=("observation cadence: snapshot the strategy counts every "
+              "N interactions (required by --observe)"))
+    sim_parser.add_argument(
+        "--observe", default=None, metavar="SPEC",
+        help=("observer sink for the snapshots: 'jsonl:PATH' appends "
+              "strict-JSON lines with constant memory, 'mean' / "
+              "'extinction' keep online summaries, 'degree-profile' "
+              "averages GTFT generosity by vertex degree (needs a "
+              "non-complete --topology and the agent backend); "
+              "see repro.engine.observe"))
+    sim_parser.add_argument(
+        "--snapshots", default=None, metavar="DIR",
+        help=("run resumably: checkpoint engine snapshots under DIR, "
+              "and on restart pick the run up mid-trajectory — the "
+              "trajectory (and any --observe jsonl stream) is "
+              "byte-identical to an uninterrupted run's"))
     return parser
+
+
+def _simulate_sink(args, grid, graph):
+    """The observer sink of a ``repro simulate`` run, or ``None``.
+
+    ``degree-profile`` is wired here rather than in
+    :func:`repro.engine.observe.sink_from_spec` because only the caller
+    knows the class labels (vertex degrees) and per-state values (GTFT
+    generosity levels; AC/AD excluded as ``NaN``).
+    """
+    if args.observe is None:
+        return None
+    if args.observe_every is None:
+        raise InvalidParameterError(
+            "--observe needs --observe-every N (the observation cadence)")
+    from repro.engine import sink_from_spec
+
+    profile_classes = profile_values = None
+    if args.observe == "degree-profile":
+        import numpy as np
+
+        if graph is None:
+            raise InvalidParameterError(
+                "--observe degree-profile needs a non-complete "
+                "--topology: it averages GTFT generosity by vertex "
+                "degree")
+        profile_classes = graph.degrees
+        profile_values = np.concatenate([grid.values, [np.nan, np.nan]])
+    return sink_from_spec(args.observe, profile_classes=profile_classes,
+                          profile_values=profile_values)
+
+
+def _report_simulate_sink(args, sink) -> None:
+    """Print where the observations went (stream stats or summary)."""
+    if sink is None:
+        return
+    from repro.engine import JsonlSink, Reducer
+
+    if isinstance(sink, JsonlSink):
+        position = sink.position()
+        sink.close()
+        print(f"streamed {position['records']} observation record(s) "
+              f"({position['bytes']} bytes) to {sink.path}")
+    elif isinstance(sink, Reducer):
+        import json
+
+        print("observer summary: "
+              + json.dumps(sink.summary(), sort_keys=True,
+                           allow_nan=False))
 
 
 def _run_simulate(args) -> int:
@@ -389,11 +465,28 @@ def _run_simulate(args) -> int:
     sim = IGTSimulation(n=args.n, shares=shares, grid=grid, seed=args.seed,
                         observation_noise=args.noise, backend=args.backend,
                         weights=activity, topology=graph)
+    sink = _simulate_sink(args, grid, graph)
     print(f"k-IGT: n={args.n}, (alpha,beta,gamma)=({args.alpha}, "
           f"{args.beta}, {gamma:.3g}), k={args.k}, g_max={args.g_max}, "
           f"noise={args.noise}, steps={steps}, backend={args.backend}, "
           f"weights={args.weights}, topology={args.topology}")
-    sim.run(steps)
+    if args.snapshots is not None:
+        from repro.engine import (
+            FileSnapshotChannel,
+            SnapshotStore,
+            run_resumable,
+        )
+
+        channel = FileSnapshotChannel(SnapshotStore(args.snapshots),
+                                      "simulate")
+        check = args.observe_every or max(1, steps // 64)
+        run_resumable(sim, steps, None, check_stop_every=check,
+                      channel=channel, observe_every=args.observe_every,
+                      observe=sink)
+        channel.clear()
+    else:
+        sim.run(steps, observe_every=args.observe_every, observe=sink)
+    _report_simulate_sink(args, sink)
     # Heterogeneous GTFT activity weights mix per-agent walk biases, and
     # an interaction graph gives each GTFT agent its own AD-neighbor
     # bias — no single Ehrenfest chain matches either, so report
@@ -487,21 +580,37 @@ def _print_pass_rates(report, cache_dir) -> None:
         print(f"cache hits: {report.cache_hits}/{len(report.results)}")
 
 
-def _dump_records(report, path) -> int:
-    """Write one strict-JSON record per task result to ``path`` (JSONL).
+class _RecordWriter:
+    """Streams one strict-JSON record per task result to a JSONL file.
 
-    Each line carries the task coordinates, execution provenance
-    (timing, ``source``, ``worker``), and the full report wire form —
-    the same payload the cache stores, so offline consumers see exactly
-    what a re-run would.  Returns the record count.
+    ``execute(record_stream=...)`` calls it with each
+    :class:`~repro.runner.plan.TaskResult` the moment the task-order
+    done-prefix grows; every record is flushed on write, so a killed
+    sweep's output file already holds each completed cell.  Each line
+    carries the task coordinates, execution provenance (timing,
+    ``source``, ``worker``), and the full report wire form — the same
+    payload the cache stores, byte-identical to the historical
+    dump-at-the-end format.
     """
-    import json
-    import pathlib
 
-    lines = [json.dumps(record, sort_keys=True, allow_nan=False)
-             for record in report.to_records()]
-    pathlib.Path(path).write_text("\n".join(lines) + "\n")
-    return len(lines)
+    def __init__(self, path):
+        self.path = path
+        self.written = 0
+        self._handle = open(path, "w", encoding="utf-8")
+
+    def __call__(self, result) -> None:
+        import json
+
+        from repro.runner import task_record
+
+        record = json.dumps(task_record(result), sort_keys=True,
+                            allow_nan=False)
+        self._handle.write(record + "\n")
+        self._handle.flush()
+        self.written += 1
+
+    def close(self) -> None:
+        self._handle.close()
 
 
 def _build_sweep_plan(args, jobs: int, cache_dir):
@@ -562,19 +671,16 @@ def _run_sweep(args) -> int:
 
     plan, header = _build_sweep_plan(args, jobs=args.jobs,
                                      cache_dir=args.cache)
+    snapshot_dir = None
     if args.remote is not None:
-        from repro.fabric import RemotePool, shutdown_coordinator
-
         if args.resume:
             raise InvalidParameterError(
                 "--resume applies to local sweeps; remote sweeps "
                 "checkpoint on the coordinator automatically")
-        report = execute(plan, pool=RemotePool(args.remote,
-                                               token=args.token))
-        print(f"{header}, remote={args.remote}")
-        if args.shutdown:
-            shutdown_coordinator(args.remote, token=args.token)
-            print(f"asked coordinator at {args.remote} to shut down")
+        if args.series is not None:
+            raise InvalidParameterError(
+                "--series applies to local sweeps: a remote worker's "
+                "series files live on its own disk")
     else:
         if args.shutdown:
             raise InvalidParameterError(
@@ -582,21 +688,42 @@ def _run_sweep(args) -> int:
         if args.token is not None:
             raise InvalidParameterError(
                 "--token only applies to --remote sweeps")
-        snapshot_dir = None
         if args.resume:
             if args.cache is None:
                 raise InvalidParameterError(
                     "--resume needs --cache DIR: checkpoints live "
                     "alongside the result cache under DIR/snapshots")
             snapshot_dir = os.path.join(args.cache, "snapshots")
-        report = execute(plan, snapshot_dir=snapshot_dir)
-        print(f"{header}, jobs={args.jobs}")
+    record_stream = None
+    if args.output is not None:
+        record_stream = _RecordWriter(args.output)
+    try:
+        if args.remote is not None:
+            from repro.fabric import RemotePool, shutdown_coordinator
+
+            report = execute(plan, pool=RemotePool(args.remote,
+                                                   token=args.token),
+                             record_stream=record_stream)
+            print(f"{header}, remote={args.remote}")
+            if args.shutdown:
+                shutdown_coordinator(args.remote, token=args.token)
+                print(f"asked coordinator at {args.remote} to shut down")
+        else:
+            report = execute(plan, snapshot_dir=snapshot_dir,
+                             series_dir=args.series,
+                             record_stream=record_stream)
+            print(f"{header}, jobs={args.jobs}")
+    finally:
+        if record_stream is not None:
+            record_stream.close()
     headers, rows = report.summary_table()
     print(format_table(headers, rows))
     print()
-    if args.output is not None:
-        written = _dump_records(report, args.output)
-        print(f"wrote {written} record(s) to {args.output}")
+    if record_stream is not None:
+        print(f"wrote {record_stream.written} record(s) to {args.output}")
+    if args.series is not None:
+        streamed = sum(len(result.series) for result in report.results)
+        print(f"streamed {streamed} series file(s) under {args.series}")
     _print_pass_rates(report, args.cache)
     return 0 if report.all_checks_pass else 1
 

@@ -263,20 +263,20 @@ class PopulationGameSimulation:
 
 
 def de_gap_trajectory(simulation: PopulationGameSimulation, steps: int,
-                      record_every: int) -> tuple[np.ndarray, np.ndarray]:
-    """Run a simulation recording the DE gap every ``record_every`` steps.
+                      observe_every: int) -> tuple[np.ndarray, np.ndarray]:
+    """Run a simulation recording the DE gap every ``observe_every`` steps.
 
     Returns ``(steps_axis, gaps)`` including the initial state.
     """
     steps = check_positive_int("steps", steps, minimum=0)
-    record_every = check_positive_int("record_every", record_every)
-    points = steps // record_every
+    observe_every = check_positive_int("observe_every", observe_every)
+    points = steps // observe_every
     axis = np.empty(points + 1, dtype=np.int64)
     gaps = np.empty(points + 1)
     axis[0] = simulation.steps_run
     gaps[0] = simulation.de_gap()
     for p in range(points):
-        simulation.run(record_every)
+        simulation.run(observe_every)
         axis[p + 1] = simulation.steps_run
         gaps[p + 1] = simulation.de_gap()
     return axis, gaps

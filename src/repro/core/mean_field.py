@@ -49,27 +49,27 @@ def drift_generator(k: int, a: float, b: float) -> np.ndarray:
 
 
 def mean_trajectory_discrete(k: int, a: float, b: float, z0,
-                             steps: int, record_every: int = 1) -> np.ndarray:
+                             steps: int, observe_every: int = 1) -> np.ndarray:
     """Exact expected count trajectory ``E[z_t] = (I + A/m)^t z_0``.
 
-    Returns an array of shape ``(steps // record_every + 1, k)``.
+    Returns an array of shape ``(steps // observe_every + 1, k)``.
     """
     z0 = np.asarray(z0, dtype=float)
     if z0.size != k:
         raise InvalidParameterError(f"z0 must have length k={k}")
     steps = check_positive_int("steps", steps, minimum=0)
-    record_every = check_positive_int("record_every", record_every)
+    observe_every = check_positive_int("observe_every", observe_every)
     m = float(z0.sum())
     if m <= 0:
         raise InvalidParameterError("z0 must have positive total mass")
     step_matrix = np.eye(k) + drift_generator(k, a, b) / m
-    out = np.empty((steps // record_every + 1, k))
+    out = np.empty((steps // observe_every + 1, k))
     out[0] = z0
     current = z0.copy()
     row = 1
     for t in range(1, steps + 1):
         current = step_matrix @ current
-        if t % record_every == 0:
+        if t % observe_every == 0:
             out[row] = current
             row += 1
     return out[:row]
@@ -135,11 +135,11 @@ def igt_mean_field(shares: PopulationShares, grid: GenerosityGrid,
 
 def mean_generosity_trajectory(k: int, a: float, b: float, z0,
                                grid: GenerosityGrid, steps: int,
-                               record_every: int = 1) -> np.ndarray:
+                               observe_every: int = 1) -> np.ndarray:
     """Expected average-generosity trajectory along the mean flow."""
     if grid.k != k:
         raise InvalidParameterError(
             f"grid has k={grid.k}, expected {k}")
-    trajectory = mean_trajectory_discrete(k, a, b, z0, steps, record_every)
+    trajectory = mean_trajectory_discrete(k, a, b, z0, steps, observe_every)
     m = float(np.asarray(z0, dtype=float).sum())
     return trajectory @ grid.values / m

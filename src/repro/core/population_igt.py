@@ -33,6 +33,7 @@ sequential loop on ``backend="agent"``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -482,12 +483,19 @@ class IGTSimulation:
             self._counts[old] -= 1
             self._counts[new] += 1
 
-    def run(self, steps: int, record_every: int | None = None) -> np.ndarray | None:
+    def run(self, steps: int, observe_every: int | None = None,
+            observe=None,
+            record_every: int | None = None) -> np.ndarray | None:
         """Run ``steps`` interactions.
 
-        With ``record_every`` set, returns the count-vector trajectory
+        With ``observe_every`` set, returns the count-vector trajectory
         (including the initial state) sampled at that cadence; otherwise
-        returns ``None``.
+        returns ``None``.  ``observe`` redirects the observations to an
+        :class:`~repro.engine.observe.ObserverSink` (or spec string) —
+        the sink sees the engine's *full* count vector (generosity
+        indices plus AC/AD) and the method returns ``None`` for sinks
+        that retain no in-memory series.  ``record_every`` is the
+        deprecated pre-observer spelling of ``observe_every``.
 
         Note on randomness: the engine draws scheduler randomness in
         vectorized blocks (and the count backend in birthday batches), so a
@@ -495,20 +503,31 @@ class IGTSimulation:
         generator differently — both sample the same process law, but their
         trajectories under a shared seed are not bitwise identical.
         """
+        if record_every is not None:
+            warnings.warn(
+                "record_every= is deprecated; use observe_every=",
+                DeprecationWarning, stacklevel=2)
+            if observe_every is None:
+                observe_every = record_every
         steps = check_positive_int("steps", steps, minimum=0)
         if self._step_loop_required:
+            if observe is not None:
+                raise InvalidParameterError(
+                    "observe= sinks are an engine-path feature; the "
+                    "per-step game-play/payoff loop records in RAM only")
             # Sequential loop: per-step game play / payoff bookkeeping.
             recorded = None
             row = 1
-            if record_every is not None:
-                record_every = check_positive_int("record_every",
-                                                  record_every)
-                recorded = np.empty((steps // record_every + 1, self.grid.k),
-                                    dtype=np.int64)
+            if observe_every is not None:
+                observe_every = check_positive_int("observe_every",
+                                                   observe_every)
+                recorded = np.empty((steps // observe_every + 1,
+                                     self.grid.k), dtype=np.int64)
                 recorded[0] = self._counts
             for s in range(steps):
                 self.step()
-                if record_every is not None and (s + 1) % record_every == 0:
+                if observe_every is not None \
+                        and (s + 1) % observe_every == 0:
                     recorded[row] = self._counts
                     row += 1
             return recorded[:row] if recorded is not None else None
@@ -516,15 +535,17 @@ class IGTSimulation:
         # Engine path (strategy/strict modes, including observation noise).
         engine = self._ensure_engine()
         engine.steps_run = self.steps_run
-        result = engine.run(steps, observe_every=record_every)
+        result = engine.run(steps, observe_every=observe_every,
+                            observe=observe)
         self.steps_run = result.steps
-        if record_every is None:
+        if observe_every is None or not result.observations:
             return None
         return np.stack([counts[:self.grid.k]
                          for _, counts in result.observations])
 
     def run_until(self, max_steps: int, stop_when,
-                  check_stop_every: int | None = None) -> bool:
+                  check_stop_every: int | None = None,
+                  observe_every: int | None = None, observe=None) -> bool:
         """Run until ``stop_when(z)`` holds on the generosity count vector.
 
         ``stop_when`` receives the length-``k`` count vector over the
@@ -534,7 +555,11 @@ class IGTSimulation:
         sets how often the Python predicate runs).  Returns whether the
         predicate fired within ``max_steps``; :attr:`steps_run` advances
         to the firing check point (a multiple of the cadence) or by
-        ``max_steps``.
+        ``max_steps``.  ``stop_when`` may be ``None`` to run the full
+        budget (useful with ``observe_every``/``observe``, which stream
+        the engine's full count vector to an observer sink at the given
+        cadence — the signature :func:`~repro.engine.snapshot
+        .run_resumable` drives for resumable streamed runs).
         """
         steps = check_positive_int("max_steps", max_steps, minimum=0)
         if check_stop_every is None:
@@ -543,6 +568,13 @@ class IGTSimulation:
             check_stop_every = check_positive_int("check_stop_every",
                                                   check_stop_every)
         if self._step_loop_required:
+            if observe is not None or observe_every is not None:
+                raise InvalidParameterError(
+                    "observe= sinks are an engine-path feature; the "
+                    "per-step game-play/payoff loop cannot stream")
+            if stop_when is None:
+                raise InvalidParameterError(
+                    "run_until without stop_when needs the engine path")
             for s in range(steps):
                 self.step()
                 if (s + 1) % check_stop_every == 0 \
@@ -553,8 +585,10 @@ class IGTSimulation:
         engine = self._ensure_engine()
         engine.steps_run = self.steps_run
         result = engine.run(steps,
-                            stop_when=lambda full: stop_when(full[:k]),
-                            check_stop_every=check_stop_every)
+                            stop_when=None if stop_when is None
+                            else lambda full: stop_when(full[:k]),
+                            check_stop_every=check_stop_every,
+                            observe_every=observe_every, observe=observe)
         self.steps_run = result.steps
         return result.converged
 

@@ -18,6 +18,13 @@ uniform-scheduler process:
   counts — the count-level route to payoff observables and
   ``mode="action"`` experiments.
 
+Observations stream through pluggable sinks (:mod:`repro.engine.observe`):
+the default :class:`MemorySink` reproduces the classic in-RAM
+``observations`` list byte-for-byte, while :class:`JsonlSink` appends
+newline-delimited JSON and online :class:`Reducer` sinks hold summaries —
+both constant-memory regardless of trajectory length, so observed runs
+stream at ``n = 10^9`` without materializing a single row in RAM.
+
 Non-uniform scheduling is first-class: any duck-compatible scheduler
 (``n`` / ``rng`` / ``pair_block``, plus the ``weights`` /
 ``others_block`` / ``topology`` capability attributes for non-uniform
@@ -59,6 +66,22 @@ from repro.engine.sampling import (
     WeightedPairSampler,
     ordered_pair_block,
     weighted_pair_block,
+)
+from repro.engine.observe import (
+    SERIES_DIR_ENV,
+    DegreeProfileReducer,
+    ExtinctionTimeReducer,
+    JsonlSink,
+    MeanReducer,
+    MemorySink,
+    ObserverSink,
+    Reducer,
+    TeeSink,
+    as_sink,
+    series_paths_for,
+    series_sink,
+    sink_from_spec,
+    use_series_scope,
 )
 from repro.engine.model import (
     ImitationModel,
@@ -144,6 +167,20 @@ __all__ = [
     "topology_from_spec",
     "resolve_topology",
     "graph_pair_block",
+    "ObserverSink",
+    "MemorySink",
+    "JsonlSink",
+    "Reducer",
+    "MeanReducer",
+    "ExtinctionTimeReducer",
+    "DegreeProfileReducer",
+    "TeeSink",
+    "as_sink",
+    "sink_from_spec",
+    "series_sink",
+    "series_paths_for",
+    "use_series_scope",
+    "SERIES_DIR_ENV",
     "SnapshotState",
     "SnapshotStore",
     "SnapshotError",

@@ -238,36 +238,37 @@ class AgentBackend(SimulationEngine):
                 "pos_r": decode_array(stamps["pos_r"]),
             })
 
-    def _result(self, converged, observations) -> EngineResult:
+    def _result(self, converged, sink) -> EngineResult:
+        sink.flush()
         return EngineResult(counts=self._counts.copy(), steps=self.steps_run,
-                            converged=converged, observations=observations,
+                            converged=converged, observations=sink.records,
                             states=self._states.copy())
 
     def run(self, max_steps: int, stop_when=None,
             observe_every: int | None = None,
-            check_stop_every: int = 1) -> EngineResult:
-        (max_steps, observe_every, check_stop_every, observations,
+            check_stop_every: int = 1, observe=None) -> EngineResult:
+        (max_steps, observe_every, check_stop_every, sink,
          stopped) = self._prepare_run(max_steps, stop_when, observe_every,
-                                      check_stop_every)
+                                      check_stop_every, observe)
         if stopped or max_steps == 0:
-            return self._result(stopped, observations)
+            return self._result(stopped, sink)
         if self._flats_np is not None:
             if self._use_vectorized(stop_when, observe_every,
                                     check_stop_every):
                 return self._run_vectorized(max_steps, stop_when,
                                             observe_every, check_stop_every,
-                                            observations)
+                                            sink)
             return self._run_tables(max_steps, stop_when, observe_every,
-                                    check_stop_every, observations)
+                                    check_stop_every, sink)
         if self.vectorized is True:
             # Opt-in batched stochastic path (law-identical, not
             # bit-identical): the kernel rejects models it cannot
             # vectorize (two-way stochastic laws) loudly.
             return self._run_vectorized(max_steps, stop_when,
                                         observe_every, check_stop_every,
-                                        observations)
+                                        sink)
         return self._run_generic(max_steps, stop_when, observe_every,
-                                 check_stop_every, observations)
+                                 check_stop_every, sink)
 
     # ------------------------------------------------------------------
     # Vectorized kernel path
@@ -292,20 +293,21 @@ class AgentBackend(SimulationEngine):
         return cadence >= MIN_VECTORIZED_CADENCE
 
     def _run_vectorized(self, max_steps, stop_when, observe_every,
-                        check_stop_every, observations) -> EngineResult:
+                        check_stop_every, sink) -> EngineResult:
         executed, converged = run_kernel(
             self._ensure_kernel(), self.scheduler.pair_block,
             self.model.sample_components, self.scheduler.rng, max_steps,
             self.steps_run, stop_when, observe_every, check_stop_every,
-            observations, BLOCK_SIZE, others_block=self._others_block)
+            sink, BLOCK_SIZE, others_block=self._others_block,
+            states=self._states)
         self.steps_run += executed
-        return self._result(converged, observations)
+        return self._result(converged, sink)
 
     # ------------------------------------------------------------------
     # Table fast loop
     # ------------------------------------------------------------------
     def _run_tables(self, max_steps, stop_when, observe_every,
-                    check_stop_every, observations) -> EngineResult:
+                    check_stop_every, sink) -> EngineResult:
         model = self.model
         s = model.n_states
         use_lists = self.n <= _LIST_PATH_MAX_N_PER_STEP * max_steps
@@ -364,9 +366,7 @@ class AgentBackend(SimulationEngine):
                     counts[new_v] += 1
                 step = done + offset + 1
                 if observe_every is not None and step % observe_every == 0:
-                    observations.append(
-                        (self.steps_run + step,
-                         np.array(counts, dtype=np.int64)))
+                    sink.emit(self.steps_run + step, counts, states)
                 if (stop_when is not None
                         and step % check_stop_every == 0):
                     if use_lists:
@@ -380,17 +380,17 @@ class AgentBackend(SimulationEngine):
                     if stop_when(probe):
                         sync()
                         self.steps_run += step
-                        return self._result(True, observations)
+                        return self._result(True, sink)
             done += batch
         sync()
         self.steps_run += max_steps
-        return self._result(False, observations)
+        return self._result(False, sink)
 
     # ------------------------------------------------------------------
     # Generic sequential loop (stochastic models)
     # ------------------------------------------------------------------
     def _run_generic(self, max_steps, stop_when, observe_every,
-                     check_stop_every, observations) -> EngineResult:
+                     check_stop_every, sink) -> EngineResult:
         model = self.model
         four = model.slots_per_step == 4
         states = self._states
@@ -426,13 +426,12 @@ class AgentBackend(SimulationEngine):
                     counts[new_v] += 1
                 step = done + offset + 1
                 if observe_every is not None and step % observe_every == 0:
-                    observations.append(
-                        (self.steps_run + step, counts.copy()))
+                    sink.emit(self.steps_run + step, counts, states)
                 if (stop_when is not None
                         and step % check_stop_every == 0
                         and stop_when(counts)):
                     self.steps_run += step
-                    return self._result(True, observations)
+                    return self._result(True, sink)
             done += batch
         self.steps_run += max_steps
-        return self._result(False, observations)
+        return self._result(False, sink)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.observe import as_sink
 from repro.utils import check_positive_int
 from repro.utils.errors import InvalidParameterError
 
@@ -67,6 +68,9 @@ class EngineResult:
         Whether the stop predicate fired.
     observations:
         ``(step, counts)`` snapshots at the requested cadence, if any.
+        Populated from the observer sink's retained records — empty for
+        streaming/reducing sinks, whose output lives in the stream file
+        or the reduction summary (see :mod:`repro.engine.observe`).
     states:
         Final per-agent state array (``None`` for count-level backends).
     """
@@ -115,7 +119,7 @@ class SimulationEngine(ABC):
     @abstractmethod
     def run(self, max_steps: int, stop_when=None,
             observe_every: int | None = None,
-            check_stop_every: int = 1) -> EngineResult:
+            check_stop_every: int = 1, observe=None) -> EngineResult:
         """Execute up to ``max_steps`` interactions.
 
         Parameters
@@ -132,23 +136,37 @@ class SimulationEngine(ABC):
         observe_every:
             When given, snapshot ``(step, counts)`` every that many steps of
             this call, including the entry state.
+        observe:
+            Where observations go: ``None`` (a fresh in-RAM
+            :class:`~repro.engine.observe.MemorySink`, the historical
+            behaviour), an :class:`~repro.engine.observe.ObserverSink`,
+            or a spec string (``"jsonl:PATH"``, ``"mean"``, ...).
+            Requires ``observe_every``.
         """
 
     def _prepare_run(self, max_steps, stop_when, observe_every,
-                     check_stop_every):
+                     check_stop_every, observe=None):
         """Shared argument validation + initial observation/stop handling.
 
-        Returns ``(max_steps, observe_every, check_stop_every, observations,
+        Returns ``(max_steps, observe_every, check_stop_every, sink,
         stopped)`` where ``stopped`` is true when the predicate already
         holds on entry (the run then executes zero interactions).
         """
         max_steps = check_positive_int("max_steps", max_steps, minimum=0)
         check_stop_every = check_positive_int("check_stop_every",
                                               check_stop_every)
-        observations: list[tuple[int, np.ndarray]] = []
+        if observe is not None and observe_every is None:
+            raise InvalidParameterError(
+                "observe= needs observe_every — the observation cadence")
+        sink = as_sink(observe)
+        if sink.wants_states and self.states is None:
+            raise InvalidParameterError(
+                f"{type(sink).__name__} needs per-agent states, which "
+                "only the agent backend tracks — count-level backends "
+                "cannot drive it")
         if observe_every is not None:
             observe_every = check_positive_int("observe_every", observe_every)
-            observations.append((self.steps_run, self._counts.copy()))
+            sink.emit(self.steps_run, self._counts,
+                      self.states if sink.wants_states else None)
         stopped = stop_when is not None and bool(stop_when(self._counts))
-        return (max_steps, observe_every, check_stop_every, observations,
-                stopped)
+        return (max_steps, observe_every, check_stop_every, sink, stopped)

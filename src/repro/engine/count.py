@@ -423,10 +423,10 @@ class CountBackend(SimulationEngine):
 
     def run(self, max_steps: int, stop_when=None,
             observe_every: int | None = None,
-            check_stop_every: int = 1) -> EngineResult:
-        (max_steps, observe_every, check_stop_every, observations,
+            check_stop_every: int = 1, observe=None) -> EngineResult:
+        (max_steps, observe_every, check_stop_every, sink,
          stopped) = self._prepare_run(max_steps, stop_when, observe_every,
-                                      check_stop_every)
+                                      check_stop_every, observe)
         done = 0
         converged = stopped
         if not stopped and self._kernel is not None:
@@ -435,25 +435,26 @@ class CountBackend(SimulationEngine):
                 lambda size: ordered_pair_block(self._rng, self.n, size),
                 self.model.sample_components, self._rng, max_steps,
                 self.steps_run, stop_when, observe_every, check_stop_every,
-                observations, BLOCK_SIZE)
+                sink, BLOCK_SIZE)
             self.steps_run += done
         elif not stopped:
             while done < max_steps:
                 executed, converged = self._advance(
                     max_steps - done, done, stop_when, observe_every,
-                    check_stop_every, observations)
+                    check_stop_every, sink)
                 done += executed
                 if converged:
                     break
             self.steps_run += done
+        sink.flush()
         return EngineResult(counts=self._counts.copy(), steps=self.steps_run,
-                            converged=converged, observations=observations)
+                            converged=converged, observations=sink.records)
 
     # ------------------------------------------------------------------
     # Birthday-run batching
     # ------------------------------------------------------------------
     def _advance(self, budget: int, done: int, stop_when, observe_every,
-                 check_stop_every, observations) -> tuple[int, bool]:
+                 check_stop_every, sink) -> tuple[int, bool]:
         """Execute one birthday-run batch of between 1 and ``budget`` steps.
 
         ``done`` is the number of interactions the enclosing ``run`` call
@@ -483,7 +484,7 @@ class CountBackend(SimulationEngine):
         if obs_at or stop_at:
             return self._run_with_checkpoints(t, collides, uniforms, done,
                                               stop_when, obs_at, stop_at,
-                                              observations)
+                                              sink)
         if not collides:
             # No collision inside the window we may process: the leading
             # clean_cap interactions are all-distinct — run them and stop
@@ -497,7 +498,7 @@ class CountBackend(SimulationEngine):
         return executed, False
 
     def _run_with_checkpoints(self, t, collides, uniforms, done, stop_when,
-                              obs_at, stop_at, observations):
+                              obs_at, stop_at, sink):
         """Run one batch whose window contains observation/stop checkpoints.
 
         The clean run's per-slot pre/post states (``slots``/``updated``)
@@ -527,7 +528,7 @@ class CountBackend(SimulationEngine):
                                    minlength=s)
             prev = offset
             if offset in obs_at:
-                observations.append((base + offset, current.copy()))
+                sink.emit(base + offset, current)
             if offset in stop_at and stop_when(current):
                 self._counts[:] = current
                 if self._pair_counts is not None and offset < t:
@@ -541,7 +542,7 @@ class CountBackend(SimulationEngine):
         if collides:
             self._run_collision(t, slots, updated, pool, uniforms)
             if executed in obs_at:
-                observations.append((base + executed, self._counts.copy()))
+                sink.emit(base + executed, self._counts)
             if executed in stop_at and stop_when(self._counts):
                 return executed, True
         return executed, False

@@ -54,7 +54,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.utils.errors import ReproError
+from repro.engine.observe import ObserverSink, as_sink
+from repro.utils.errors import InvalidParameterError, ReproError
 
 #: Bump when the snapshot payload layout changes incompatibly; restore
 #: refuses other versions loudly instead of misinterpreting bytes.
@@ -425,9 +426,59 @@ def scoped_channel(scope: str,
 # ----------------------------------------------------------------------
 # The segmented (resumable) execution law
 # ----------------------------------------------------------------------
+class _SegmentStreamSink(ObserverSink):
+    """Present one continuous observation stream across segments.
+
+    Each ``run_until`` segment re-emits its entry state and counts its
+    observation cadence from its own first step; stitched naively that
+    would duplicate every segment boundary.  This wrapper keeps only
+    the steps on the run-global cadence grid (anchored at the run's
+    start step) and drops boundary re-emits, so the inner sink sees
+    exactly the rows one unsegmented run would have produced.  Its
+    ``position()`` token — the inner sink's position plus the filter
+    state — rides inside the segment snapshots, which is what lets a
+    resumed run truncate-then-continue a JSONL stream byte-identically.
+    """
+
+    def __init__(self, inner: ObserverSink, every: int, start: int):
+        self._inner = inner
+        self.wants_states = inner.wants_states
+        self._every = int(every)
+        self._start = int(start)
+        self._last: int | None = None
+
+    def emit(self, step, counts, states=None) -> None:
+        step = int(step)
+        if step == self._last or (step - self._start) % self._every:
+            return
+        self._last = step
+        self._inner.emit(step, counts, states)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def position(self):
+        return {"inner": self._inner.position(), "last": self._last,
+                "start": self._start}
+
+    def seek(self, position) -> None:
+        if position is None:
+            self._last = None
+            self._inner.seek(None)
+            return
+        self._last = position["last"]
+        self._start = int(position["start"])
+        self._inner.seek(position["inner"])
+
+    @property
+    def records(self) -> list:
+        return self._inner.records
+
+
 def run_resumable(simulation, max_steps: int, stop_when, *,
                   check_stop_every: int, segment_steps: int | None = None,
-                  channel: SnapshotChannel | None = None) -> bool:
+                  channel: SnapshotChannel | None = None,
+                  observe_every: int | None = None, observe=None) -> bool:
     """Drive ``simulation.run_until`` in deterministic resumable segments.
 
     The simulation must expose ``steps_run``, ``run_until(max_steps,
@@ -446,26 +497,59 @@ def run_resumable(simulation, max_steps: int, stop_when, *,
     run all consume the generator identically and produce byte-equal
     trajectories.  Saving a snapshot is read-only with respect to the
     simulation state.
+
+    ``observe_every``/``observe`` stream observations across the whole
+    segmented run as if it were one call (the simulation's
+    ``run_until`` must accept them): segment-boundary duplicates are
+    filtered, the sink's resume token is carried inside every snapshot,
+    and a resumed :class:`~repro.engine.observe.JsonlSink` truncates
+    back to the last durable snapshot position and continues — so the
+    streamed file is byte-identical to an uninterrupted run's.
+    Segments are rounded up to a multiple of the observation cadence to
+    keep boundaries on the cadence grid.
     """
     if channel is None:
         channel = current_channel()
+    if observe is not None and observe_every is None:
+        raise InvalidParameterError(
+            "observe= needs observe_every — the observation cadence")
     if segment_steps is None:
         segment_steps = SEGMENT_CHECKS * int(check_stop_every)
     segment_steps = max(1, int(segment_steps))
     start = int(simulation.steps_run)
+    stream = None
+    if observe_every is not None:
+        observe_every = int(observe_every)
+        segment_steps = -(-segment_steps // observe_every) * observe_every
+        stream = _SegmentStreamSink(as_sink(observe), observe_every, start)
     target = start + int(max_steps)
     if channel is not None:
         found = channel.load()
         if found is not None:
             simulation.restore(found)
+            if stream is not None:
+                stream.seek(found.payload.get("sink"))
     converged = False
     while simulation.steps_run < target and not converged:
         budget = min(segment_steps, target - int(simulation.steps_run))
-        converged = simulation.run_until(
-            budget, stop_when, check_stop_every=check_stop_every)
+        if stream is None:
+            converged = simulation.run_until(
+                budget, stop_when, check_stop_every=check_stop_every)
+        else:
+            converged = simulation.run_until(
+                budget, stop_when, check_stop_every=check_stop_every,
+                observe_every=observe_every, observe=stream)
         if (channel is not None and not converged
                 and simulation.steps_run < target):
-            channel.save(simulation.snapshot())
+            snap = simulation.snapshot()
+            if stream is not None:
+                snap = SnapshotState(
+                    kind=snap.kind,
+                    payload={**snap.payload, "sink": stream.position()},
+                    version=snap.version)
+            channel.save(snap)
+    if stream is not None:
+        stream.flush()
     return bool(converged)
 
 

@@ -444,8 +444,8 @@ class ConflictFreeKernel:
 
 def run_kernel(kernel: ConflictFreeKernel, pair_block, sample_components,
                rng, max_steps: int, steps_done: int, stop_when,
-               observe_every, check_stop_every, observations,
-               block_size: int, others_block=None):
+               observe_every, check_stop_every, sink,
+               block_size: int, others_block=None, states=None):
     """Drive a kernel through up to ``max_steps`` interactions.
 
     The shared engine loop of the vectorized paths: pair randomness is
@@ -456,9 +456,13 @@ def run_kernel(kernel: ConflictFreeKernel, pair_block, sample_components,
     like the sequential loops do.  Returns ``(executed, converged)``.
 
     ``steps_done`` is the engine's cumulative pre-call step count (used
-    only to label observations).  ``others_block`` draws, per block, one
-    extra observed agent relative to each given agent — required for
-    4-slot models and ignored otherwise.
+    only to label observations, which go to the observer ``sink``).
+    ``states``, when given, is the live per-agent state array forwarded
+    alongside each observation (agent backend only — the count-level
+    kernels run on proxy states that mean nothing per agent).
+    ``others_block`` draws, per block, one extra observed agent relative
+    to each given agent — required for 4-slot models and ignored
+    otherwise.
     """
     counts = kernel.counts
     track = observe_every is not None or stop_when is not None
@@ -496,7 +500,7 @@ def run_kernel(kernel: ConflictFreeKernel, pair_block, sample_components,
             off += m
             step = done + off
             if observe_every is not None and step % observe_every == 0:
-                observations.append((steps_done + step, counts.copy()))
+                sink.emit(steps_done + step, counts, states)
             if (stop_when is not None and step % check_stop_every == 0
                     and stop_when(counts)):
                 return step, True

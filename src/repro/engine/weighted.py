@@ -70,6 +70,7 @@ import numpy as np
 from repro.engine.base import BLOCK_SIZE, EngineResult, SimulationEngine
 from repro.engine.count import _cadence_offsets, sample_without_replacement
 from repro.engine.model import InteractionModel
+from repro.engine.observe import ObserverSink
 from repro.engine.sampling import (
     AliasTable,
     WeightedPairSampler,
@@ -283,6 +284,23 @@ class ProductStateModel(InteractionModel):
             observed = (observed[0] % s, observed[1] % s)
         new_u, new_v = self._inner.apply_scalar(u % s, v % s, rng, observed)
         return (u - u % s + new_u, v - v % s + new_v)
+
+
+class _ProjectingSink(ObserverSink):
+    """Project product ``(class x state)`` counts to inner counts on the
+    way into the user's sink, preserving stream order.
+
+    The proxy kernel observes product counts; users observe inner state
+    counts.  Projecting per emit (instead of post-hoc) keeps streaming
+    and reducing sinks constant-memory on the weighted proxy path.
+    """
+
+    def __init__(self, inner: ObserverSink, project) -> None:
+        self._inner = inner
+        self._project = project
+
+    def emit(self, step, counts, states=None) -> None:
+        self._inner.emit(step, self._project(counts))
 
 
 class WeightedCountBackend(SimulationEngine):
@@ -574,10 +592,10 @@ class WeightedCountBackend(SimulationEngine):
 
     def run(self, max_steps: int, stop_when=None,
             observe_every: int | None = None,
-            check_stop_every: int = 1) -> EngineResult:
-        (max_steps, observe_every, check_stop_every, observations,
+            check_stop_every: int = 1, observe=None) -> EngineResult:
+        (max_steps, observe_every, check_stop_every, sink,
          stopped) = self._prepare_run(max_steps, stop_when, observe_every,
-                                      check_stop_every)
+                                      check_stop_every, observe)
         done = 0
         converged = stopped
         if not stopped and self._kernel is not None and max_steps > 0:
@@ -590,31 +608,31 @@ class WeightedCountBackend(SimulationEngine):
                     # guarantee the other engines give.
                     self._counts[:] = self._project(product)
                     return stop_when(self._counts)
-            product_observations: list = []
+            # The kernel runs on product (class x state) counts; project
+            # each observation to inner state counts as it streams, so
+            # constant-memory sinks never see (or retain) product series.
             done, converged = run_kernel(
                 self._kernel, self._sampler.pair_block,
                 self._product.sample_components, self._rng, max_steps,
                 self.steps_run, wrapped, observe_every, check_stop_every,
-                product_observations, BLOCK_SIZE,
+                _ProjectingSink(sink, self._project), BLOCK_SIZE,
                 others_block=self._sampler.others_block)
             self.steps_run += done
-            observations.extend(
-                (step, self._project(product))
-                for step, product in product_observations)
             self._counts[:] = self._project(self._product_counts)
         elif not stopped:
             while done < max_steps:
                 executed, converged = self._advance(
                     max_steps - done, done, stop_when, observe_every,
-                    check_stop_every, observations)
+                    check_stop_every, sink)
                 done += executed
                 if converged:
                     break
             self.steps_run += done
             self._counts[:] = self._project(self._product_counts)
+        sink.flush()
         return EngineResult(counts=self._counts.copy(),
                             steps=self.steps_run, converged=converged,
-                            observations=observations)
+                            observations=sink.records)
 
     # ------------------------------------------------------------------
     # Heterogeneous birthday-run batching
@@ -689,7 +707,7 @@ class WeightedCountBackend(SimulationEngine):
         return cls, tau
 
     def _advance(self, budget: int, done: int, stop_when, observe_every,
-                 check_stop_every, observations) -> tuple[int, bool]:
+                 check_stop_every, sink) -> tuple[int, bool]:
         """Execute one heterogeneous birthday batch of 1..``budget`` steps.
 
         The uniform-path contract of :meth:`CountBackend._advance` holds
@@ -710,7 +728,7 @@ class WeightedCountBackend(SimulationEngine):
         if obs_at or stop_at:
             return self._run_with_checkpoints(t, cls, tau, collides, done,
                                               stop_when, obs_at, stop_at,
-                                              observations)
+                                              sink)
         if not collides:
             self._run_clean(t, cls, want_state=False)
             return executed, False
@@ -719,7 +737,7 @@ class WeightedCountBackend(SimulationEngine):
         return executed, False
 
     def _run_with_checkpoints(self, t, cls, tau, collides, done, stop_when,
-                              obs_at, stop_at, observations):
+                              obs_at, stop_at, sink):
         """Batch execution with interior observation / stop checkpoints.
 
         Mirrors :meth:`CountBackend._run_with_checkpoints` on product
@@ -747,7 +765,7 @@ class WeightedCountBackend(SimulationEngine):
             prev = offset
             inner = self._project(current)
             if offset in obs_at:
-                observations.append((base + offset, inner.copy()))
+                sink.emit(base + offset, inner)
             if offset in stop_at:
                 # Refresh the live inner counts before the predicate
                 # runs (the same guarantee the proxy path gives).
@@ -763,9 +781,8 @@ class WeightedCountBackend(SimulationEngine):
         if collides:
             self._run_collision(t, cls, tau, pids, updated, pool)
             if executed in obs_at:
-                observations.append(
-                    (base + executed,
-                     self._project(self._product_counts)))
+                sink.emit(base + executed,
+                          self._project(self._product_counts))
             if executed in stop_at:
                 self._counts[:] = self._project(self._product_counts)
                 if stop_when(self._counts):

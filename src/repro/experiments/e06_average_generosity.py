@@ -94,16 +94,22 @@ def _weighted_theory(weights: np.ndarray, shares: PopulationShares,
                           for beta in betas]))
 
 
-def _graph_theory(graph, shares: PopulationShares, n: int, k: int,
-                  g_max: float) -> float:
-    """Exact quenched stationary average generosity on a graph.
+def per_vertex_quenched_values(graph, shares: PopulationShares, n: int,
+                               k: int, g_max: float) -> np.ndarray:
+    """Exact stationary generosity of each GTFT vertex on a graph.
 
     GTFT agent ``i``'s walk bias is ``β_i = #AD neighbors / deg(i)``
     (agents are laid out in vertex order ``[AC, AD, GTFT]``, so the AD
-    vertices are ``n_ac .. n_ac + n_ad − 1``); the population value is
-    the GTFT mean of the per-agent Proposition 2.8 expectation, with the
-    degenerate biases resolved exactly: ``β_i = 0`` pins the walk at the
-    top of the grid (value ``ĝ``), ``β_i = 1`` at the bottom (value 0).
+    vertices are ``n_ac .. n_ac + n_ad − 1``); returns the per-agent
+    Proposition 2.8 expectation for the GTFT vertices
+    ``n_ac + n_ad .. n − 1``, in vertex order, with the degenerate
+    biases resolved exactly: ``β_i = 0`` pins the walk at the top of
+    the grid (value ``ĝ``), ``β_i = 1`` at the bottom (value 0).
+
+    This per-vertex law is what the
+    :class:`~repro.engine.observe.DegreeProfileReducer` validation
+    aggregates by degree class — the quenched theory predicts not just
+    the population mean but the whole degree-resolved profile.
     """
     n_ac, n_ad, _ = shares.agent_counts(n)
     values = []
@@ -118,7 +124,15 @@ def _graph_theory(graph, shares: PopulationShares, n: int, k: int,
             values.append(0.0)
         else:
             values.append(average_stationary_generosity(k, beta_i, g_max))
-    return float(np.mean(values))
+    return np.asarray(values, dtype=np.float64)
+
+
+def _graph_theory(graph, shares: PopulationShares, n: int, k: int,
+                  g_max: float) -> float:
+    """Exact quenched stationary average generosity on a graph: the
+    GTFT mean of :func:`per_vertex_quenched_values`."""
+    return float(per_vertex_quenched_values(graph, shares, n, k,
+                                            g_max).mean())
 
 
 def _simulated_generosity(n, beta, k, g_max, seed, budget_multiplier=2.0,

@@ -21,7 +21,8 @@ from __future__ import annotations
 import math
 
 from repro.analysis.tables import sparkline
-from repro.engine import resolve_backend
+from repro.engine import resolve_backend, run_resumable, series_sink
+from repro.engine.snapshot import SnapshotState, scoped_channel
 from repro.core.igt import GenerosityGrid
 from repro.core.population_igt import IGTSimulation, PopulationShares
 from repro.experiments.base import ExperimentReport, register
@@ -43,6 +44,81 @@ PARAMS = ParamSpace(
                "has O(m3^2) states)"),
     profiles={"full": {"n": 1_000_000, "m_urn": 320, "m3": 20}},
 )
+
+
+class _CoalescencePair:
+    """Two opposite-corner chains advancing in lockstep probe blocks.
+
+    A duck simulation for :func:`run_resumable` (``steps_run`` /
+    ``run_until`` / ``snapshot`` / ``restore``): each segment advances
+    both chains by the same budget at the probe cadence and scans the
+    fresh rows for the first gap within ``delta``.  Both chains draw
+    from one shared generator, so a snapshot captures the same
+    bitstream position twice and the in-place RNG restore keeps them
+    sharing it — a crashed-and-resumed coalescence run is byte-equal to
+    an uninterrupted one.  When a sweep binds a series scope, the top
+    chain's probe rows also stream to a ``coalescence`` JSONL series
+    whose resume token rides inside the pair snapshot.
+    """
+
+    KIND = "e13-coalescence-pair"
+
+    def __init__(self, top, bottom, chunk: int, m: int, delta: float,
+                 stream=None):
+        self.top = top
+        self.bottom = bottom
+        self.chunk = int(chunk)
+        self.m = int(m)
+        self.delta = float(delta)
+        self.stream = stream
+        self.rows = 0
+        self.meeting: int | None = None
+        self.met_top: list | None = None
+        self.last_top: list | None = None
+
+    @property
+    def steps_run(self) -> int:
+        return int(self.top.steps_run)
+
+    def run_until(self, max_steps, stop_when, check_stop_every=1) -> bool:
+        top_rows = self.top.run(max_steps, observe_every=self.chunk)[1:]
+        bottom_rows = self.bottom.run(max_steps,
+                                      observe_every=self.chunk)[1:]
+        for top_row, bottom_row in zip(top_rows, bottom_rows):
+            self.rows += 1
+            if self.stream is not None:
+                self.stream.emit(self.rows * self.chunk, top_row)
+            self.last_top = [int(value) for value in top_row]
+            if self.meeting is None:
+                gap = abs(int(top_row[1]) - int(bottom_row[1])) / self.m
+                if gap <= self.delta:
+                    self.meeting = self.rows * self.chunk
+                    self.met_top = self.last_top
+        return self.meeting is not None
+
+    def snapshot(self) -> SnapshotState:
+        payload = {
+            "top": self.top.snapshot().to_wire(),
+            "bottom": self.bottom.snapshot().to_wire(),
+            "rows": self.rows,
+            "meeting": self.meeting,
+            "met_top": self.met_top,
+            "last_top": self.last_top,
+        }
+        if self.stream is not None:
+            payload["stream"] = self.stream.position()
+        return SnapshotState(kind=self.KIND, payload=payload)
+
+    def restore(self, snapshot: SnapshotState) -> None:
+        payload = snapshot.payload
+        self.top.restore(SnapshotState.from_wire(payload["top"]))
+        self.bottom.restore(SnapshotState.from_wire(payload["bottom"]))
+        self.rows = int(payload["rows"])
+        self.meeting = payload["meeting"]
+        self.met_top = payload["met_top"]
+        self.last_top = payload["last_top"]
+        if self.stream is not None:
+            self.stream.seek(payload.get("stream"))
 
 
 def _mean_coalescence(n: int, seed, backend: str, delta: float):
@@ -69,25 +145,19 @@ def _mean_coalescence(n: int, seed, backend: str, delta: float):
     # Observed engine runs in multi-probe blocks: the count backend
     # batches across the observation cadence, so probing every `chunk`
     # interactions costs the same as running blind, while the blockwise
-    # loop stops soon after the chains meet instead of overshooting to
-    # the full 4x-predicted horizon.
-    block = 8 * chunk
-    met_state = None
-    rows = 0
-    meeting = horizon
-    while rows * chunk < horizon and met_state is None:
-        advance = min(block, horizon - rows * chunk)
-        top_rows = top.run(advance, record_every=chunk)[1:]
-        bottom_rows = bottom.run(advance, record_every=chunk)[1:]
-        for top_row, bottom_row in zip(top_rows, bottom_rows):
-            rows += 1
-            gap = abs(int(top_row[1]) - int(bottom_row[1])) / m
-            if gap <= delta:
-                met_state = top_row
-                meeting = rows * chunk
-                break
-    if met_state is None:
-        met_state = top_rows[-1]
+    # segments stop soon after the chains meet instead of overshooting
+    # to the full 4x-predicted horizon.  run_resumable drives the
+    # blocks, so a sweep with --resume checkpoints the pair between
+    # them and a killed run picks up mid-coalescence.
+    stream = series_sink("coalescence")
+    pair = _CoalescencePair(top, bottom, chunk, m, delta, stream=stream)
+    met = run_resumable(pair, horizon, None, check_stop_every=chunk,
+                        segment_steps=8 * chunk,
+                        channel=scoped_channel("e13-coalescence"))
+    if stream is not None:
+        stream.close()
+    meeting = pair.meeting if met else horizon
+    met_state = pair.met_top if met else pair.last_top
     stationary_top = process.a / (process.a + process.b)
     final_deviation = abs(int(met_state[1]) / m - stationary_top)
     return meeting, predicted, final_deviation

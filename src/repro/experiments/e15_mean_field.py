@@ -96,7 +96,7 @@ def run(params=None, seed=12345) -> ExperimentReport:
     # Mass conservation along the discrete recursion.
     trajectory = mean_trajectory_discrete(k, a_rate, b_rate, z0,
                                           steps=checkpoints[-1],
-                                          record_every=checkpoints[0])
+                                          observe_every=checkpoints[0])
     mass_drift = float(np.abs(trajectory.sum(axis=1) - m).max())
 
     checks = {

@@ -28,6 +28,7 @@ chain, which gives an O(1)-per-step simulator and a vectorized
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -223,6 +224,7 @@ class EhrenfestProcess:
         return np.bincount(coords - 1, minlength=k).astype(np.int64)
 
     def simulate_counts(self, x0, steps: int, seed=None,
+                        observe_every: int | None = None,
                         record_every: int | None = None) -> np.ndarray:
         """Simulate the count chain for ``steps`` steps.
 
@@ -236,19 +238,28 @@ class EhrenfestProcess:
             Initial count vector in ``Delta_k^m``.
         steps:
             Number of steps.
-        record_every:
+        observe_every:
             When ``None`` (default) return only the final count vector of
             shape ``(k,)``.  Otherwise return an array of shape
-            ``(steps // record_every + 1, k)`` holding the trajectory sampled
-            every ``record_every`` steps (including the initial state).
+            ``(steps // observe_every + 1, k)`` holding the trajectory
+            sampled every ``observe_every`` steps (including the initial
+            state).  ``record_every`` is the deprecated spelling of the
+            same knob (the engine layer's name is canonical).
         """
+        if record_every is not None:
+            warnings.warn(
+                "record_every= is deprecated; use observe_every=",
+                DeprecationWarning, stacklevel=2)
+            if observe_every is None:
+                observe_every = record_every
         steps = check_positive_int("steps", steps, minimum=0)
         rng = as_generator(seed)
         coords = self.initial_coordinates(x0)
         counts = self.counts_from_coordinates(coords, self.k)
-        if record_every is not None:
-            record_every = check_positive_int("record_every", record_every)
-            recorded = np.empty((steps // record_every + 1, self.k), dtype=np.int64)
+        if observe_every is not None:
+            observe_every = check_positive_int("observe_every", observe_every)
+            recorded = np.empty((steps // observe_every + 1, self.k),
+                                dtype=np.int64)
             recorded[0] = counts
         block = 65536
         done = 0
@@ -273,11 +284,12 @@ class EhrenfestProcess:
                         coords[i] = value - 1
                         counts[value - 1] -= 1
                         counts[value - 2] += 1
-                if record_every is not None and (done + offset + 1) % record_every == 0:
+                if observe_every is not None \
+                        and (done + offset + 1) % observe_every == 0:
                     recorded[row] = counts
                     row += 1
             done += batch
-        if record_every is not None:
+        if observe_every is not None:
             return recorded[:row]
         return counts
 

@@ -127,7 +127,7 @@ class Simulator:
 
     def run(self, max_steps: int, stop_when=None,
             observe_every: int | None = None,
-            check_stop_every: int = 1) -> SimulationResult:
+            check_stop_every: int = 1, observe=None) -> SimulationResult:
         """Execute up to ``max_steps`` interactions.
 
         Parameters
@@ -144,10 +144,15 @@ class Simulator:
         observe_every:
             When given, snapshot ``(step, counts)`` every that many steps
             of this call (including its entry state).
+        observe:
+            Where observations go — ``None`` (in-RAM, the default), an
+            :class:`~repro.engine.observe.ObserverSink`, or a spec string
+            like ``"jsonl:PATH"`` (see :mod:`repro.engine.observe`).
         """
         result = self._backend.run(max_steps, stop_when=stop_when,
                                    observe_every=observe_every,
-                                   check_stop_every=check_stop_every)
+                                   check_stop_every=check_stop_every,
+                                   observe=observe)
         return SimulationResult(states=result.states, counts=result.counts,
                                 steps=result.steps,
                                 converged=result.converged,
@@ -173,7 +178,8 @@ class Simulator:
 def simulate_protocol_counts(protocol: PopulationProtocol, initial_counts,
                              max_steps: int, seed=None, stop_when=None,
                              observe_every: int | None = None,
-                             check_stop_every: int | None = None):
+                             check_stop_every: int | None = None,
+                             observe=None):
     """Count-level protocol simulation at scale (exact in distribution).
 
     Runs the protocol on the :class:`~repro.engine.count.CountBackend`:
@@ -194,4 +200,5 @@ def simulate_protocol_counts(protocol: PopulationProtocol, initial_counts,
         check_stop_every = max(1, int(backend.n ** 0.5))
     return backend.run(max_steps, stop_when=stop_when,
                        observe_every=observe_every,
-                       check_stop_every=check_stop_every)
+                       check_stop_every=check_stop_every,
+                       observe=observe)

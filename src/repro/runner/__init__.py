@@ -53,6 +53,7 @@ from repro.runner.plan import (
     grid_plan,
     replicate_plan,
     strip_provenance,
+    task_record,
 )
 from repro.runner.seeds import task_seed, task_seeds
 
@@ -66,6 +67,7 @@ __all__ = [
     "task_outcome",
     "PROVENANCE_FIELDS",
     "strip_provenance",
+    "task_record",
     "execute",
     "parallel_map",
     "run_task",

@@ -140,11 +140,23 @@ def experiment_cache_key(
     return cache_key(experiment_id, resolved.canonical(), seed, backend)
 
 
-def pack_entry(report_payload: dict, seconds: float | None) -> dict:
-    """The on-disk entry for a report payload (shared wire format)."""
+def pack_entry(
+    report_payload: dict,
+    seconds: float | None,
+    series=None,
+) -> dict:
+    """The on-disk entry for a report payload (shared wire format).
+
+    ``series`` lists the observation-series files the run streamed
+    (``execute(series_dir=...)``); entries without streams stay
+    byte-identical to the historical two-field form.
+    """
     if seconds is not None:
         seconds = round(seconds, 4)
-    return {"report": report_payload, "seconds": seconds}
+    entry = {"report": report_payload, "seconds": seconds}
+    if series:
+        entry["series"] = [str(path) for path in series]
+    return entry
 
 
 def unpack_entry(entry: dict) -> tuple[dict, float]:

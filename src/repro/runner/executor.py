@@ -28,6 +28,11 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
 
+from repro.engine.observe import (
+    SERIES_DIR_ENV,
+    series_paths_for,
+    use_series_scope,
+)
 from repro.runner.cache import (
     ResultCache,
     experiment_cache_key,
@@ -44,6 +49,10 @@ from repro.utils.errors import InvalidParameterError
 #: sweep.  Environment-based (rather than a parameter) so it crosses
 #: the ``spawn`` boundary into pool workers unchanged.
 SNAPSHOT_DIR_ENV = "REPRO_SNAPSHOT_DIR"
+
+# The observation-series counterpart, SERIES_DIR_ENV, lives in
+# repro.engine.observe (the sinks consume it) and is re-exported above;
+# it crosses the ``spawn`` boundary the same way.
 
 
 def _snapshot_scope(task: RunTask):
@@ -73,6 +82,21 @@ def _snapshot_scope(task: RunTask):
     return channel, use_snapshot_channel(channel)
 
 
+def _series_scope(task: RunTask):
+    """The observation-series scope of one task, or a no-op context.
+
+    When :data:`SERIES_DIR_ENV` names a directory, experiments that
+    call :func:`repro.engine.observe.series_sink` during this task
+    stream their series to files keyed by the task's canonical cache
+    key — the same key the result cache and snapshot store use, so a
+    task's streams, checkpoints, and future result all line up.
+    """
+    root = os.environ.get(SERIES_DIR_ENV)
+    if not root:
+        return contextlib.nullcontext()
+    return use_series_scope(root, _task_cache_key(task))
+
+
 def run_task(task: RunTask) -> tuple[dict, float]:
     """Execute one task; returns ``(report payload, seconds)``.
 
@@ -84,12 +108,14 @@ def run_task(task: RunTask) -> tuple[dict, float]:
     resumable experiments checkpoint through it and pick up a prior
     partial execution; completion clears the task's checkpoints.  A
     failed task keeps them — the retry resumes instead of restarting.
+    A series scope (see :func:`_series_scope`) additionally routes the
+    experiment's observation streams to per-task JSONL files.
     """
     from repro.experiments.base import run_experiment
 
     channel, scope = _snapshot_scope(task)
     start = time.perf_counter()
-    with scope:
+    with scope, _series_scope(task):
         report = run_experiment(
             task.experiment_id,
             profile=task.profile,
@@ -180,26 +206,38 @@ class LocalPool(TaskPool):
 
 
 @contextlib.contextmanager
-def _snapshot_dir_env(snapshot_dir):
-    """Expose ``snapshot_dir`` to this process *and* spawned pool workers."""
-    if snapshot_dir is None:
+def _dir_env(name: str, value):
+    """Expose a directory to this process *and* spawned pool workers."""
+    if value is None:
         yield
         return
-    previous = os.environ.get(SNAPSHOT_DIR_ENV)
-    os.environ[SNAPSHOT_DIR_ENV] = str(snapshot_dir)
+    previous = os.environ.get(name)
+    os.environ[name] = str(value)
     try:
         yield
     finally:
         if previous is None:
-            os.environ.pop(SNAPSHOT_DIR_ENV, None)
+            os.environ.pop(name, None)
         else:
-            os.environ[SNAPSHOT_DIR_ENV] = previous
+            os.environ[name] = previous
+
+
+def _snapshot_dir_env(snapshot_dir):
+    """``snapshot_dir`` as :data:`SNAPSHOT_DIR_ENV` for pool workers."""
+    return _dir_env(SNAPSHOT_DIR_ENV, snapshot_dir)
+
+
+def _series_dir_env(series_dir):
+    """``series_dir`` as :data:`SERIES_DIR_ENV` for pool workers."""
+    return _dir_env(SERIES_DIR_ENV, series_dir)
 
 
 def execute(
     plan: RunPlan,
     pool: TaskPool | None = None,
     snapshot_dir=None,
+    series_dir=None,
+    record_stream=None,
 ) -> RunReport:
     """Execute a :class:`RunPlan` and return its :class:`RunReport`.
 
@@ -216,6 +254,21 @@ def execute(
     uninterrupted run's (``repro sweep --resume`` is the CLI spelling;
     completed cells are already served by the cache and never
     re-execute).
+
+    ``series_dir`` makes the sweep *streaming*: experiments that open
+    :func:`repro.engine.observe.series_sink` streams write per-task
+    JSONL files there (keyed like the snapshots), the files a task
+    produced are attached to its :class:`TaskResult` (and remembered by
+    its cache entry), and the records stay constant-memory however long
+    each trajectory runs.  Local pools only — a remote worker's disk is
+    not ours to glob.
+
+    ``record_stream`` is called with each :class:`TaskResult` the
+    moment it is final, **in task order** (cache hits first, then
+    executed cells as the contiguous done-prefix grows).  ``repro sweep
+    --output`` uses it to append records as they land instead of after
+    the whole batch, so a killed sweep's output file already holds
+    every completed cell.
     """
     from repro.experiments.base import ExperimentReport
 
@@ -229,10 +282,23 @@ def execute(
     results: list = [None] * len(tasks)
     cache = ResultCache(plan.cache_dir) if plan.cache_dir is not None else None
     keys: list = [None] * len(tasks)
+    streamed = 0
+
+    def stream_done_prefix():
+        # Stream each result exactly once, in task order, as soon as
+        # every earlier task is also final (the contiguous done-prefix).
+        nonlocal streamed
+        if record_stream is None:
+            return
+        while streamed < len(results) and results[streamed] is not None:
+            record_stream(results[streamed])
+            streamed += 1
+
     pending = []
     for index, task in enumerate(tasks):
-        if cache is not None:
+        if cache is not None or series_dir is not None:
             keys[index] = _task_cache_key(task)
+        if cache is not None:
             entry = cache.get(keys[index])
             if entry is not None:
                 report_payload, seconds = unpack_entry(entry)
@@ -241,13 +307,15 @@ def execute(
                     report=ExperimentReport.from_dict(report_payload),
                     seconds=seconds,
                     source="cache",
+                    series=tuple(entry.get("series") or ()),
                 )
                 continue
         pending.append(index)
+    stream_done_prefix()
 
     if pending:
         produced = 0
-        with _snapshot_dir_env(snapshot_dir):
+        with _snapshot_dir_env(snapshot_dir), _series_dir_env(series_dir):
             outcomes = pool.run_iter([tasks[index] for index in pending])
             # Each outcome is cached the moment it arrives, not after
             # the whole batch: a sweep killed mid-run keeps every cell
@@ -255,16 +323,23 @@ def execute(
             for index, outcome in zip(pending, outcomes):
                 produced += 1
                 payload, seconds = unpack_entry(outcome)
+                series = ()
+                if series_dir is not None:
+                    series = series_paths_for(series_dir, keys[index])
                 results[index] = TaskResult(
                     task=tasks[index],
                     report=ExperimentReport.from_dict(payload),
                     seconds=seconds,
                     source=outcome.get("source", "executed"),
                     worker=outcome.get("worker"),
+                    series=series,
                 )
                 if cache is not None:
-                    cache.put(keys[index], pack_entry(payload, seconds))
+                    cache.put(
+                        keys[index], pack_entry(payload, seconds, series)
+                    )
                     crash_point("executor.post-cache")
+                stream_done_prefix()
         if produced != len(pending):
             raise InvalidParameterError(
                 f"pool returned {produced} outcome(s) for "

@@ -180,6 +180,12 @@ class TaskResult:
         Identity of the fabric worker that executed the task, when it
         ran on a remote pool (``None`` for local execution and cache
         hits).
+    series:
+        Paths of the observation-series files the task streamed
+        (:func:`repro.engine.observe.series_sink` under
+        ``execute(series_dir=...)``); empty when the task streamed
+        nothing.  Cache entries remember the paths, so cache-served
+        results still point at their original streams.
     """
 
     task: RunTask
@@ -187,6 +193,7 @@ class TaskResult:
     seconds: float
     source: str = "executed"
     worker: str | None = None
+    series: tuple = ()
 
     def __post_init__(self):
         if self.source not in ("executed", "cache"):
@@ -194,11 +201,45 @@ class TaskResult:
                 f"result source must be 'executed' or 'cache', "
                 f"got {self.source!r}"
             )
+        object.__setattr__(
+            self, "series", tuple(str(path) for path in self.series)
+        )
 
     @property
     def from_cache(self) -> bool:
         """Whether the result was served from a result cache."""
         return self.source == "cache"
+
+
+def task_record(result: TaskResult) -> dict:
+    """The strict-JSON record of one :class:`TaskResult`.
+
+    The single serialization path behind :meth:`RunReport.to_records`
+    and the streaming ``repro sweep --output`` writer, so a record's
+    bytes are identical whether it was emitted the moment the task
+    finished or assembled from the completed report.  A ``"series"``
+    key appears only when the task streamed observation series, keeping
+    series-free records byte-identical to the pre-streaming format.
+    """
+    from repro.experiments.base import _jsonable
+
+    task = result.task
+    record = {
+        "experiment": task.experiment_id,
+        "label": task.label,
+        "profile": task.profile,
+        "params": {name: _jsonable(value) for name, value in task.params},
+        "seed": task.seed,
+        "backend": task.backend,
+        "seconds": result.seconds,
+        "from_cache": result.from_cache,
+        "source": result.source,
+        "worker": result.worker,
+        "report": result.report.to_dict(),
+    }
+    if result.series:
+        record["series"] = list(result.series)
+    return record
 
 
 @dataclass
@@ -280,29 +321,7 @@ class RunReport:
         the :data:`PROVENANCE_FIELDS` is byte-deterministic for a given
         plan, wherever and however it executed.
         """
-        from repro.experiments.base import _jsonable
-
-        records = []
-        for result in self.results:
-            task = result.task
-            records.append(
-                {
-                    "experiment": task.experiment_id,
-                    "label": task.label,
-                    "profile": task.profile,
-                    "params": {
-                        name: _jsonable(value) for name, value in task.params
-                    },
-                    "seed": task.seed,
-                    "backend": task.backend,
-                    "seconds": result.seconds,
-                    "from_cache": result.from_cache,
-                    "source": result.source,
-                    "worker": result.worker,
-                    "report": result.report.to_dict(),
-                }
-            )
-        return records
+        return [task_record(result) for result in self.results]
 
 
 def replicate_plan(

@@ -63,7 +63,7 @@ class TestStationary:
 class TestTrajectories:
     def test_discrete_conserves_mass(self):
         trajectory = mean_trajectory_discrete(3, 0.3, 0.2, [6, 0, 0],
-                                              steps=100, record_every=10)
+                                              steps=100, observe_every=10)
         assert np.allclose(trajectory.sum(axis=1), 6.0)
 
     def test_discrete_converges_to_stationary(self):
@@ -99,7 +99,7 @@ class TestTrajectories:
         """From all-zero generosity with upward drift, ẽg(t) increases."""
         grid = GenerosityGrid(k=4, g_max=0.6)
         series = mean_generosity_trajectory(4, 0.4, 0.1, [8, 0, 0, 0],
-                                            grid, steps=500, record_every=50)
+                                            grid, steps=500, observe_every=50)
         assert all(series[i] <= series[i + 1] + 1e-12
                    for i in range(series.size - 1))
 

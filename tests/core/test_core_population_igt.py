@@ -176,7 +176,7 @@ class TestDynamics:
 
     def test_trajectory_recording(self, shares, grid):
         sim = IGTSimulation(n=100, shares=shares, grid=grid, seed=0)
-        trajectory = sim.run(1000, record_every=100)
+        trajectory = sim.run(1000, observe_every=100)
         assert trajectory.shape == (11, 3)
         assert (trajectory.sum(axis=1) == sim.n_gtft).all()
 

@@ -152,14 +152,14 @@ class TestPopulationGameSimulation:
 
     def test_de_gap_trajectory_shape(self, game, rng):
         sim = PopulationGameSimulation(game, n=40, seed=rng)
-        axis, gaps = de_gap_trajectory(sim, steps=1000, record_every=250)
+        axis, gaps = de_gap_trajectory(sim, steps=1000, observe_every=250)
         assert axis.shape == (5,)
         assert gaps.shape == (5,)
         assert axis[-1] == 1000
 
     def test_de_gap_nonnegative_along_trajectory(self, game, rng):
         sim = PopulationGameSimulation(game, n=40, seed=rng)
-        _, gaps = de_gap_trajectory(sim, steps=2000, record_every=500)
+        _, gaps = de_gap_trajectory(sim, steps=2000, observe_every=500)
         assert (gaps >= -1e-12).all()
 
     def test_rejects_bad_eta(self, game):

@@ -1,0 +1,96 @@
+"""DegreeProfileReducer vs the exact per-vertex quenched theory (E6).
+
+On a graph-restricted run, GTFT agent ``i``'s stationary generosity is
+the Proposition 2.8 value at ``β_i = #AD-neighbors/deg(i)`` — exact,
+not mean-field.  The reducer aggregates live engine states by degree
+class; its profile must therefore match the same aggregation of
+:func:`~repro.experiments.e06_average_generosity
+.per_vertex_quenched_values` class by class, which checks the whole
+degree-resolved curve rather than just the population mean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.igt import GenerosityGrid
+from repro.core.population_igt import IGTSimulation, PopulationShares
+from repro.core.theory import igt_mixing_upper_bound
+from repro.engine import DegreeProfileReducer, topology_from_spec
+from repro.experiments.e06_average_generosity import (
+    per_vertex_quenched_values,
+)
+
+N = 240
+K = 3
+G_MAX = 0.6
+MIN_CLASS = 8  # compare only degree classes with this many GTFT members
+
+
+@pytest.fixture(scope="module")
+def profiled_run():
+    shares = PopulationShares(alpha=0.2, beta=0.3, gamma=0.5)
+    grid = GenerosityGrid(k=K, g_max=G_MAX)
+    graph = topology_from_spec("powerlaw", N)
+    sim = IGTSimulation(n=N, shares=shares, grid=grid, seed=31337,
+                        backend="agent", topology=graph)
+    sim.run(int(2 * igt_mixing_upper_bound(K, shares, N)))
+    # AC/AD engine states map to NaN: the profile is GTFT-only.
+    reducer = DegreeProfileReducer(
+        graph.degrees, np.concatenate([grid.values, [np.nan, np.nan]]))
+    thin = N // 2
+    sim.run(thin * 400, observe_every=thin, observe=reducer)
+    return shares, grid, graph, reducer
+
+
+def theory_by_class(graph, shares, classes):
+    values = per_vertex_quenched_values(graph, shares, N, K, G_MAX)
+    n_ac, n_ad, _ = shares.agent_counts(N)
+    gtft_degrees = graph.degrees[n_ac + n_ad:]
+    sizes = np.array([np.count_nonzero(gtft_degrees == c)
+                      for c in classes])
+    means = np.array([values[gtft_degrees == c].mean() if size else np.nan
+                      for c, size in zip(classes, sizes)])
+    return sizes, means
+
+
+class TestDegreeProfile:
+    def test_profile_matches_quenched_theory_per_class(self, profiled_run):
+        shares, grid, graph, reducer = profiled_run
+        classes, observed = reducer.profile()
+        sizes, predicted = theory_by_class(graph, shares, classes)
+        rich = sizes >= MIN_CLASS
+        assert np.count_nonzero(rich) >= 2  # a real profile, not a point
+        np.testing.assert_allclose(observed[rich], predicted[rich],
+                                   atol=0.06)
+
+    def test_population_mean_is_tighter(self, profiled_run):
+        shares, grid, graph, reducer = profiled_run
+        classes, observed = reducer.profile()
+        sizes, predicted = theory_by_class(graph, shares, classes)
+        valid = sizes > 0
+        observed_mean = float(np.sum(observed[valid] * sizes[valid])
+                              / sizes[valid].sum())
+        theory_mean = float(per_vertex_quenched_values(
+            graph, shares, N, K, G_MAX).mean())
+        assert observed_mean == pytest.approx(theory_mean, abs=0.03)
+
+    def test_profile_is_monotone_in_ad_exposure(self, profiled_run):
+        # Sanity on the physics: the quenched theory itself decreases
+        # with the AD-neighbor share, so classes whose mean bias is
+        # higher must not sit above clearly lower-bias classes.
+        shares, grid, graph, reducer = profiled_run
+        classes, observed = reducer.profile()
+        sizes, predicted = theory_by_class(graph, shares, classes)
+        rich = sizes >= MIN_CLASS
+        order = np.argsort(predicted[rich])
+        spread = predicted[rich][order[-1]] - predicted[rich][order[0]]
+        if spread > 0.05:  # only meaningful when theory itself varies
+            assert (observed[rich][order[-1]]
+                    > observed[rich][order[0]] - 0.04)
+
+    def test_summary_is_json_safe(self, profiled_run):
+        import json
+
+        _, _, _, reducer = profiled_run
+        encoded = json.dumps(reducer.summary(), allow_nan=False)
+        assert "degree-profile" in encoded

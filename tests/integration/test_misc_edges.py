@@ -57,7 +57,7 @@ class TestIgtSlowPathRecording:
         grid = GenerosityGrid(k=3, g_max=0.5)
         sim = IGTSimulation(n=20, shares=shares, grid=grid, seed=rng,
                             mode="action", setting=small_setting)
-        trajectory = sim.run(200, record_every=50)
+        trajectory = sim.run(200, observe_every=50)
         assert trajectory.shape == (5, 3)
         assert (trajectory.sum(axis=1) == sim.n_gtft).all()
 
@@ -66,7 +66,7 @@ class TestIgtSlowPathRecording:
         grid = GenerosityGrid(k=3, g_max=0.5)
         sim = IGTSimulation(n=30, shares=shares, grid=grid, seed=rng,
                             observation_noise=0.1)
-        trajectory = sim.run(300, record_every=100)
+        trajectory = sim.run(300, observe_every=100)
         assert trajectory.shape == (4, 3)
 
     def test_zero_steps_noop(self, rng):

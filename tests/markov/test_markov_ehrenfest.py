@@ -152,7 +152,7 @@ class TestSimulation:
 
     def test_trajectory_recording(self):
         process = EhrenfestProcess(k=2, a=0.4, b=0.3, m=6)
-        traj = process.simulate_counts((6, 0), 100, seed=2, record_every=10)
+        traj = process.simulate_counts((6, 0), 100, seed=2, observe_every=10)
         assert traj.shape == (11, 2)
         assert (traj.sum(axis=1) == 6).all()
         assert tuple(traj[0]) == (6, 0)

@@ -446,3 +446,120 @@ class TestFabricCli:
         ]
         assert [record["source"] for record in records] == ["executed"] * 2
         assert all(record["worker"] for record in records)
+
+
+class TestSweepSeries:
+    E13_FAST = ["--set", "n=100", "--set", "m_urn=8", "--set", "m3=3"]
+
+    def test_series_streams_and_reports(self, capsys, tmp_path):
+        series_dir = tmp_path / "series"
+        arguments = (["sweep", "E13", "--replicates", "2"]
+                     + self.E13_FAST + ["--series", str(series_dir)])
+        # Tiny-n E13 fails its physics checks (exit 1); streaming is
+        # independent of check outcomes.
+        assert main(arguments) in (0, 1)
+        out = capsys.readouterr().out
+        assert f"streamed 2 series file(s) under {series_dir}" in out
+        files = sorted(series_dir.glob("*--coalescence.jsonl"))
+        assert len(files) == 2
+        for path in files:
+            assert path.stat().st_size > 0
+
+    def test_series_paths_land_in_output_records(self, capsys, tmp_path):
+        series_dir = tmp_path / "series"
+        records_path = tmp_path / "records.jsonl"
+        arguments = (["sweep", "E13", "--replicates", "1"]
+                     + self.E13_FAST
+                     + ["--series", str(series_dir),
+                        "--output", str(records_path)])
+        assert main(arguments) in (0, 1)
+        (record,) = [json.loads(line)
+                     for line in records_path.read_text().splitlines()]
+        assert len(record["series"]) == 1
+        assert record["series"][0].endswith("--coalescence.jsonl")
+
+    def test_records_without_series_have_no_key(self, capsys, tmp_path):
+        records_path = tmp_path / "records.jsonl"
+        arguments = (["sweep", "E13", "--replicates", "1"]
+                     + self.E13_FAST + ["--output", str(records_path)])
+        assert main(arguments) in (0, 1)
+        (record,) = [json.loads(line)
+                     for line in records_path.read_text().splitlines()]
+        assert "series" not in record
+
+    def test_series_with_remote_exits_2(self, capsys, tmp_path):
+        arguments = ["sweep", "E1", "--remote", "http://127.0.0.1:1",
+                     "--series", str(tmp_path)]
+        assert main(arguments) == 2
+        assert "--series" in capsys.readouterr().err
+
+    def test_usage_error_does_not_truncate_output(self, capsys, tmp_path):
+        # Validation happens before the record writer opens the file.
+        records_path = tmp_path / "records.jsonl"
+        records_path.write_text('{"precious": true}\n')
+        arguments = ["sweep", "E1", "--remote", "http://127.0.0.1:1",
+                     "--series", str(tmp_path / "series"),
+                     "--output", str(records_path)]
+        assert main(arguments) == 2
+        assert records_path.read_text() == '{"precious": true}\n'
+
+
+class TestSimulateObserve:
+    BASE = ["simulate", "--n", "500", "--k", "3", "--steps", "20000",
+            "--backend", "count", "--seed", "7"]
+
+    def test_jsonl_stream(self, capsys, tmp_path):
+        path = tmp_path / "trajectory.jsonl"
+        arguments = self.BASE + ["--observe-every", "5000",
+                                 "--observe", f"jsonl:{path}"]
+        assert main(arguments) == 0
+        out = capsys.readouterr().out
+        assert f"streamed 5 observation record(s)" in out
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        first = json.loads(lines[0])
+        assert first["step"] == 0
+        assert sum(first["counts"]) == 500
+
+    def test_reducer_summary(self, capsys):
+        arguments = self.BASE + ["--observe-every", "5000",
+                                 "--observe", "mean"]
+        assert main(arguments) == 0
+        out = capsys.readouterr().out
+        assert "observer summary: " in out
+        summary = json.loads(out.split("observer summary: ")[1]
+                             .splitlines()[0])
+        assert summary["kind"] == "mean"
+        assert summary["observations"] == 5
+
+    def test_observe_without_cadence_exits_2(self, capsys):
+        assert main(self.BASE + ["--observe", "mean"]) == 2
+        assert "--observe-every" in capsys.readouterr().err
+
+    def test_degree_profile_needs_topology(self, capsys):
+        arguments = self.BASE + ["--observe-every", "5000",
+                                 "--observe", "degree-profile"]
+        assert main(arguments) == 2
+        assert "topology" in capsys.readouterr().err
+
+    def test_degree_profile_on_a_graph(self, capsys):
+        arguments = ["simulate", "--n", "200", "--k", "3", "--steps",
+                     "20000", "--backend", "agent", "--seed", "7",
+                     "--topology", "ring:2", "--observe-every", "5000",
+                     "--observe", "degree-profile"]
+        assert main(arguments) == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out.split("observer summary: ")[1]
+                             .splitlines()[0])
+        assert summary["kind"] == "degree-profile"
+        assert summary["classes"] == [4]  # ring:2 is 4-regular
+
+    def test_snapshots_run_completes_and_clears(self, capsys, tmp_path):
+        path = tmp_path / "trajectory.jsonl"
+        arguments = self.BASE + ["--observe-every", "5000",
+                                 "--observe", f"jsonl:{path}",
+                                 "--snapshots", str(tmp_path / "snaps")]
+        assert main(arguments) == 0
+        assert len(path.read_text().splitlines()) == 5
+        leftovers = list((tmp_path / "snaps").glob("*"))
+        assert leftovers == []
